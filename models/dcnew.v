@@ -1,0 +1,67 @@
+// dcnew — a three-channel data-transfer controller (industrial-style
+// substitute; see DESIGN.md "Substitutions"). Channels request a shared
+// bus; a priority arbiter grants it to the lowest-numbered requester when
+// the bus is free; the winner performs a transfer of nondeterministic
+// length, tracked by a down-counter. A word counter and a parity flag
+// accumulate completed transfers.
+module dcnew;
+  wire clk;
+
+  wire r0, r1, r2;   // request
+  wire t0, t1, t2;   // transferring
+  wire d0, d1, d2;   // completing this cycle
+
+  wire busfree;
+  assign busfree = !(t0 || t1 || t2);
+
+  // fixed-priority arbitration: channel 0 wins ties (channel 2 can starve —
+  // the ch2_served property in dcnew.pif fails with a lasso trace)
+  wire g0, g1, g2;
+  assign g0 = busfree && r0;
+  assign g1 = busfree && r1 && !r0;
+  assign g2 = busfree && r2 && !r0 && !r1;
+
+  channel ch0(g0, r0, t0, d0);
+  channel ch1(g1, r1, t1, d1);
+  channel ch2(g2, r2, t2, d2);
+
+  // completed-transfer accounting
+  reg [3:0] total;
+  reg parity;
+  always @(posedge clk) begin
+    if (d0 || d1 || d2) begin
+      total <= total + 1;
+      parity <= !parity;
+    end
+  end
+  initial total = 0;
+  initial parity = 0;
+endmodule
+
+module channel(grant, req, xfer, done);
+  input grant;
+  output req, xfer, done;
+  wire clk;
+
+  enum { idle, request, transfer, complete } st;
+  reg [3:0] cnt;
+
+  assign req = (st == request);
+  assign xfer = (st == transfer);
+  assign done = (st == transfer) && (cnt == 0);
+
+  always @(posedge clk) begin
+    case (st)
+      idle:     if ($ND(0, 1)) st <= request;
+      request:  if (grant) begin
+                  st <= transfer;
+                  cnt <= $ND(3, 7, 15);   // transfer length
+                end
+      transfer: if (cnt == 0) st <= complete;
+                else cnt <= cnt - 1;
+      complete: st <= idle;
+    endcase
+  end
+  initial st = idle;
+  initial cnt = 0;
+endmodule

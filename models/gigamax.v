@@ -1,0 +1,77 @@
+// gigamax — a cache-consistency protocol modeled after the Encore Gigamax
+// [McMillan-Schwalbe 1991]: three processors snooping one bus, each holding
+// one cache line in state invalid / shared / owned. A nondeterministic
+// arbiter grants the bus each cycle; the grantee issues a command suited to
+// its state, everyone else snoops.
+//
+// Commands: 0 = idle, 1 = read_shared, 2 = read_owned, 3 = invalidate.
+module gigamax;
+  wire clk;
+
+  // Arbitration is latched so fairness constraints can refer to it:
+  // master = 0..2 grants a processor, 3 leaves the bus idle.
+  reg [1:0] master;
+  always @(posedge clk) master <= $ND(0, 1, 2, 3);
+  initial master = 3;
+
+  wire [1:0] want0, want1, want2;
+  wire [1:0] cmd;
+  assign cmd = (master == 0) ? want0
+             : (master == 1) ? want1
+             : (master == 2) ? want2
+             : 0;
+
+  wire inv0, shr0, own0;
+  wire inv1, shr1, own1;
+  wire inv2, shr2, own2;
+
+  cache p0(master == 0, cmd, want0, inv0, shr0, own0);
+  cache p1(master == 1, cmd, want1, inv1, shr1, own1);
+  cache p2(master == 2, cmd, want2, inv2, shr2, own2);
+
+  // coherence observers
+  wire two_owners, owner_with_sharer;
+  assign two_owners = (own0 && own1) || (own1 && own2) || (own0 && own2);
+  assign owner_with_sharer = (own0 && (shr1 || shr2))
+                          || (own1 && (shr0 || shr2))
+                          || (own2 && (shr0 || shr1));
+endmodule
+
+module cache(granted, cmd, want, inv, shr, own);
+  input granted;
+  input [1:0] cmd;
+  output [1:0] want;
+  output inv, shr, own;
+  wire clk;
+
+  enum { invalid, shared, owned } st;
+
+  assign inv = (st == invalid);
+  assign shr = (st == shared);
+  assign own = (st == owned);
+
+  // What this processor would put on the bus if granted: a miss wants the
+  // line (shared or owned), a sharer may upgrade, an owner is content.
+  assign want = (st == invalid) ? $ND(1, 2)
+              : (st == shared)  ? $ND(0, 3)
+              : 0;
+
+  always @(posedge clk) begin
+    if (granted) begin
+      case (st)
+        invalid: if (cmd == 1) st <= shared;
+                 else if (cmd == 2) st <= owned;
+        shared:  if (cmd == 3) st <= owned;
+        owned:   st <= owned;
+      endcase
+    end else begin
+      // snoop a foreign command
+      if (cmd == 1) begin
+        if (st == owned) st <= shared;   // supply data, demote
+      end else if (cmd == 2 || cmd == 3) begin
+        st <= invalid;                   // foreign exclusive request
+      end
+    end
+  end
+  initial st = invalid;
+endmodule

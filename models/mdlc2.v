@@ -1,0 +1,146 @@
+// 2mdlc — a two-channel message data-link controller (industrial-style
+// substitute; see DESIGN.md "Substitutions"). Each link runs an
+// alternating-bit protocol over a lossy, corrupting wire: the sender
+// attaches a linear checksum to {seq, data}; the wire may drop the frame or
+// corrupt the payload; the receiver recomputes the checksum, accepts
+// in-sequence clean frames, and acknowledges over an equally lossy ack
+// wire; the sender retransmits on timeout. A sticky `err` flag records any
+// delivery whose payload differs from what the sender offered — the
+// data-integrity property of mdlc2.pif.
+//
+// The checksum datapath intentionally uses wide multi-valued operators:
+// compiling it produces the large BLIF-MV tables characteristic of the
+// paper's 2mdlc row.
+module mdlc2;
+  wire clk;
+  wire dlv0, dlv1;
+  link l0(dlv0);
+  link l1(dlv1);
+endmodule
+
+module link(delivered);
+  output delivered;
+  wire clk;
+
+  // ---- sender ----
+  enum { make, send, wait_ack } tx_st;
+  reg [3:0] tx_data;
+  reg tx_seq;
+  reg [1:0] timer;
+
+  // checksum over the frame {seq, data} — a 5-bit linear code
+  wire [4:0] tx_frame, tx_crc;
+  assign tx_frame = {tx_seq, tx_data};
+  assign tx_crc = tx_frame ^ (tx_frame >> 2);
+
+  // ---- frame wire ----
+  reg ch_valid;
+  reg [3:0] ch_data;
+  reg ch_seq;
+  reg [4:0] ch_crc;
+  reg drop, corrupt;   // latched channel weather (so fairness can see it)
+  always @(posedge clk) begin
+    drop <= $ND(0, 1);
+    corrupt <= $ND(0, 1);
+  end
+  initial drop = 0;
+  initial corrupt = 0;
+
+  // ---- receiver ----
+  reg rx_seq;
+  reg [3:0] rx_data;
+  reg deliver;   // pulse: a new payload was accepted last cycle
+  reg acked;     // pulse: a clean ack was sent last cycle
+  reg err;       // sticky: delivered payload differed from the offered one
+
+  wire [4:0] rx_frame, rx_crc;
+  assign rx_frame = {ch_seq, ch_data};
+  assign rx_crc = rx_frame ^ (rx_frame >> 2);
+
+  wire rok, raccept;
+  assign rok = ch_valid && (rx_crc == ch_crc);
+  assign raccept = rok && (ch_seq == rx_seq);
+
+  // ---- ack wire ----
+  reg ack_valid;
+  reg ack_seq;
+  reg ackdrop;
+  always @(posedge clk) ackdrop <= $ND(0, 1);
+  initial ackdrop = 0;
+
+  wire ack_here;
+  assign ack_here = ack_valid && (ack_seq == tx_seq);
+
+  assign delivered = deliver;
+
+  always @(posedge clk) begin
+    // sender
+    case (tx_st)
+      make: begin
+        tx_data <= $ND(2, 5, 9, 14);
+        tx_st <= send;
+        timer <= 0;
+      end
+      send: begin
+        tx_st <= wait_ack;
+        timer <= 0;
+      end
+      wait_ack: begin
+        if (ack_here) begin
+          tx_seq <= !tx_seq;
+          tx_st <= make;
+        end else if (timer == 3) begin
+          tx_st <= send;
+        end else begin
+          timer <= timer + 1;
+        end
+      end
+    endcase
+
+    // frame wire: loaded on send (unless dropped), expires after one cycle
+    if (tx_st == send) begin
+      ch_valid <= !drop;
+      ch_data <= corrupt ? ~tx_data : tx_data;
+      ch_seq <= tx_seq;
+      ch_crc <= tx_crc;
+    end else begin
+      ch_valid <= 0;
+    end
+
+    // receiver
+    if (raccept) begin
+      rx_data <= ch_data;
+      rx_seq <= !rx_seq;
+      deliver <= 1;
+      if (!(ch_data == tx_data)) err <= 1;
+    end else begin
+      deliver <= 0;
+    end
+
+    // ack wire: every clean frame (new or duplicate) is acknowledged
+    if (rok) begin
+      ack_valid <= !ackdrop;
+      ack_seq <= ch_seq;
+      acked <= !ackdrop;
+    end else begin
+      ack_valid <= 0;
+      acked <= 0;
+    end
+  end
+
+  initial tx_st = make;
+  initial tx_data = 0;
+  initial tx_seq = 0;
+  initial timer = 0;
+  initial ch_valid = 0;
+  initial ch_data = 0;
+  initial ch_seq = 0;
+  initial ch_crc = 0;
+  initial rx_seq = 0;
+  initial rx_data = 0;
+  initial deliver = 0;
+  initial acked = 0;
+  initial err = 0;
+  initial ack_valid = 0;
+  initial ack_seq = 0;
+endmodule

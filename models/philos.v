@@ -1,0 +1,54 @@
+// philos — four dining philosophers around a table (toy example).
+//
+// Every philosopher grabs the left fork first, then the right fork; the
+// classic deadlock (all four holding their left fork) is reachable on
+// purpose — the properties in philos.pif demonstrate how HSIS exposes it.
+// Fork i sits between philosopher i (its left fork) and philosopher i-1
+// (whose right fork it is). A grab is blocked while the left neighbour is
+// poised to eat, which keeps a fork from being claimed by both sides in
+// the same tick.
+module philos;
+  wire clk;
+  wire h0, h1, h2, h3;  // philosopher i holds its left fork
+  wire g0, g1, g2, g3;  // poised: holds left fork, not yet eating
+  wire e0, e1, e2, e3;  // eating
+  wire f0free, f1free, f2free, f3free;
+
+  // fork i is free unless held as a left fork by phil i or used by the
+  // eating right neighbour (phil i-1)
+  assign f0free = !(h0 || e3);
+  assign f1free = !(h1 || e0);
+  assign f2free = !(h2 || e1);
+  assign f3free = !(h3 || e2);
+
+  // grabbing the left fork yields to the left neighbour's pending eat
+  philosopher p0(f0free && !g3, f1free, h0, g0, e0);
+  philosopher p1(f1free && !g0, f2free, h1, g1, e1);
+  philosopher p2(f2free && !g1, f3free, h2, g2, e2);
+  philosopher p3(f3free && !g2, f0free, h3, g3, e3);
+
+  wire deadlock;
+  assign deadlock = g0 && g1 && g2 && g3;
+endmodule
+
+module philosopher(leftok, rightfree, holdsleft, poised, eating);
+  input leftok, rightfree;
+  output holdsleft, poised, eating;
+  wire clk;
+
+  enum { thinking, hungry, hasleft, eat } st;
+
+  assign holdsleft = (st == hasleft) || (st == eat);
+  assign poised = (st == hasleft);
+  assign eating = (st == eat);
+
+  always @(posedge clk) begin
+    case (st)
+      thinking: if ($ND(0, 1)) st <= hungry;
+      hungry:   if (leftok) st <= hasleft;
+      hasleft:  if (rightfree) st <= eat;
+      eat:      if ($ND(0, 1)) st <= thinking;
+    endcase
+  end
+  initial st = thinking;
+endmodule

@@ -1,0 +1,28 @@
+// pingpong — two players exchanging a ball (toy example).
+// A player holding the ball may keep it for a nondeterministic but, under
+// the fairness constraints in pingpong.pif, finite number of clock ticks
+// before hitting it back.
+module pingpong;
+  wire clk;
+
+  enum { ping_side, to_pong, pong_side, to_ping } ball;
+
+  wire ping_hits, pong_hits;
+  assign ping_hits = (ball == ping_side) && $ND(0, 1);
+  assign pong_hits = (ball == pong_side) && $ND(0, 1);
+
+  always @(posedge clk) begin
+    case (ball)
+      ping_side: if (ping_hits) ball <= to_pong;
+      to_pong:   ball <= pong_side;
+      pong_side: if (pong_hits) ball <= to_ping;
+      to_ping:   ball <= ping_side;
+    endcase
+  end
+  initial ball = ping_side;
+
+  wire ping_has, pong_has, in_flight;
+  assign ping_has = (ball == ping_side);
+  assign pong_has = (ball == pong_side);
+  assign in_flight = (ball == to_pong) || (ball == to_ping);
+endmodule

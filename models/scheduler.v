@@ -1,0 +1,60 @@
+// scheduler — Milner's distributed cyclic scheduler [Milner 1989], ten
+// cells in a ring. A single scheduling token circulates; a cell holding the
+// token starts its task (if the previous run of that task has finished) and
+// passes the token on. Tasks run for a nondeterministic, fairness-bounded
+// amount of time.
+module scheduler;
+  wire clk;
+  wire s0, s1, s2, s3, s4, s5, s6, s7, s8, s9;   // token-passing pulses
+  wire b0, b1, b2, b3, b4, b5, b6, b7, b8, b9;   // task busy flags
+
+  cell #(.HASTOKEN(1)) c0(s9, s0, b0);
+  cell c1(s0, s1, b1);
+  cell c2(s1, s2, b2);
+  cell c3(s2, s3, b3);
+  cell c4(s3, s4, b4);
+  cell c5(s4, s5, b5);
+  cell c6(s5, s6, b6);
+  cell c7(s6, s7, b7);
+  cell c8(s7, s8, b8);
+  cell c9(s8, s9, b9);
+endmodule
+
+module cell(start_in, start_out, busy);
+  parameter HASTOKEN = 0;
+  input start_in;
+  output start_out, busy;
+  wire clk;
+
+  reg token;      // this cell holds the scheduling token
+  reg running;    // this cell's task is running
+  reg [1:0] tmr;  // task progress; completion possible once it saturates
+
+  wire finish;
+  assign finish = running && (tmr == 3) && $ND(0, 1);
+
+  // Start the task and pass the token in the same tick: only when the
+  // token is here and the previous run has completed (Milner's condition
+  // that task i's runs do not overlap).
+  wire canstart;
+  assign canstart = token && !running;
+  assign start_out = canstart;
+  assign busy = running;
+
+  always @(posedge clk) begin
+    if (canstart) token <= 0;
+    else if (start_in) token <= 1;
+    if (canstart) begin
+      running <= 1;
+      tmr <= 0;
+    end else if (finish) begin
+      running <= 0;
+      tmr <= 0;
+    end else if (running) begin
+      tmr <= tmr + $ND(0, 1);   // tasks progress at their own pace
+    end
+  end
+  initial token = HASTOKEN;
+  initial running = 0;
+  initial tmr = 0;
+endmodule

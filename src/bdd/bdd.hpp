@@ -1,0 +1,261 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// This is the implicit-representation substrate of HSIS: every relation,
+// state set, and transition relation in the verification engine is a Bdd
+// managed by a BddManager.
+//
+// Design notes:
+//  - Nodes live in a single arena addressed by 32-bit indices; index 0 is
+//    the constant FALSE, index 1 the constant TRUE.
+//  - Handles (`Bdd`) are reference-counted RAII objects; garbage collection
+//    is mark-and-sweep from externally referenced nodes and runs only at
+//    public-API entry points (safe points), never inside a recursion.
+//  - Variable order is a permutation `perm` (variable id -> level) so that
+//    dynamic reordering (sifting) never invalidates node indices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hsis {
+
+class BddManager;
+
+using BddVar = uint32_t;
+
+/// A handle to a BDD node. Copying/destroying maintains the external
+/// reference count on the underlying node. A default-constructed handle is
+/// "null" and belongs to no manager.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& o);
+  Bdd(Bdd&& o) noexcept;
+  Bdd& operator=(const Bdd& o);
+  Bdd& operator=(Bdd&& o) noexcept;
+  ~Bdd();
+
+  [[nodiscard]] bool isNull() const { return mgr_ == nullptr; }
+  [[nodiscard]] bool isZero() const;
+  [[nodiscard]] bool isOne() const;
+  [[nodiscard]] bool isConstant() const { return isZero() || isOne(); }
+
+  /// Structural equality (canonical, so also functional equality).
+  bool operator==(const Bdd& o) const {
+    return mgr_ == o.mgr_ && idx_ == o.idx_;
+  }
+  bool operator!=(const Bdd& o) const { return !(*this == o); }
+
+  Bdd operator&(const Bdd& o) const;
+  Bdd operator|(const Bdd& o) const;
+  Bdd operator^(const Bdd& o) const;
+  Bdd operator!() const;
+  Bdd& operator&=(const Bdd& o);
+  Bdd& operator|=(const Bdd& o);
+  Bdd& operator^=(const Bdd& o);
+  /// f.implies(g): the BDD of !f | g.
+  [[nodiscard]] Bdd implies(const Bdd& o) const;
+  /// Containment test: does f -> g hold everywhere? (No result BDD built.)
+  [[nodiscard]] bool leq(const Bdd& o) const;
+
+  /// Top variable id (not level). Precondition: non-constant.
+  [[nodiscard]] BddVar var() const;
+  [[nodiscard]] Bdd low() const;
+  [[nodiscard]] Bdd high() const;
+
+  [[nodiscard]] BddManager* manager() const { return mgr_; }
+  [[nodiscard]] uint32_t index() const { return idx_; }
+  /// Number of nodes in this BDD (including terminals reached).
+  [[nodiscard]] size_t nodeCount() const;
+
+ private:
+  friend class BddManager;
+  Bdd(BddManager* m, uint32_t i);
+
+  BddManager* mgr_ = nullptr;
+  uint32_t idx_ = 0;
+};
+
+struct BddStats {
+  size_t liveNodes = 0;      ///< nodes currently in the unique table
+  size_t allocatedNodes = 0; ///< arena size (live + freed slots)
+  size_t gcRuns = 0;
+  size_t cacheLookups = 0;
+  size_t cacheHits = 0;
+  size_t peakLiveNodes = 0;
+  size_t reorderings = 0;
+};
+
+class BddManager {
+ public:
+  explicit BddManager(uint32_t numVars = 0);
+  ~BddManager();
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  // ---- variables and constants ----
+
+  /// Create a new variable at the bottom of the current order.
+  BddVar newVar();
+  /// Create a new variable at the given level, shifting others down.
+  BddVar newVarAtLevel(uint32_t level);
+  [[nodiscard]] uint32_t numVars() const { return static_cast<uint32_t>(perm_.size()); }
+  [[nodiscard]] Bdd bddVar(BddVar v);
+  /// Literal: the variable if `positive`, else its negation.
+  [[nodiscard]] Bdd bddLiteral(BddVar v, bool positive);
+  [[nodiscard]] Bdd bddOne();
+  [[nodiscard]] Bdd bddZero();
+
+  [[nodiscard]] uint32_t level(BddVar v) const { return perm_[v]; }
+  [[nodiscard]] BddVar varAtLevel(uint32_t l) const { return invPerm_[l]; }
+
+  // ---- core operations ----
+
+  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+  Bdd andOp(const Bdd& f, const Bdd& g);
+  Bdd orOp(const Bdd& f, const Bdd& g);
+  Bdd xorOp(const Bdd& f, const Bdd& g);
+  Bdd notOp(const Bdd& f);
+
+  /// Existentially quantify all variables of `cube` (a positive-literal
+  /// conjunction) out of f.
+  Bdd exists(const Bdd& f, const Bdd& cube);
+  Bdd forall(const Bdd& f, const Bdd& cube);
+  /// Relational product: exists(f & g, cube) without building f & g.
+  /// This is the workhorse of image computation and early quantification.
+  Bdd andExists(const Bdd& f, const Bdd& g, const Bdd& cube);
+
+  /// Cofactor with respect to a single literal.
+  Bdd cofactor(const Bdd& f, BddVar v, bool positive);
+  /// Coudert-Madre generalized cofactor ("constrain"). c must be != 0.
+  Bdd constrain(const Bdd& f, const Bdd& c);
+  /// Coudert-Madre restrict: like constrain but sibling-substitution based,
+  /// never introduces variables outside supp(f) ∪ supp(c); used for
+  /// don't-care minimization. c must be != 0.
+  Bdd restrict(const Bdd& f, const Bdd& c);
+
+  /// Rename variables: map[v] gives the replacement variable for v (identity
+  /// entries allowed; map may be shorter than numVars, treated as identity
+  /// beyond its size). Replacement variables must not occur in f unless they
+  /// are fixed points of the map restricted to supp(f) — the usual use is
+  /// swapping disjoint present/next-state rails.
+  Bdd permute(const Bdd& f, const std::vector<BddVar>& map);
+
+  [[nodiscard]] bool leq(const Bdd& f, const Bdd& g);
+
+  // ---- structural queries ----
+
+  std::vector<BddVar> support(const Bdd& f);
+  Bdd supportCube(const Bdd& f);
+  /// Number of satisfying assignments over `nvars` variables.
+  double satCount(const Bdd& f, uint32_t nvars);
+  /// One satisfying cube as a vector indexed by variable id:
+  /// -1 don't-care, 0 negative, 1 positive. Empty if f == 0.
+  std::vector<int8_t> pickCube(const Bdd& f);
+  /// Build the conjunction of literals described by `assign` (same encoding
+  /// as pickCube; -1 entries skipped).
+  Bdd cubeFromAssignment(std::span<const int8_t> assign);
+  size_t nodeCount(const Bdd& f) const;
+  size_t sharedNodeCount(std::span<const Bdd> roots) const;
+
+  // ---- reordering ----
+
+  /// Sifting: move each variable through the order, keep the best position.
+  /// Clears operation caches. Handles remain valid.
+  void sift();
+  /// Reorder so the given variables sit at the top in the given sequence.
+  void setOrder(const std::vector<BddVar>& order);
+  void setMaxGrowth(double g) { maxGrowth_ = g; }
+
+  // ---- memory ----
+
+  size_t gc();
+  [[nodiscard]] size_t liveNodeCount() const { return uniqueCount_; }
+  [[nodiscard]] const BddStats& stats() const { return stats_; }
+  void clearCaches();
+
+  // ---- io ----
+
+  std::string toDot(std::span<const Bdd> roots,
+                    std::span<const std::string> rootNames,
+                    const std::vector<std::string>& varNames = {}) const;
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    BddVar var;
+    uint32_t lo, hi;
+    uint32_t next;  ///< unique-table chain
+    uint32_t ref;   ///< external reference count (saturating)
+  };
+
+  struct CacheEntry {
+    uint64_t k1 = ~0ull, k2 = ~0ull;
+    uint32_t result = 0;
+  };
+
+  // node layer
+  uint32_t mkNode(BddVar var, uint32_t lo, uint32_t hi);
+  void uniqueInsert(uint32_t n);
+  void uniqueRemove(uint32_t n);
+  void growUnique();
+  void growCache();
+  void maybeGcOrSift();
+  void incRef(uint32_t n);
+  void decRef(uint32_t n);
+  [[nodiscard]] bool isTerm(uint32_t n) const { return n <= 1; }
+  [[nodiscard]] uint32_t nodeLevel(uint32_t n) const {
+    return isTerm(n) ? kTermLevel : perm_[nodes_[n].var];
+  }
+
+  // cache layer
+  enum class Op : uint8_t {
+    Ite, Exists, Forall, AndExists, Constrain, Restrict, Permute, Leq,
+  };
+  bool cacheLookup(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t& out);
+  void cacheInsert(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t res);
+
+  // recursive workers (raw indices; no GC may run while these are active)
+  uint32_t iteRec(uint32_t f, uint32_t g, uint32_t h);
+  uint32_t quantRec(uint32_t f, uint32_t cube, bool existential);
+  uint32_t andExistsRec(uint32_t f, uint32_t g, uint32_t cube);
+  uint32_t constrainRec(uint32_t f, uint32_t c);
+  uint32_t restrictRec(uint32_t f, uint32_t c);
+  uint32_t permuteRec(uint32_t f, const std::vector<BddVar>& map, uint32_t mapId);
+  bool leqRec(uint32_t f, uint32_t g);
+  void supportRec(uint32_t f, std::vector<bool>& seen, std::vector<bool>& inSupp);
+
+  // reordering internals
+  size_t swapAdjacentLevels(uint32_t l);
+  size_t uniqueSize() const { return uniqueCount_; }
+  Bdd makeHandle(uint32_t idx);
+
+  static constexpr uint32_t kTermLevel = 0xFFFFFFFFu;
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> freeList_;
+  std::vector<uint32_t> uniqueTable_;  ///< bucket heads
+  size_t uniqueCount_ = 0;
+  uint32_t uniqueMask_ = 0;
+
+  std::vector<CacheEntry> cache_;
+  uint32_t cacheMask_ = 0;
+
+  std::vector<uint32_t> perm_;     ///< var -> level
+  std::vector<BddVar> invPerm_;    ///< level -> var
+
+  std::vector<std::vector<BddVar>> permMaps_;  ///< registered permute maps
+
+  size_t gcThreshold_ = 1 << 14;
+  double maxGrowth_ = 1.2;
+  int opDepth_ = 0;  ///< >0 while a public op is active (GC unsafe)
+
+  BddStats stats_;
+};
+
+}  // namespace hsis

@@ -1,0 +1,43 @@
+// Graphviz export for debugging and documentation.
+#include "bdd/bdd.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace hsis {
+
+std::string BddManager::toDot(std::span<const Bdd> roots,
+                              std::span<const std::string> rootNames,
+                              const std::vector<std::string>& varNames) const {
+  std::ostringstream os;
+  os << "digraph bdd {\n  rankdir=TB;\n";
+  os << "  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n";
+  std::unordered_set<uint32_t> seen{0, 1};
+  std::vector<uint32_t> stack;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (roots[i].isNull()) continue;
+    std::string name =
+        i < rootNames.size() ? rootNames[i] : "f" + std::to_string(i);
+    os << "  r" << i << " [label=\"" << name << "\", shape=plaintext];\n";
+    os << "  r" << i << " -> n" << roots[i].index() << ";\n";
+    stack.push_back(roots[i].index());
+  }
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    const Node& nd = nodes_[n];
+    std::string label = nd.var < varNames.size() && !varNames[nd.var].empty()
+                            ? varNames[nd.var]
+                            : "x" + std::to_string(nd.var);
+    os << "  n" << n << " [label=\"" << label << "\"];\n";
+    os << "  n" << n << " -> n" << nd.lo << " [style=dashed];\n";
+    os << "  n" << n << " -> n" << nd.hi << ";\n";
+    stack.push_back(nd.lo);
+    stack.push_back(nd.hi);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hsis

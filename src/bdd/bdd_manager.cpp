@@ -1,0 +1,330 @@
+// Node arena, unique table, computed cache, reference counting, and
+// mark-and-sweep garbage collection.
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hsis {
+
+namespace {
+
+constexpr uint32_t kRefSaturated = 0xFFFFFFFFu;
+
+inline uint64_t mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t hash3(uint32_t a, uint32_t b, uint32_t c) {
+  return mix64((static_cast<uint64_t>(a) << 32) ^ b) * 0x9e3779b97f4a7c15ull + c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- handles
+
+Bdd::Bdd(BddManager* m, uint32_t i) : mgr_(m), idx_(i) {
+  if (mgr_ != nullptr) mgr_->incRef(idx_);
+}
+
+Bdd::Bdd(const Bdd& o) : mgr_(o.mgr_), idx_(o.idx_) {
+  if (mgr_ != nullptr) mgr_->incRef(idx_);
+}
+
+Bdd::Bdd(Bdd&& o) noexcept : mgr_(o.mgr_), idx_(o.idx_) {
+  o.mgr_ = nullptr;
+  o.idx_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& o) {
+  if (this == &o) return *this;
+  if (o.mgr_ != nullptr) o.mgr_->incRef(o.idx_);
+  if (mgr_ != nullptr) mgr_->decRef(idx_);
+  mgr_ = o.mgr_;
+  idx_ = o.idx_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& o) noexcept {
+  if (this == &o) return *this;
+  if (mgr_ != nullptr) mgr_->decRef(idx_);
+  mgr_ = o.mgr_;
+  idx_ = o.idx_;
+  o.mgr_ = nullptr;
+  o.idx_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->decRef(idx_);
+}
+
+bool Bdd::isZero() const { return mgr_ != nullptr && idx_ == 0; }
+bool Bdd::isOne() const { return mgr_ != nullptr && idx_ == 1; }
+
+BddVar Bdd::var() const {
+  assert(mgr_ != nullptr && idx_ > 1);
+  return mgr_->nodes_[idx_].var;
+}
+
+Bdd Bdd::low() const {
+  assert(mgr_ != nullptr && idx_ > 1);
+  return mgr_->makeHandle(mgr_->nodes_[idx_].lo);
+}
+
+Bdd Bdd::high() const {
+  assert(mgr_ != nullptr && idx_ > 1);
+  return mgr_->makeHandle(mgr_->nodes_[idx_].hi);
+}
+
+Bdd Bdd::operator&(const Bdd& o) const { return mgr_->andOp(*this, o); }
+Bdd Bdd::operator|(const Bdd& o) const { return mgr_->orOp(*this, o); }
+Bdd Bdd::operator^(const Bdd& o) const { return mgr_->xorOp(*this, o); }
+Bdd Bdd::operator!() const { return mgr_->notOp(*this); }
+Bdd& Bdd::operator&=(const Bdd& o) { return *this = mgr_->andOp(*this, o); }
+Bdd& Bdd::operator|=(const Bdd& o) { return *this = mgr_->orOp(*this, o); }
+Bdd& Bdd::operator^=(const Bdd& o) { return *this = mgr_->xorOp(*this, o); }
+
+Bdd Bdd::implies(const Bdd& o) const {
+  return mgr_->ite(*this, o, mgr_->bddOne());
+}
+
+bool Bdd::leq(const Bdd& o) const { return mgr_->leq(*this, o); }
+
+size_t Bdd::nodeCount() const {
+  return mgr_ == nullptr ? 0 : mgr_->nodeCount(*this);
+}
+
+// ---------------------------------------------------------------- manager
+
+BddManager::BddManager(uint32_t numVars) {
+  nodes_.reserve(1 << 12);
+  // Terminals occupy slots 0 (FALSE) and 1 (TRUE); they are never in the
+  // unique table and carry permanent references.
+  nodes_.push_back({kTermLevel, 0, 0, kNil, kRefSaturated});
+  nodes_.push_back({kTermLevel, 1, 1, kNil, kRefSaturated});
+
+  uniqueTable_.assign(1 << 12, kNil);
+  uniqueMask_ = static_cast<uint32_t>(uniqueTable_.size() - 1);
+  cache_.assign(1 << 14, CacheEntry{});
+  cacheMask_ = static_cast<uint32_t>(cache_.size() - 1);
+
+  for (uint32_t i = 0; i < numVars; ++i) newVar();
+}
+
+BddManager::~BddManager() = default;
+
+Bdd BddManager::makeHandle(uint32_t idx) { return Bdd(this, idx); }
+
+BddVar BddManager::newVar() {
+  BddVar v = static_cast<BddVar>(perm_.size());
+  perm_.push_back(v);
+  invPerm_.push_back(v);
+  return v;
+}
+
+BddVar BddManager::newVarAtLevel(uint32_t lvl) {
+  BddVar v = newVar();
+  if (lvl >= perm_.size()) return v;
+  // Shift levels [lvl, end) down by one and place v at lvl.
+  for (uint32_t l = static_cast<uint32_t>(invPerm_.size()) - 1; l > lvl; --l) {
+    invPerm_[l] = invPerm_[l - 1];
+    perm_[invPerm_[l]] = l;
+  }
+  invPerm_[lvl] = v;
+  perm_[v] = lvl;
+  return v;
+}
+
+Bdd BddManager::bddVar(BddVar v) {
+  assert(v < perm_.size());
+  return makeHandle(mkNode(v, 0, 1));
+}
+
+Bdd BddManager::bddLiteral(BddVar v, bool positive) {
+  return makeHandle(positive ? mkNode(v, 0, 1) : mkNode(v, 1, 0));
+}
+
+Bdd BddManager::bddOne() { return makeHandle(1); }
+Bdd BddManager::bddZero() { return makeHandle(0); }
+
+// ------------------------------------------------------------- node layer
+
+uint32_t BddManager::mkNode(BddVar var, uint32_t lo, uint32_t hi) {
+  if (lo == hi) return lo;
+  uint64_t h = hash3(var, lo, hi);
+  uint32_t bucket = static_cast<uint32_t>(h) & uniqueMask_;
+  for (uint32_t n = uniqueTable_[bucket]; n != kNil; n = nodes_[n].next) {
+    const Node& nd = nodes_[n];
+    if (nd.var == var && nd.lo == lo && nd.hi == hi) return n;
+  }
+  uint32_t idx;
+  if (!freeList_.empty()) {
+    idx = freeList_.back();
+    freeList_.pop_back();
+    nodes_[idx] = Node{var, lo, hi, kNil, 0};
+  } else {
+    idx = static_cast<uint32_t>(nodes_.size());
+    if (idx == kNil) throw std::length_error("BddManager: node arena full");
+    nodes_.push_back(Node{var, lo, hi, kNil, 0});
+  }
+  nodes_[idx].next = uniqueTable_[bucket];
+  uniqueTable_[bucket] = idx;
+  ++uniqueCount_;
+  stats_.peakLiveNodes = std::max(stats_.peakLiveNodes, uniqueCount_);
+  if (uniqueCount_ > uniqueTable_.size()) growUnique();
+  // Keep the operation cache proportional to the node count, or deep
+  // recursions degenerate into exponential recomputation.
+  if (uniqueCount_ > cache_.size()) growCache();
+  return idx;
+}
+
+void BddManager::growCache() {
+  std::vector<CacheEntry> old = std::move(cache_);
+  cache_.assign(old.size() * 2, CacheEntry{});
+  cacheMask_ = static_cast<uint32_t>(cache_.size() - 1);
+  for (const CacheEntry& e : old) {
+    if (e.k1 == ~0ull && e.k2 == ~0ull) continue;
+    uint32_t slot = static_cast<uint32_t>(mix64(e.k1 ^ mix64(e.k2))) & cacheMask_;
+    cache_[slot] = e;
+  }
+}
+
+void BddManager::uniqueInsert(uint32_t n) {
+  const Node& nd = nodes_[n];
+  uint32_t bucket = static_cast<uint32_t>(hash3(nd.var, nd.lo, nd.hi)) & uniqueMask_;
+  nodes_[n].next = uniqueTable_[bucket];
+  uniqueTable_[bucket] = n;
+  ++uniqueCount_;
+}
+
+void BddManager::uniqueRemove(uint32_t n) {
+  const Node& nd = nodes_[n];
+  uint32_t bucket = static_cast<uint32_t>(hash3(nd.var, nd.lo, nd.hi)) & uniqueMask_;
+  uint32_t* link = &uniqueTable_[bucket];
+  while (*link != kNil) {
+    if (*link == n) {
+      *link = nodes_[n].next;
+      nodes_[n].next = kNil;
+      --uniqueCount_;
+      return;
+    }
+    link = &nodes_[*link].next;
+  }
+  assert(false && "uniqueRemove: node not in table");
+}
+
+void BddManager::growUnique() {
+  std::vector<uint32_t> old = std::move(uniqueTable_);
+  uniqueTable_.assign(old.size() * 2, kNil);
+  uniqueMask_ = static_cast<uint32_t>(uniqueTable_.size() - 1);
+  for (uint32_t head : old) {
+    for (uint32_t n = head; n != kNil;) {
+      uint32_t next = nodes_[n].next;
+      const Node& nd = nodes_[n];
+      uint32_t bucket =
+          static_cast<uint32_t>(hash3(nd.var, nd.lo, nd.hi)) & uniqueMask_;
+      nodes_[n].next = uniqueTable_[bucket];
+      uniqueTable_[bucket] = n;
+      n = next;
+    }
+  }
+}
+
+void BddManager::incRef(uint32_t n) {
+  uint32_t& r = nodes_[n].ref;
+  if (r != kRefSaturated) ++r;
+}
+
+void BddManager::decRef(uint32_t n) {
+  uint32_t& r = nodes_[n].ref;
+  assert(r > 0);
+  if (r != kRefSaturated) --r;
+}
+
+void BddManager::maybeGcOrSift() {
+  if (opDepth_ > 0) return;
+  if (nodes_.size() - freeList_.size() > gcThreshold_) {
+    size_t freed = gc();
+    size_t live = nodes_.size() - freeList_.size();
+    if (freed < live / 3) gcThreshold_ = live * 2;
+  }
+}
+
+size_t BddManager::gc() {
+  // Mark phase: every node reachable from an externally referenced node
+  // survives. Iterative DFS over the arena.
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[0] = marked[1] = true;
+  std::vector<uint32_t> stack;
+  std::vector<bool> freeSlot(nodes_.size(), false);
+  for (uint32_t f : freeList_) freeSlot[f] = true;
+
+  for (uint32_t i = 2; i < nodes_.size(); ++i) {
+    if (!freeSlot[i] && nodes_[i].ref > 0 && !marked[i]) {
+      stack.assign(1, i);
+      while (!stack.empty()) {
+        uint32_t n = stack.back();
+        stack.pop_back();
+        if (marked[n]) continue;
+        marked[n] = true;
+        if (!isTerm(nodes_[n].lo) && !marked[nodes_[n].lo])
+          stack.push_back(nodes_[n].lo);
+        if (!isTerm(nodes_[n].hi) && !marked[nodes_[n].hi])
+          stack.push_back(nodes_[n].hi);
+      }
+    }
+  }
+
+  size_t freed = 0;
+  for (uint32_t i = 2; i < nodes_.size(); ++i) {
+    if (!freeSlot[i] && !marked[i]) {
+      uniqueRemove(i);
+      nodes_[i].var = kNil;  // sentinel: slot is free (reorder scans rely on it)
+      freeList_.push_back(i);
+      ++freed;
+    }
+  }
+  clearCaches();
+  ++stats_.gcRuns;
+  stats_.liveNodes = uniqueCount_;
+  stats_.allocatedNodes = nodes_.size();
+  return freed;
+}
+
+void BddManager::clearCaches() {
+  for (auto& e : cache_) e = CacheEntry{};
+}
+
+// ------------------------------------------------------------ cache layer
+
+bool BddManager::cacheLookup(Op op, uint32_t a, uint32_t b, uint32_t c,
+                             uint32_t& out) {
+  ++stats_.cacheLookups;
+  uint64_t k1 = (static_cast<uint64_t>(a) << 32) | b;
+  uint64_t k2 = (static_cast<uint64_t>(static_cast<uint8_t>(op)) << 32) | c;
+  uint32_t slot = static_cast<uint32_t>(mix64(k1 ^ mix64(k2))) & cacheMask_;
+  const CacheEntry& e = cache_[slot];
+  if (e.k1 == k1 && e.k2 == k2) {
+    out = e.result;
+    ++stats_.cacheHits;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cacheInsert(Op op, uint32_t a, uint32_t b, uint32_t c,
+                             uint32_t res) {
+  uint64_t k1 = (static_cast<uint64_t>(a) << 32) | b;
+  uint64_t k2 = (static_cast<uint64_t>(static_cast<uint8_t>(op)) << 32) | c;
+  uint32_t slot = static_cast<uint32_t>(mix64(k1 ^ mix64(k2))) & cacheMask_;
+  cache_[slot] = CacheEntry{k1, k2, res};
+}
+
+}  // namespace hsis

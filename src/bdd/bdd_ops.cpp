@@ -1,0 +1,338 @@
+// Core BDD algorithms: ite, quantification, relational product,
+// generalized cofactors, variable renaming, and containment.
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hsis {
+
+namespace {
+
+/// RAII guard marking a public operation as active: garbage collection is
+/// deferred while any operation's recursion holds raw node indices.
+class ScopedOp {
+ public:
+  explicit ScopedOp(int& depth) : depth_(depth) { ++depth_; }
+  ~ScopedOp() { --depth_; }
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+ private:
+  int& depth_;
+};
+
+}  // namespace
+
+// -------------------------------------------------------------------- ite
+
+Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  assert(f.manager() == this && g.manager() == this && h.manager() == this);
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(iteRec(f.index(), g.index(), h.index()));
+}
+
+uint32_t BddManager::iteRec(uint32_t f, uint32_t g, uint32_t h) {
+  // Terminal cases.
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+
+  uint32_t out;
+  if (cacheLookup(Op::Ite, f, g, h, out)) return out;
+
+  uint32_t lf = nodeLevel(f), lg = nodeLevel(g), lh = nodeLevel(h);
+  uint32_t top = std::min({lf, lg, lh});
+  BddVar v = invPerm_[top];
+
+  uint32_t f0 = lf == top ? nodes_[f].lo : f;
+  uint32_t f1 = lf == top ? nodes_[f].hi : f;
+  uint32_t g0 = lg == top ? nodes_[g].lo : g;
+  uint32_t g1 = lg == top ? nodes_[g].hi : g;
+  uint32_t h0 = lh == top ? nodes_[h].lo : h;
+  uint32_t h1 = lh == top ? nodes_[h].hi : h;
+
+  uint32_t lo = iteRec(f0, g0, h0);
+  uint32_t hi = iteRec(f1, g1, h1);
+  uint32_t res = mkNode(v, lo, hi);
+  cacheInsert(Op::Ite, f, g, h, res);
+  return res;
+}
+
+Bdd BddManager::andOp(const Bdd& f, const Bdd& g) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(iteRec(f.index(), g.index(), 0));
+}
+
+Bdd BddManager::orOp(const Bdd& f, const Bdd& g) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(iteRec(f.index(), 1, g.index()));
+}
+
+Bdd BddManager::xorOp(const Bdd& f, const Bdd& g) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  uint32_t ng = iteRec(g.index(), 0, 1);
+  return makeHandle(iteRec(f.index(), ng, g.index()));
+}
+
+Bdd BddManager::notOp(const Bdd& f) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(iteRec(f.index(), 0, 1));
+}
+
+// --------------------------------------------------------- quantification
+
+Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(quantRec(f.index(), cube.index(), /*existential=*/true));
+}
+
+Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(quantRec(f.index(), cube.index(), /*existential=*/false));
+}
+
+uint32_t BddManager::quantRec(uint32_t f, uint32_t cube, bool existential) {
+  if (isTerm(f) || cube == 1) return f;
+  assert(cube != 0 && "quantifier cube must be a positive-literal product");
+
+  // Skip cube variables above f's top.
+  uint32_t lf = nodeLevel(f);
+  while (!isTerm(cube) && nodeLevel(cube) < lf) cube = nodes_[cube].hi;
+  if (cube == 1) return f;
+
+  Op op = existential ? Op::Exists : Op::Forall;
+  uint32_t out;
+  if (cacheLookup(op, f, cube, 0, out)) return out;
+
+  uint32_t lc = nodeLevel(cube);
+  uint32_t res;
+  if (lf == lc) {
+    uint32_t lo = quantRec(nodes_[f].lo, nodes_[cube].hi, existential);
+    uint32_t hi = quantRec(nodes_[f].hi, nodes_[cube].hi, existential);
+    res = existential ? iteRec(lo, 1, hi) : iteRec(lo, hi, 0);
+  } else {
+    uint32_t lo = quantRec(nodes_[f].lo, cube, existential);
+    uint32_t hi = quantRec(nodes_[f].hi, cube, existential);
+    res = mkNode(nodes_[f].var, lo, hi);
+  }
+  cacheInsert(op, f, cube, 0, res);
+  return res;
+}
+
+Bdd BddManager::andExists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(andExistsRec(f.index(), g.index(), cube.index()));
+}
+
+uint32_t BddManager::andExistsRec(uint32_t f, uint32_t g, uint32_t cube) {
+  if (f == 0 || g == 0) return 0;
+  if (f == 1 && g == 1) return 1;
+  if (f == 1) return quantRec(g, cube, true);
+  if (g == 1) return quantRec(f, cube, true);
+  if (f == g) return quantRec(f, cube, true);
+  if (cube == 1) return iteRec(f, g, 0);
+
+  if (f > g) std::swap(f, g);  // conjunction is commutative: normalize key
+  uint32_t out;
+  if (cacheLookup(Op::AndExists, f, g, cube, out)) return out;
+
+  uint32_t lf = nodeLevel(f), lg = nodeLevel(g);
+  uint32_t top = std::min(lf, lg);
+  // Advance the cube past variables above the top of f and g.
+  uint32_t c = cube;
+  while (!isTerm(c) && nodeLevel(c) < top) c = nodes_[c].hi;
+
+  BddVar v = invPerm_[top];
+  uint32_t f0 = lf == top ? nodes_[f].lo : f;
+  uint32_t f1 = lf == top ? nodes_[f].hi : f;
+  uint32_t g0 = lg == top ? nodes_[g].lo : g;
+  uint32_t g1 = lg == top ? nodes_[g].hi : g;
+
+  uint32_t res;
+  if (!isTerm(c) && nodeLevel(c) == top) {
+    // Quantified variable at the top: OR the two cofactor products.
+    uint32_t lo = andExistsRec(f0, g0, nodes_[c].hi);
+    if (lo == 1) {
+      res = 1;
+    } else {
+      uint32_t hi = andExistsRec(f1, g1, nodes_[c].hi);
+      res = iteRec(lo, 1, hi);
+    }
+  } else {
+    uint32_t lo = andExistsRec(f0, g0, c);
+    uint32_t hi = andExistsRec(f1, g1, c);
+    res = mkNode(v, lo, hi);
+  }
+  cacheInsert(Op::AndExists, f, g, cube, res);
+  return res;
+}
+
+// ------------------------------------------------------------- cofactors
+
+Bdd BddManager::cofactor(const Bdd& f, BddVar v, bool positive) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  Bdd lit = bddLiteral(v, positive);
+  // Cofactor by a single literal == constrain by that literal.
+  return makeHandle(constrainRec(f.index(), lit.index()));
+}
+
+Bdd BddManager::constrain(const Bdd& f, const Bdd& c) {
+  if (c.isZero()) throw std::invalid_argument("constrain: care set is empty");
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(constrainRec(f.index(), c.index()));
+}
+
+uint32_t BddManager::constrainRec(uint32_t f, uint32_t c) {
+  assert(c != 0);
+  if (c == 1 || isTerm(f)) return f;
+  if (f == c) return 1;
+  uint32_t out;
+  if (cacheLookup(Op::Constrain, f, c, 0, out)) return out;
+
+  uint32_t lf = nodeLevel(f), lc = nodeLevel(c);
+  uint32_t res;
+  if (lc < lf) {
+    if (nodes_[c].lo == 0) {
+      res = constrainRec(f, nodes_[c].hi);
+    } else if (nodes_[c].hi == 0) {
+      res = constrainRec(f, nodes_[c].lo);
+    } else {
+      uint32_t lo = constrainRec(f, nodes_[c].lo);
+      uint32_t hi = constrainRec(f, nodes_[c].hi);
+      res = mkNode(nodes_[c].var, lo, hi);
+    }
+  } else if (lf < lc) {
+    uint32_t lo = constrainRec(nodes_[f].lo, c);
+    uint32_t hi = constrainRec(nodes_[f].hi, c);
+    res = mkNode(nodes_[f].var, lo, hi);
+  } else {
+    if (nodes_[c].lo == 0) {
+      res = constrainRec(nodes_[f].hi, nodes_[c].hi);
+    } else if (nodes_[c].hi == 0) {
+      res = constrainRec(nodes_[f].lo, nodes_[c].lo);
+    } else {
+      uint32_t lo = constrainRec(nodes_[f].lo, nodes_[c].lo);
+      uint32_t hi = constrainRec(nodes_[f].hi, nodes_[c].hi);
+      res = mkNode(nodes_[f].var, lo, hi);
+    }
+  }
+  cacheInsert(Op::Constrain, f, c, 0, res);
+  return res;
+}
+
+Bdd BddManager::restrict(const Bdd& f, const Bdd& c) {
+  if (c.isZero()) throw std::invalid_argument("restrict: care set is empty");
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  return makeHandle(restrictRec(f.index(), c.index()));
+}
+
+uint32_t BddManager::restrictRec(uint32_t f, uint32_t c) {
+  assert(c != 0);
+  if (c == 1 || isTerm(f)) return f;
+  if (f == c) return 1;
+  uint32_t out;
+  if (cacheLookup(Op::Restrict, f, c, 0, out)) return out;
+
+  uint32_t lf = nodeLevel(f), lc = nodeLevel(c);
+  uint32_t res;
+  if (lc < lf) {
+    // Sibling substitution: drop the care-set variable (it does not occur
+    // in f) by merging its branches.
+    uint32_t merged = iteRec(nodes_[c].lo, 1, nodes_[c].hi);
+    res = restrictRec(f, merged);
+  } else if (lf < lc) {
+    uint32_t lo = restrictRec(nodes_[f].lo, c);
+    uint32_t hi = restrictRec(nodes_[f].hi, c);
+    res = mkNode(nodes_[f].var, lo, hi);
+  } else {
+    if (nodes_[c].lo == 0) {
+      res = restrictRec(nodes_[f].hi, nodes_[c].hi);
+    } else if (nodes_[c].hi == 0) {
+      res = restrictRec(nodes_[f].lo, nodes_[c].lo);
+    } else {
+      uint32_t lo = restrictRec(nodes_[f].lo, nodes_[c].lo);
+      uint32_t hi = restrictRec(nodes_[f].hi, nodes_[c].hi);
+      res = mkNode(nodes_[f].var, lo, hi);
+    }
+  }
+  cacheInsert(Op::Restrict, f, c, 0, res);
+  return res;
+}
+
+// --------------------------------------------------------------- renaming
+
+Bdd BddManager::permute(const Bdd& f, const std::vector<BddVar>& map) {
+  maybeGcOrSift();
+  ScopedOp guard(opDepth_);
+  // Register (or find) the map so results can live in the shared cache.
+  uint32_t mapId = kNil;
+  for (uint32_t i = 0; i < permMaps_.size(); ++i) {
+    if (permMaps_[i] == map) {
+      mapId = i;
+      break;
+    }
+  }
+  if (mapId == kNil) {
+    mapId = static_cast<uint32_t>(permMaps_.size());
+    permMaps_.push_back(map);
+  }
+  return makeHandle(permuteRec(f.index(), permMaps_[mapId], mapId));
+}
+
+uint32_t BddManager::permuteRec(uint32_t f, const std::vector<BddVar>& map,
+                                uint32_t mapId) {
+  if (isTerm(f)) return f;
+  uint32_t out;
+  if (cacheLookup(Op::Permute, f, mapId, 0, out)) return out;
+
+  uint32_t lo = permuteRec(nodes_[f].lo, map, mapId);
+  uint32_t hi = permuteRec(nodes_[f].hi, map, mapId);
+  BddVar v = nodes_[f].var;
+  BddVar nv = v < map.size() ? map[v] : v;
+  // General rename via ite keeps correctness even when the new variable is
+  // not at the same level as the old one.
+  uint32_t nvNode = mkNode(nv, 0, 1);
+  uint32_t res = iteRec(nvNode, hi, lo);
+  cacheInsert(Op::Permute, f, mapId, 0, res);
+  return res;
+}
+
+// ------------------------------------------------------------ containment
+
+bool BddManager::leq(const Bdd& f, const Bdd& g) {
+  ScopedOp guard(opDepth_);
+  return leqRec(f.index(), g.index());
+}
+
+bool BddManager::leqRec(uint32_t f, uint32_t g) {
+  if (f == 0 || g == 1 || f == g) return true;
+  if (f == 1 || g == 0) return false;
+  uint32_t out;
+  if (cacheLookup(Op::Leq, f, g, 0, out)) return out != 0;
+
+  uint32_t lf = nodeLevel(f), lg = nodeLevel(g);
+  uint32_t top = std::min(lf, lg);
+  uint32_t f0 = lf == top ? nodes_[f].lo : f;
+  uint32_t f1 = lf == top ? nodes_[f].hi : f;
+  uint32_t g0 = lg == top ? nodes_[g].lo : g;
+  uint32_t g1 = lg == top ? nodes_[g].hi : g;
+  bool res = leqRec(f0, g0) && leqRec(f1, g1);
+  cacheInsert(Op::Leq, f, g, 0, res ? 1 : 0);
+  return res;
+}
+
+}  // namespace hsis

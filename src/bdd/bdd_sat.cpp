@@ -1,0 +1,124 @@
+// Structural queries: support, model counting, cube extraction, node counts.
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hsis {
+
+void BddManager::supportRec(uint32_t f, std::vector<bool>& seen,
+                            std::vector<bool>& inSupp) {
+  if (isTerm(f) || seen[f]) return;
+  seen[f] = true;
+  inSupp[nodes_[f].var] = true;
+  supportRec(nodes_[f].lo, seen, inSupp);
+  supportRec(nodes_[f].hi, seen, inSupp);
+}
+
+std::vector<BddVar> BddManager::support(const Bdd& f) {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> inSupp(numVars(), false);
+  supportRec(f.index(), seen, inSupp);
+  std::vector<BddVar> out;
+  // Report in order-of-levels so callers get a canonical sequence.
+  for (uint32_t l = 0; l < numVars(); ++l) {
+    BddVar v = invPerm_[l];
+    if (inSupp[v]) out.push_back(v);
+  }
+  return out;
+}
+
+Bdd BddManager::supportCube(const Bdd& f) {
+  std::vector<BddVar> s = support(f);
+  Bdd cube = bddOne();
+  // Build bottom-up (deepest literal first) so each mkNode is O(1).
+  for (auto it = s.rbegin(); it != s.rend(); ++it) cube &= bddVar(*it);
+  return cube;
+}
+
+double BddManager::satCount(const Bdd& f, uint32_t nvars) {
+  // count(f) over variables at levels [0, nvars); each skipped level doubles.
+  std::unordered_map<uint32_t, double> memo;
+  // fraction(f) = (number of minterms of f) / 2^(vars below f's level)
+  // computed as a density to stay stable for wide supports.
+  auto rec = [&](auto&& self, uint32_t n) -> double {
+    if (n == 0) return 0.0;
+    if (n == 1) return 1.0;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    double d = 0.5 * (self(self, nodes_[n].lo) + self(self, nodes_[n].hi));
+    memo.emplace(n, d);
+    return d;
+  };
+  double density = rec(rec, f.index());
+  return density * std::pow(2.0, static_cast<double>(nvars));
+}
+
+std::vector<int8_t> BddManager::pickCube(const Bdd& f) {
+  if (f.isNull() || f.isZero()) return {};
+  std::vector<int8_t> out(numVars(), -1);
+  uint32_t n = f.index();
+  while (!isTerm(n)) {
+    const Node& nd = nodes_[n];
+    if (nd.lo != 0) {
+      out[nd.var] = 0;
+      n = nd.lo;
+    } else {
+      out[nd.var] = 1;
+      n = nd.hi;
+    }
+  }
+  assert(n == 1);
+  return out;
+}
+
+Bdd BddManager::cubeFromAssignment(std::span<const int8_t> assign) {
+  // Build deepest-literal-first for linear cost.
+  std::vector<std::pair<uint32_t, BddVar>> lits;  // (level, var)
+  for (uint32_t v = 0; v < assign.size() && v < numVars(); ++v) {
+    if (assign[v] >= 0) lits.emplace_back(perm_[v], v);
+  }
+  std::sort(lits.begin(), lits.end());
+  Bdd cube = bddOne();
+  for (auto it = lits.rbegin(); it != lits.rend(); ++it) {
+    cube &= bddLiteral(it->second, assign[it->second] == 1);
+  }
+  return cube;
+}
+
+size_t BddManager::nodeCount(const Bdd& f) const {
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> stack{f.index()};
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (!isTerm(n)) {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+  return seen.size();
+}
+
+size_t BddManager::sharedNodeCount(std::span<const Bdd> roots) const {
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> stack;
+  for (const Bdd& r : roots)
+    if (!r.isNull()) stack.push_back(r.index());
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (!isTerm(n)) {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace hsis

@@ -1,0 +1,140 @@
+// BLIF-MV: the Berkeley Logic Interchange Format extended with multi-valued
+// variables and non-determinism [Brayton et al., UCB/ERL M91/97]. This is
+// HSIS's intermediate format: every front end (here: vl2mv) compiles to it,
+// and the verification engine consumes it.
+//
+// Supported subset (what vl2mv generates, plus hand-written models):
+//   .model NAME
+//   .inputs A B ...          .outputs X Y ...
+//   .mv NAME[,NAME...] SIZE [VALUE-NAMES...]
+//   .latch IN OUT
+//   .reset OUT               followed by one row per alternative initial value
+//   .table IN1 ... INk OUT   (.default VALUE) rows of k+1 entries
+//   .subckt MODEL INST FORMAL=ACTUAL ...
+//   .end
+// Table row entries: VALUE | - | (v1,v2,...) | !VALUE | =NAME
+// Multiple rows may match the same input point with different outputs: a
+// table is a *relation*, which is how BLIF-MV expresses non-determinism.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hsis::blifmv {
+
+/// One entry (column) of a table row.
+struct RowEntry {
+  enum class Kind : uint8_t {
+    Any,         ///< '-' : the full domain
+    Values,      ///< explicit value or (v1,v2,...) set
+    Complement,  ///< !v : everything but v
+    Equal,       ///< =name : equals the named input column (output column)
+  };
+  Kind kind = Kind::Any;
+  std::vector<std::string> values;  ///< for Values/Complement (symbolic or numeral)
+  std::string eqVar;                ///< for Equal
+
+  static RowEntry any() { return RowEntry{}; }
+  static RowEntry value(std::string v) {
+    return RowEntry{Kind::Values, {std::move(v)}, {}};
+  }
+};
+
+struct Row {
+  std::vector<RowEntry> entries;  ///< one per table signal, output last
+};
+
+/// A (possibly non-deterministic) relation over its input signals and a
+/// single output signal.
+struct Table {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::optional<std::string> defaultValue;  ///< .default
+  std::vector<Row> rows;
+};
+
+struct Latch {
+  std::string input;                     ///< next-state signal
+  std::string output;                    ///< present-state signal
+  std::vector<std::string> resetValues;  ///< one or more initial values
+};
+
+/// .mv declaration; signals without one are binary with values {0,1}.
+struct VarDecl {
+  uint32_t domain = 2;
+  std::vector<std::string> valueNames;  ///< optional symbolic names
+};
+
+struct Subckt {
+  std::string modelName;
+  std::string instanceName;
+  /// formal (in the child model) -> actual (in this model)
+  std::vector<std::pair<std::string, std::string>> connections;
+};
+
+struct Model {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::unordered_map<std::string, VarDecl> varDecls;
+  std::vector<Table> tables;
+  std::vector<Latch> latches;
+  std::vector<Subckt> subckts;
+  /// Source-level debugging annotations (".lineinfo SIGNAL LINE", an HSIS
+  /// extension — paper Section 8, item 7): the HDL source line a signal
+  /// was declared on. Optional; propagated through flattening.
+  std::unordered_map<std::string, int> lineInfo;
+
+  /// Domain of a signal (2 unless declared by .mv).
+  [[nodiscard]] const VarDecl* declOf(const std::string& sig) const;
+  /// Source line of a signal, or 0 if unknown.
+  [[nodiscard]] int lineOf(const std::string& sig) const;
+};
+
+struct Design {
+  std::vector<Model> models;
+  std::string rootName;  ///< first model unless overridden
+
+  [[nodiscard]] const Model* findModel(const std::string& name) const;
+  [[nodiscard]] const Model& root() const;
+};
+
+/// Parse error with 1-based line information.
+struct ParseError {
+  std::string message;
+  int line = 0;
+};
+
+class ParseException : public std::exception {
+ public:
+  explicit ParseException(ParseError e);
+  [[nodiscard]] const char* what() const noexcept override { return text_.c_str(); }
+  [[nodiscard]] const ParseError& error() const { return err_; }
+
+ private:
+  ParseError err_;
+  std::string text_;
+};
+
+/// Parse BLIF-MV text. Throws ParseException on malformed input.
+Design parse(const std::string& text);
+
+/// Serialize back to BLIF-MV text (round-trips through parse()).
+std::string write(const Design& design);
+std::string write(const Model& model);
+
+/// Count the non-blank, non-comment lines write(design) would produce —
+/// the "# lines BLIF-MV" statistic of the paper's Table 1.
+size_t lineCount(const Design& design);
+
+/// Flatten the hierarchy into a single model containing only tables and
+/// latches. Signals of instantiated models are prefixed "inst.sig"; formal
+/// ports are rewired to their actuals. Throws std::runtime_error on
+/// missing models, port mismatches, or instantiation cycles.
+Model flatten(const Design& design);
+
+}  // namespace hsis::blifmv

@@ -1,0 +1,115 @@
+// Hierarchy flattening: expand .subckt instantiations into one flat model.
+#include "blifmv/blifmv.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hsis::blifmv {
+
+namespace {
+
+class Flattener {
+ public:
+  explicit Flattener(const Design& design) : design_(design) {}
+
+  Model run() {
+    const Model& root = design_.root();
+    out_.name = root.name;
+    out_.inputs = root.inputs;
+    out_.outputs = root.outputs;
+    std::unordered_map<std::string, std::string> identity;
+    instantiate(root, "", identity);
+    return std::move(out_);
+  }
+
+ private:
+  void declare(const std::string& flatName, const VarDecl& decl) {
+    auto [it, inserted] = out_.varDecls.emplace(flatName, decl);
+    if (inserted) return;
+    if (it->second.domain != decl.domain) {
+      throw std::runtime_error("blifmv flatten: domain mismatch on net " +
+                               flatName + " (" + std::to_string(it->second.domain) +
+                               " vs " + std::to_string(decl.domain) + ")");
+    }
+    // Two sides of a connection may declare the same net; keep symbolic
+    // value names if either side has them (tables refer to them by name).
+    if (it->second.valueNames.empty() && !decl.valueNames.empty()) {
+      it->second.valueNames = decl.valueNames;
+    }
+  }
+
+  void instantiate(const Model& m, const std::string& prefix,
+                   const std::unordered_map<std::string, std::string>& portMap) {
+    if (!stack_.insert(m.name).second) {
+      throw std::runtime_error("blifmv flatten: recursive instantiation of " +
+                               m.name);
+    }
+    auto rename = [&](const std::string& sig) -> std::string {
+      auto it = portMap.find(sig);
+      if (it != portMap.end()) return it->second;
+      return prefix + sig;
+    };
+
+    for (const auto& [sig, decl] : m.varDecls) declare(rename(sig), decl);
+    for (const auto& [sig, line] : m.lineInfo) out_.lineInfo[rename(sig)] = line;
+
+    for (const Table& t : m.tables) {
+      Table ft;
+      ft.output = rename(t.output);
+      ft.defaultValue = t.defaultValue;
+      for (const auto& in : t.inputs) ft.inputs.push_back(rename(in));
+      for (const Row& r : t.rows) {
+        Row fr = r;
+        for (RowEntry& e : fr.entries) {
+          if (e.kind == RowEntry::Kind::Equal) e.eqVar = rename(e.eqVar);
+        }
+        ft.rows.push_back(std::move(fr));
+      }
+      out_.tables.push_back(std::move(ft));
+    }
+
+    for (const Latch& l : m.latches) {
+      out_.latches.push_back(Latch{rename(l.input), rename(l.output), l.resetValues});
+    }
+
+    for (const Subckt& sc : m.subckts) {
+      const Model* child = design_.findModel(sc.modelName);
+      if (child == nullptr) {
+        throw std::runtime_error("blifmv flatten: unknown model " + sc.modelName);
+      }
+      std::unordered_map<std::string, std::string> childMap;
+      std::unordered_set<std::string> formals(
+          // all ports of the child are legal formals
+          child->inputs.begin(), child->inputs.end());
+      formals.insert(child->outputs.begin(), child->outputs.end());
+      for (const auto& [formal, actual] : sc.connections) {
+        if (!formals.contains(formal)) {
+          throw std::runtime_error("blifmv flatten: " + sc.modelName +
+                                   " has no port " + formal);
+        }
+        childMap[formal] = rename(actual);
+      }
+      // Unconnected child inputs would dangle (free inputs of the flat
+      // model) — reject them; unconnected outputs become internal nets.
+      for (const std::string& in : child->inputs) {
+        if (!childMap.contains(in)) {
+          throw std::runtime_error("blifmv flatten: input " + in + " of " +
+                                   sc.modelName + " left unconnected in " +
+                                   m.name);
+        }
+      }
+      instantiate(*child, prefix + sc.instanceName + ".", childMap);
+    }
+    stack_.erase(m.name);
+  }
+
+  const Design& design_;
+  Model out_;
+  std::unordered_set<std::string> stack_;
+};
+
+}  // namespace
+
+Model flatten(const Design& design) { return Flattener(design).run(); }
+
+}  // namespace hsis::blifmv

@@ -1,0 +1,121 @@
+// BLIF-MV serialization (round-trips through the parser).
+#include "blifmv/blifmv.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hsis::blifmv {
+
+namespace {
+
+std::string entryText(const RowEntry& e) {
+  switch (e.kind) {
+    case RowEntry::Kind::Any:
+      return "-";
+    case RowEntry::Kind::Equal:
+      return "=" + e.eqVar;
+    case RowEntry::Kind::Complement:
+      return "!" + e.values.at(0);
+    case RowEntry::Kind::Values: {
+      if (e.values.size() == 1) return e.values[0];
+      std::string s = "(";
+      for (size_t i = 0; i < e.values.size(); ++i) {
+        if (i != 0) s += ",";
+        s += e.values[i];
+      }
+      return s + ")";
+    }
+  }
+  return "-";
+}
+
+void writeModel(std::ostream& os, const Model& m) {
+  os << ".model " << m.name << "\n";
+  if (!m.inputs.empty()) {
+    os << ".inputs";
+    for (const auto& s : m.inputs) os << " " << s;
+    os << "\n";
+  }
+  if (!m.outputs.empty()) {
+    os << ".outputs";
+    for (const auto& s : m.outputs) os << " " << s;
+    os << "\n";
+  }
+  // Sort declarations so output is deterministic (varDecls is unordered).
+  std::vector<const std::pair<const std::string, VarDecl>*> decls;
+  for (const auto& entry : m.varDecls) decls.push_back(&entry);
+  std::sort(decls.begin(), decls.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : decls) {
+    const auto& [name, decl] = *entry;
+    if (decl.domain == 2 && decl.valueNames.empty()) continue;
+    os << ".mv " << name << " " << decl.domain;
+    for (const auto& v : decl.valueNames) os << " " << v;
+    os << "\n";
+  }
+  {
+    std::vector<const std::pair<const std::string, int>*> lines;
+    for (const auto& entry : m.lineInfo) lines.push_back(&entry);
+    std::sort(lines.begin(), lines.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* entry : lines)
+      os << ".lineinfo " << entry->first << " " << entry->second << "\n";
+  }
+  for (const Subckt& sc : m.subckts) {
+    os << ".subckt " << sc.modelName << " " << sc.instanceName;
+    for (const auto& [f, a] : sc.connections) os << " " << f << "=" << a;
+    os << "\n";
+  }
+  for (const Latch& l : m.latches) {
+    os << ".latch " << l.input << " " << l.output << "\n";
+    if (!l.resetValues.empty()) {
+      os << ".reset " << l.output << "\n";
+      for (const auto& v : l.resetValues) os << v << "\n";
+    }
+  }
+  for (const Table& t : m.tables) {
+    os << ".table";
+    for (const auto& s : t.inputs) os << " " << s;
+    os << " " << t.output << "\n";
+    if (t.defaultValue.has_value()) os << ".default " << *t.defaultValue << "\n";
+    for (const Row& r : t.rows) {
+      for (size_t i = 0; i < r.entries.size(); ++i) {
+        if (i != 0) os << " ";
+        os << entryText(r.entries[i]);
+      }
+      os << "\n";
+    }
+  }
+  os << ".end\n";
+}
+
+}  // namespace
+
+std::string write(const Model& model) {
+  std::ostringstream os;
+  writeModel(os, model);
+  return os.str();
+}
+
+std::string write(const Design& design) {
+  std::ostringstream os;
+  // Root model first, as the parser takes the first model as root.
+  if (const Model* root = design.findModel(design.rootName)) writeModel(os, *root);
+  for (const Model& m : design.models) {
+    if (m.name != design.rootName) writeModel(os, m);
+  }
+  return os.str();
+}
+
+size_t lineCount(const Design& design) {
+  std::string text = write(design);
+  size_t n = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace hsis::blifmv

@@ -1,0 +1,235 @@
+#include "ctl/mc.hpp"
+
+#include <stdexcept>
+
+namespace hsis {
+
+CtlChecker::CtlChecker(const Fsm& fsm, const TransitionRelation& tr,
+                       std::vector<Bdd> fairnessConstraints, McOptions options)
+    : fsm_(&fsm), tr_(&tr), fair_(std::move(fairnessConstraints)), opts_(options) {
+  if (fair_.empty()) fair_.push_back(fsm.mgr().bddOne());
+  activeTr_ = tr_;
+}
+
+const Bdd& CtlChecker::reached() {
+  if (reached_.isNull()) {
+    ReachOptions ro;
+    ro.keepOnionRings = opts_.wantTrace;
+    ReachResult r = reachableStates(*tr_, fsm_->initialStates(), ro);
+    reached_ = r.reached;
+    onionRings_ = std::move(r.onionRings);
+    stats_.reachabilitySteps = r.depth;
+    if (opts_.useReachedDontCares) {
+      minimizedTr_ = tr_->minimized(reached_);
+      activeTr_ = &*minimizedTr_;
+    }
+  }
+  return reached_;
+}
+
+Bdd CtlChecker::preimage(const Bdd& s) {
+  ++stats_.preimageCalls;
+  return activeTr_->preimage(s);
+}
+
+Bdd CtlChecker::eu(const Bdd& p, const Bdd& q) {
+  Bdd y = q;
+  while (true) {
+    ++stats_.fixpointIterations;
+    Bdd y2 = y | (p & preimage(y));
+    if (y2 == y) return y;
+    y = std::move(y2);
+  }
+}
+
+Bdd CtlChecker::egFair(const Bdd& p) {
+  Bdd care = opts_.useReachedDontCares ? reached() : fsm_->mgr().bddOne();
+  Bdd z = p & care;
+  while (true) {
+    ++stats_.fixpointIterations;
+    Bdd zOld = z;
+    for (const Bdd& c : fair_) {
+      // Z := Z ∧ EX E[p U (Z ∧ c)] — Emerson-Lei iteration step.
+      z &= preimage(eu(p & care, z & c));
+    }
+    z &= p;
+    if (z == zOld) return z;
+  }
+}
+
+const Bdd& CtlChecker::fairStates() {
+  if (!fairStatesComputed_) {
+    fairStates_ = egFair(opts_.useReachedDontCares ? reached()
+                                                   : fsm_->mgr().bddOne());
+    fairStatesComputed_ = true;
+  }
+  return fairStates_;
+}
+
+Bdd CtlChecker::statesRec(const CtlFormula& f) {
+  BddManager& mgr = fsm_->mgr();
+  Bdd care = opts_.useReachedDontCares ? reached() : mgr.bddOne();
+  switch (f.kind) {
+    case CtlFormula::Kind::True:
+      return care;
+    case CtlFormula::Kind::False:
+      return mgr.bddZero();
+    case CtlFormula::Kind::Atom:
+      return evalSigExpr(*f.atom, *fsm_) & care;
+    case CtlFormula::Kind::Not:
+      return care & !statesRec(*f.left);
+    case CtlFormula::Kind::And:
+      return statesRec(*f.left) & statesRec(*f.right);
+    case CtlFormula::Kind::Or:
+      return statesRec(*f.left) | statesRec(*f.right);
+    case CtlFormula::Kind::EX:
+      return care & preimage(statesRec(*f.left) & fairStates());
+    case CtlFormula::Kind::EG:
+      return egFair(statesRec(*f.left));
+    case CtlFormula::Kind::EU:
+      return care &
+             eu(statesRec(*f.left), statesRec(*f.right) & fairStates());
+    case CtlFormula::Kind::EF:
+      return care & eu(care, statesRec(*f.left) & fairStates());
+    case CtlFormula::Kind::AX:
+      // AX p = ¬ EX ¬p (over fair paths)
+      return care & !preimage(care & !statesRec(*f.left) & fairStates());
+    case CtlFormula::Kind::AG: {
+      // AG p = ¬EF¬p
+      Bdd notP = care & !statesRec(*f.left);
+      return care & !eu(care, notP & fairStates());
+    }
+    case CtlFormula::Kind::AF: {
+      // AF p = ¬EG¬p
+      Bdd notP = care & !statesRec(*f.left);
+      return care & !egFair(notP);
+    }
+    case CtlFormula::Kind::AU: {
+      // A[p U q] = ¬( E[¬q U ¬p∧¬q] ∨ EG¬q )
+      Bdd p = statesRec(*f.left);
+      Bdd q = statesRec(*f.right);
+      Bdd notP = care & !p;
+      Bdd notQ = care & !q;
+      Bdd eu1 = eu(notQ, notP & notQ & fairStates());
+      Bdd eg1 = egFair(notQ);
+      return care & !(eu1 | eg1);
+    }
+  }
+  return mgr.bddZero();
+}
+
+Bdd CtlChecker::states(const CtlRef& formula) { return statesRec(*formula); }
+
+McResult CtlChecker::checkInvariantEarly(const CtlRef& formula) {
+  // AG p with propositional p: check p on every frontier and stop at the
+  // first violation — Early Failure Detection, technique 1.
+  McResult res;
+  Bdd p = evalPropositional(formula->left);
+  Bdd notP = !p;
+
+  std::vector<Bdd> rings;
+  Bdd violating;
+  ReachOptions ro;
+  ro.keepOnionRings = false;
+  ro.watch = [&](const Bdd& frontier, size_t) {
+    rings.push_back(frontier);
+    Bdd bad = frontier & notP;
+    if (!bad.isZero()) {
+      violating = bad;
+      return true;
+    }
+    return false;
+  };
+  ReachResult rr = reachableStates(*tr_, fsm_->initialStates(), ro);
+  stats_.reachabilitySteps = rr.depth;
+  res.stats = stats_;
+  if (violating.isNull()) {
+    res.holds = true;
+    // The full reachable set came out of the EFD run; keep it.
+    if (reached_.isNull()) {
+      reached_ = rr.reached;
+      onionRings_ = std::move(rings);
+      if (opts_.useReachedDontCares) {
+        minimizedTr_ = tr_->minimized(reached_);
+        activeTr_ = &*minimizedTr_;
+      }
+    }
+    res.satisfying = rr.reached & p;
+    return res;
+  }
+  res.holds = false;
+  res.stats.usedEarlyFailure = true;
+  if (opts_.wantTrace) {
+    // Shortest path: backtrack through the rings we already have.
+    TransitionRelation const& tr = *tr_;
+    const Fsm& fsm = *fsm_;
+    Trace trace;
+    std::vector<std::vector<int8_t>> rev;
+    std::vector<int8_t> curAssign = concretizeState(fsm, violating);
+    Bdd cur = fsm.stateFromValues(fsm.decodeState(curAssign));
+    rev.push_back(curAssign);
+    for (size_t k = rings.size() - 1; k-- > 0;) {
+      Bdd prev = rings[k] & tr.preimage(cur);
+      curAssign = concretizeState(fsm, prev);
+      cur = fsm.stateFromValues(fsm.decodeState(curAssign));
+      rev.push_back(curAssign);
+    }
+    for (size_t i = rev.size(); i-- > 0;) trace.states.push_back(rev[i]);
+    res.counterexample = std::move(trace);
+  }
+  return res;
+}
+
+Bdd CtlChecker::evalPropositional(const CtlRef& f) {
+  BddManager& mgr = fsm_->mgr();
+  switch (f->kind) {
+    case CtlFormula::Kind::True:
+      return mgr.bddOne();
+    case CtlFormula::Kind::False:
+      return mgr.bddZero();
+    case CtlFormula::Kind::Atom:
+      return evalSigExpr(*f->atom, *fsm_);
+    case CtlFormula::Kind::Not:
+      return !evalPropositional(f->left);
+    case CtlFormula::Kind::And:
+      return evalPropositional(f->left) & evalPropositional(f->right);
+    case CtlFormula::Kind::Or:
+      return evalPropositional(f->left) | evalPropositional(f->right);
+    default:
+      throw std::logic_error("evalPropositional: temporal operator");
+  }
+}
+
+McResult CtlChecker::check(const CtlRef& formula) {
+  auto start = std::chrono::steady_clock::now();
+  McResult res;
+  if (opts_.earlyFailureDetection && formula->isInvariant()) {
+    res = checkInvariantEarly(formula);
+  } else {
+    Bdd sat = states(formula);
+    Bdd init = fsm_->initialStates();
+    res.holds = init.leq(sat);
+    res.satisfying = sat;
+    res.stats = stats_;
+    if (!res.holds && opts_.wantTrace) {
+      // Counterexamples for the common universal patterns.
+      const CtlFormula& f = *formula;
+      if (f.kind == CtlFormula::Kind::AG) {
+        Bdd notP = reached() & !statesRec(*f.left);
+        res.counterexample = shortestPathTo(*tr_, init & !sat, notP);
+      } else if (f.kind == CtlFormula::Kind::AF) {
+        // Witness of EG ¬p: a fair lasso inside the EG hull.
+        Bdd hull = egFair(reached() & !statesRec(*f.left));
+        res.counterexample =
+            fairLasso(*tr_, init & !sat, hull, fair_);
+      }
+    }
+  }
+  res.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats_ = res.stats;
+  return res;
+}
+
+}  // namespace hsis

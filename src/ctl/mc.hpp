@@ -1,0 +1,100 @@
+// Fair CTL model checking [15] with Emerson-Lei fair-cycle computation [10],
+// reachability don't-cares, and early failure detection for invariants
+// (paper Section 5.4, technique 1).
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctl/ctl.hpp"
+#include "fsm/image.hpp"
+#include "fsm/trace.hpp"
+
+namespace hsis {
+
+struct McOptions {
+  /// Intersect all computations with the reachable set and use it as a
+  /// don't-care care-set (restrict-minimized transition relation).
+  bool useReachedDontCares = true;
+  /// Check invariants on reachability frontiers and stop at the first
+  /// failing frontier (early failure detection).
+  bool earlyFailureDetection = true;
+  /// Generate a counterexample/witness trace when available.
+  bool wantTrace = true;
+};
+
+struct McStats {
+  size_t preimageCalls = 0;
+  size_t fixpointIterations = 0;
+  size_t reachabilitySteps = 0;
+  bool usedEarlyFailure = false;
+  double seconds = 0.0;
+};
+
+struct McResult {
+  bool holds = false;
+  /// States satisfying the formula (over present-state vars); null when the
+  /// check was resolved by early failure detection before the full fixpoint.
+  Bdd satisfying;
+  std::optional<Trace> counterexample;
+  McStats stats;
+};
+
+/// The model checker. Fairness constraints are Büchi state sets: a path is
+/// fair iff it visits every constraint set infinitely often. Path
+/// quantifiers range over fair paths only.
+class CtlChecker {
+ public:
+  CtlChecker(const Fsm& fsm, const TransitionRelation& tr,
+             std::vector<Bdd> fairnessConstraints = {},
+             McOptions options = {});
+
+  /// Model-check the formula against all initial states.
+  McResult check(const CtlRef& formula);
+
+  /// The satisfying set of a formula (fair semantics, restricted to the
+  /// reachable states when don't-cares are enabled).
+  Bdd states(const CtlRef& formula);
+
+  /// The set of fair states (states with some fair path).
+  const Bdd& fairStates();
+
+  [[nodiscard]] const Bdd& reached();
+  [[nodiscard]] const McStats& lastStats() const { return stats_; }
+  [[nodiscard]] const Fsm& fsm() const { return *fsm_; }
+  [[nodiscard]] const TransitionRelation& tr() const { return *tr_; }
+  [[nodiscard]] const std::vector<Bdd>& fairnessConstraints() const {
+    return fair_;
+  }
+
+  // ---- primitives (exposed for the debugger and tests) ----
+  Bdd preimage(const Bdd& s);
+  /// Least fixpoint E[p U q] (fairness handled by the caller).
+  Bdd eu(const Bdd& p, const Bdd& q);
+  /// Greatest fixpoint EG p under the fairness constraints (Emerson-Lei).
+  Bdd egFair(const Bdd& p);
+
+  /// Evaluate a propositional (non-temporal) formula to a BDD.
+  Bdd evalPropositional(const CtlRef& f);
+
+ private:
+  Bdd statesRec(const CtlFormula& f);
+  McResult checkInvariantEarly(const CtlRef& formula);
+
+  const Fsm* fsm_;
+  const TransitionRelation* tr_;
+  std::vector<Bdd> fair_;
+  McOptions opts_;
+
+  std::optional<TransitionRelation> minimizedTr_;
+  const TransitionRelation* activeTr_ = nullptr;
+  Bdd reached_;
+  std::vector<Bdd> onionRings_;
+  Bdd fairStates_;
+  bool fairStatesComputed_ = false;
+  McStats stats_;
+};
+
+}  // namespace hsis

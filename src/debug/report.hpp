@@ -1,0 +1,45 @@
+// Bug reports (paper Figure 1): the artifact handed from the verifier to
+// the debugger. Renders results of either paradigm as text.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctl/mc.hpp"
+#include "fsm/trace.hpp"
+#include "lc/lc.hpp"
+
+namespace hsis {
+
+struct BugReport {
+  enum class Paradigm : uint8_t { ModelChecking, LanguageContainment };
+  Paradigm paradigm = Paradigm::ModelChecking;
+  std::string propertyName;
+  std::string propertyText;
+  bool holds = false;
+  std::optional<Trace> trace;
+  std::vector<std::string> notes;
+  double seconds = 0.0;
+  bool usedEarlyFailure = false;
+};
+
+/// Render a report, decoding trace states against the given FSM (the design
+/// FSM for MC, the product FSM for LC).
+std::string renderBugReport(const BugReport& report, const Fsm& fsm);
+
+/// Render a trace alone.
+std::string renderTrace(const Trace& trace, const Fsm& fsm);
+
+/// Source-level debugging (paper Section 8, item 7): the mapping from the
+/// design's state-holding signals back to the HDL lines that declared them,
+/// as carried by .lineinfo annotations through vl2mv and flattening.
+/// Returns an empty string when no line information is available.
+std::string renderSourceMap(const Fsm& fsm);
+
+/// Trace rendering that marks, at each step, which latches changed and the
+/// HDL source line of each changed latch — "the sequence of instructions
+/// that led to the faulty behavior".
+std::string renderTraceWithSource(const Trace& trace, const Fsm& fsm);
+
+}  // namespace hsis

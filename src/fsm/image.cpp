@@ -1,0 +1,176 @@
+#include "fsm/image.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hsis {
+
+TransitionRelation TransitionRelation::monolithic(const Fsm& fsm,
+                                                  QuantMethod method,
+                                                  QuantExecStats* stats) {
+  TransitionRelation tr(fsm);
+  Bdd t = productAndQuantify(fsm.mgr(), fsm.relations(), fsm.nonStateCube(),
+                             method, stats);
+  tr.clusters_.push_back(std::move(t));
+  tr.computeStepCubes();
+  return tr;
+}
+
+TransitionRelation TransitionRelation::partitioned(const Fsm& fsm,
+                                                   size_t clusterLimit) {
+  TransitionRelation tr(fsm);
+  BddManager& mgr = fsm.mgr();
+
+  // Execute the greedy early-quantification plan, but emit any intermediate
+  // result that exceeds the size cap as a standalone cluster instead of
+  // conjoining it further. A variable scheduled for quantification higher
+  // up in the plan is only quantified there if no emitted cluster still
+  // mentions it; the rest are quantified during image computation
+  // (computeStepCubes).
+  std::vector<bool> nonState(mgr.numVars(), false);
+  for (BddVar v : mgr.support(fsm.nonStateCube())) nonState[v] = true;
+  const std::vector<Bdd>& rels = fsm.relations();
+
+  QuantPlan plan = planQuantification(mgr, rels, nonState, QuantMethod::Greedy);
+
+  std::vector<bool> emittedSupport(mgr.numVars(), false);
+  auto emitIfBig = [&](Bdd f) -> Bdd {
+    if (f.nodeCount() <= clusterLimit) return f;
+    for (BddVar v : mgr.support(f)) emittedSupport[v] = true;
+    tr.clusters_.push_back(std::move(f));
+    return mgr.bddOne();
+  };
+  std::function<Bdd(const QuantPlanNode*)> exec =
+      [&](const QuantPlanNode* node) -> Bdd {
+    Bdd result;
+    if (node->relation >= 0) {
+      result = rels[node->relation];
+      Bdd cube = mgr.bddOne();
+      for (auto it = node->quantifyHere.rbegin(); it != node->quantifyHere.rend(); ++it)
+        cube &= mgr.bddVar(*it);
+      if (!cube.isOne()) result = mgr.exists(result, cube);
+      return emitIfBig(std::move(result));
+    }
+    Bdd l = exec(node->left.get());
+    Bdd r = exec(node->right.get());
+    Bdd cube = mgr.bddOne();
+    for (auto it = node->quantifyHere.rbegin(); it != node->quantifyHere.rend(); ++it) {
+      if (!emittedSupport[*it]) cube &= mgr.bddVar(*it);
+    }
+    result = mgr.andExists(l, r, cube);
+    return emitIfBig(std::move(result));
+  };
+  Bdd top = exec(plan.root.get());
+  if (!top.isOne() || tr.clusters_.empty()) tr.clusters_.push_back(std::move(top));
+
+  tr.computeStepCubes();
+  return tr;
+}
+
+void TransitionRelation::computeStepCubes() {
+  BddManager& mgr = fsm_->mgr();
+  uint32_t nv = mgr.numVars();
+
+  std::vector<bool> isPresent(nv, false), isNext(nv, false), isNonState(nv, false);
+  for (BddVar v : mgr.support(fsm_->presentCube())) isPresent[v] = true;
+  for (BddVar v : mgr.support(fsm_->nextCube())) isNext[v] = true;
+  for (BddVar v : mgr.support(fsm_->nonStateCube())) isNonState[v] = true;
+
+  // lastUse[v] = index of the last cluster whose support contains v.
+  std::vector<int> lastUse(nv, -1);
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    for (BddVar v : mgr.support(clusters_[i])) lastUse[v] = static_cast<int>(i);
+  }
+
+  // firstUse for the preimage pass, which walks the clusters in reverse.
+  std::vector<int> firstUse(nv, -1);
+  for (size_t i = clusters_.size(); i-- > 0;) {
+    for (BddVar v : mgr.support(clusters_[i])) firstUse[v] = static_cast<int>(i);
+  }
+
+  imgCubes_.assign(clusters_.size(), mgr.bddOne());
+  preCubes_.assign(clusters_.size(), mgr.bddOne());
+  for (uint32_t v = 0; v < nv; ++v) {
+    bool quantForImage = isPresent[v] || isNonState[v];
+    bool quantForPre = isNext[v] || isNonState[v];
+    // Variables used by no cluster are folded into the first processed step
+    // (they may still occur in the argument state set).
+    size_t imgStep = lastUse[v] < 0 ? 0 : static_cast<size_t>(lastUse[v]);
+    size_t preStep =
+        firstUse[v] < 0 ? clusters_.size() - 1 : static_cast<size_t>(firstUse[v]);
+    if (quantForImage) imgCubes_[imgStep] &= mgr.bddVar(v);
+    if (quantForPre) preCubes_[preStep] &= mgr.bddVar(v);
+  }
+}
+
+Bdd TransitionRelation::image(const Bdd& statesX) const {
+  BddManager& mgr = fsm_->mgr();
+  Bdd acc = statesX;
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    acc = mgr.andExists(acc, clusters_[i], imgCubes_[i]);
+  }
+  return fsm_->nextToPresent(acc);
+}
+
+Bdd TransitionRelation::preimage(const Bdd& statesX) const {
+  BddManager& mgr = fsm_->mgr();
+  Bdd acc = fsm_->presentToNext(statesX);
+  // Reverse cluster order: the greedy segmentation puts "early" (top of the
+  // dependency order) relations first, so walking backwards kills next-state
+  // variables as aggressively as the forward walk kills present-state ones.
+  for (size_t i = clusters_.size(); i-- > 0;) {
+    acc = mgr.andExists(acc, clusters_[i], preCubes_[i]);
+  }
+  return acc;
+}
+
+TransitionRelation TransitionRelation::minimized(const Bdd& careStatesX) const {
+  TransitionRelation tr(*fsm_);
+  BddManager& mgr = fsm_->mgr();
+  tr.clusters_.reserve(clusters_.size());
+  for (const Bdd& c : clusters_) tr.clusters_.push_back(mgr.restrict(c, careStatesX));
+  tr.computeStepCubes();
+  return tr;
+}
+
+const Bdd& TransitionRelation::monolithicRelation() const {
+  if (!isMonolithic())
+    throw std::logic_error("TransitionRelation: not monolithic");
+  return clusters_[0];
+}
+
+size_t TransitionRelation::totalNodes() const {
+  return fsm_->mgr().sharedNodeCount(clusters_);
+}
+
+ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
+                            const ReachOptions& opts) {
+  ReachResult res;
+  res.reached = init;
+  Bdd frontier = init;
+  if (opts.keepOnionRings) res.onionRings.push_back(init);
+  if (opts.watch && opts.watch(init, 0)) {
+    res.stoppedEarly = true;
+    return res;
+  }
+  while (!frontier.isZero()) {
+    Bdd next = tr.image(frontier);
+    frontier = next & !res.reached;
+    if (frontier.isZero()) break;
+    res.reached |= frontier;
+    ++res.depth;
+    if (opts.keepOnionRings) res.onionRings.push_back(frontier);
+    if (opts.watch && opts.watch(frontier, res.depth)) {
+      res.stoppedEarly = true;
+      break;
+    }
+    if (opts.maxSteps != 0 && res.depth >= opts.maxSteps) {
+      res.stoppedEarly = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace hsis

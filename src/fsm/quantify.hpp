@@ -1,0 +1,67 @@
+// The early quantification problem [Hojati-Krishnan-Brayton, M94/11]:
+// given relation BDDs R_1..R_n and a set Q of variables to existentially
+// quantify, compute ∃Q. ∏R_i while keeping intermediate BDDs small by
+// quantifying each variable as soon as no un-multiplied relation depends
+// on it.
+//
+// Two planners are provided (the paper: "we have implemented two different
+// packages for this problem"), plus a naive baseline for ablation:
+//  - Greedy: left-deep multiplication order chosen by a dead-variable /
+//    introduced-variable cost function (IWLS95 style).
+//  - Tree: balanced binary clustering over relations sorted by the top
+//    level of their support, quantifying at the lowest subtree that
+//    encloses all occurrences of a variable.
+//  - Naive: multiply everything in the given order, quantify at the end.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace hsis {
+
+enum class QuantMethod { Naive, Greedy, Tree };
+
+std::string toString(QuantMethod m);
+
+/// A multiplication/quantification schedule, as a binary combine tree.
+struct QuantPlanNode {
+  int relation = -1;  ///< leaf: index into the relations array
+  std::unique_ptr<QuantPlanNode> left, right;
+  /// Variables quantified at this node, right after combining the children
+  /// (empty cube == plain conjunction).
+  std::vector<BddVar> quantifyHere;
+};
+
+struct QuantPlan {
+  std::unique_ptr<QuantPlanNode> root;
+  QuantMethod method = QuantMethod::Naive;
+};
+
+struct QuantExecStats {
+  size_t peakIntermediateNodes = 0;  ///< largest intermediate result BDD
+  size_t andExistsCalls = 0;
+};
+
+/// Build a schedule. `quantifiable[v]` marks BDD variables that may be
+/// quantified out (all others are kept). Relations equal to constant one
+/// are skipped.
+QuantPlan planQuantification(BddManager& mgr, const std::vector<Bdd>& relations,
+                             const std::vector<bool>& quantifiable,
+                             QuantMethod method);
+
+/// Execute a schedule. Any quantifiable variable occurring in no relation
+/// at all is trivially dropped (it has no constraints).
+Bdd executePlan(BddManager& mgr, const QuantPlan& plan,
+                const std::vector<Bdd>& relations,
+                QuantExecStats* stats = nullptr);
+
+/// Convenience: plan + execute.
+Bdd productAndQuantify(BddManager& mgr, const std::vector<Bdd>& relations,
+                       const Bdd& quantifyCube, QuantMethod method,
+                       QuantExecStats* stats = nullptr);
+
+}  // namespace hsis

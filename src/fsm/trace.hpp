@@ -1,0 +1,50 @@
+// Symbolic error-trace construction: shortest paths via onion rings and
+// fair lassos (prefix + cycle satisfying Büchi/edge constraints). These are
+// the routines behind both debuggers — the paper's Section 6: "a set of
+// routines that heuristically search for short error traces".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fsm/image.hpp"
+
+namespace hsis {
+
+/// A linear or lasso-shaped trace. Each step is a full assignment over the
+/// present-state variables (decode with Fsm::formatState).
+struct Trace {
+  std::vector<std::vector<int8_t>> states;
+  /// Index where the cycle re-enters; -1 for a plain path. The lasso is
+  /// states[0..n-1] followed by a back edge from states[n-1] to
+  /// states[cycleStart].
+  int cycleStart = -1;
+
+  [[nodiscard]] bool isLasso() const { return cycleStart >= 0; }
+  [[nodiscard]] size_t length() const { return states.size(); }
+};
+
+/// Pick one concrete state out of a non-empty set (over present-state vars):
+/// all state bits are made definite.
+std::vector<int8_t> concretizeState(const Fsm& fsm, const Bdd& set);
+
+/// Shortest path from `init` to `target` (both over present-state vars).
+/// Returns nullopt if unreachable. The path has minimal length among all
+/// paths from init (BFS onion rings).
+std::optional<Trace> shortestPathTo(const TransitionRelation& tr,
+                                    const Bdd& init, const Bdd& target);
+
+/// Find a fair lasso: a minimal-prefix path from `init` into the fair hull
+/// `Z`, followed by a heuristically short cycle inside Z that visits every
+/// `stateConstraints[i]` and fires an edge of every `edgeConstraints[i]`
+/// (edge sets are BDDs over present x next state rails).
+///
+/// The prefix-to-cycle distance is minimal (the paper: "the path to the
+/// cycle is minimum among all error traces"); the cycle itself is heuristic
+/// (cycle minimization is NP-hard).
+std::optional<Trace> fairLasso(const TransitionRelation& tr, const Bdd& init,
+                               const Bdd& Z,
+                               const std::vector<Bdd>& stateConstraints,
+                               const std::vector<Bdd>& edgeConstraints = {});
+
+}  // namespace hsis

@@ -1,0 +1,199 @@
+#include "hsis/environment.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "vl2mv/vl2mv.hpp"
+
+namespace hsis {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Environment::Environment() : Environment(Options{}) {}
+Environment::Environment(Options options) : opts_(options) {}
+Environment::~Environment() = default;
+
+void Environment::readVerilog(const std::string& text, const std::string& top) {
+  verilogText_ = text;
+  design_ = vl2mv::compile(text, top);
+  metrics_.linesVerilog = vl2mv::verilogLineCount(text);
+  metrics_.linesBlifMv = blifmv::lineCount(design_);
+  fsm_.reset();
+  tr_.reset();
+  checker_.reset();
+}
+
+void Environment::readBlifMv(const std::string& text) {
+  verilogText_.clear();
+  design_ = blifmv::parse(text);
+  metrics_.linesVerilog = 0;
+  metrics_.linesBlifMv = blifmv::lineCount(design_);
+  fsm_.reset();
+  tr_.reset();
+  checker_.reset();
+}
+
+void Environment::readPif(const std::string& text) {
+  PifFile file = parsePif(text);
+  for (PifProperty& p : file.properties) properties_.push_back(std::move(p));
+  addFairness(file.fairness);
+}
+
+void Environment::addProperty(PifProperty property) {
+  properties_.push_back(std::move(property));
+}
+
+void Environment::addFairness(const FairnessSpec& fairness) {
+  fairness_.noStay.insert(fairness_.noStay.end(), fairness.noStay.begin(),
+                          fairness.noStay.end());
+  fairness_.buchi.insert(fairness_.buchi.end(), fairness.buchi.begin(),
+                         fairness.buchi.end());
+  fairness_.fairEdges.insert(fairness_.fairEdges.end(),
+                             fairness.fairEdges.begin(),
+                             fairness.fairEdges.end());
+  checker_.reset();  // fairness affects the CTL semantics
+}
+
+void Environment::build() {
+  if (design_.models.empty())
+    throw std::runtime_error("hsis: no design loaded");
+  auto t0 = std::chrono::steady_clock::now();
+  flat_ = blifmv::flatten(design_);
+  mgr_ = std::make_unique<BddManager>();
+  fsm_ = std::make_unique<Fsm>(*mgr_, flat_);
+  for (const std::string& d : fsm_->diagnostics()) notes_.push_back(d);
+  if (opts_.partitionedTr) {
+    tr_ = TransitionRelation::partitioned(*fsm_, opts_.clusterLimit);
+  } else {
+    tr_ = TransitionRelation::monolithic(*fsm_, opts_.quantMethod);
+  }
+  metrics_.readSeconds = secondsSince(t0);
+}
+
+const Fsm& Environment::fsm() {
+  if (fsm_ == nullptr) build();
+  return *fsm_;
+}
+
+const TransitionRelation& Environment::tr() {
+  if (fsm_ == nullptr) build();
+  return *tr_;
+}
+
+std::vector<Bdd> Environment::ctlFairnessSets() {
+  std::vector<Bdd> sets;
+  for (const SigExprRef& e : fairness_.noStay)
+    sets.push_back(!evalSigExpr(e, *fsm_));
+  for (const SigExprRef& e : fairness_.buchi)
+    sets.push_back(evalSigExpr(e, *fsm_));
+  for (const auto& [from, to] : fairness_.fairEdges) {
+    // Fair CTL takes Büchi constraints; a fair edge is approximated by its
+    // target states (exact when every entry into `to` uses such an edge).
+    (void)from;
+    sets.push_back(evalSigExpr(to, *fsm_));
+    if (notes_.empty() ||
+        notes_.back().find("fair-edge") == std::string::npos) {
+      notes_.push_back(
+          "fair-edge constraint approximated by its target states for CTL "
+          "model checking (exact in language containment)");
+    }
+  }
+  return sets;
+}
+
+CtlChecker& Environment::checker() {
+  if (fsm_ == nullptr) build();
+  if (checker_ == nullptr) {
+    McOptions mo;
+    mo.earlyFailureDetection = opts_.earlyFailureDetection;
+    mo.useReachedDontCares = opts_.useReachedDontCares;
+    mo.wantTrace = opts_.wantTraces;
+    checker_ =
+        std::make_unique<CtlChecker>(*fsm_, *tr_, ctlFairnessSets(), mo);
+  }
+  return *checker_;
+}
+
+Simulator Environment::makeSimulator(uint64_t seed) {
+  if (fsm_ == nullptr) build();
+  return Simulator(*fsm_, *tr_, seed);
+}
+
+double Environment::reachedStates() {
+  CtlChecker& mc = checker();
+  Bdd reached = mc.reached();
+  metrics_.reachedStates = fsm_->countStates(reached);
+  return metrics_.reachedStates;
+}
+
+BugReport Environment::verifyCtl(const std::string& name, const CtlRef& formula) {
+  BugReport report;
+  report.paradigm = BugReport::Paradigm::ModelChecking;
+  report.propertyName = name;
+  report.propertyText = formula->toString();
+  McResult r = checker().check(formula);
+  report.holds = r.holds;
+  report.trace = r.counterexample;
+  report.seconds = r.stats.seconds;
+  report.usedEarlyFailure = r.stats.usedEarlyFailure;
+  metrics_.mcSeconds += r.stats.seconds;
+  ++metrics_.numCtlFormulas;
+  return report;
+}
+
+BugReport Environment::verifyAutomaton(const std::string& name,
+                                       const Automaton& aut) {
+  if (fsm_ == nullptr) build();
+  BugReport report;
+  report.paradigm = BugReport::Paradigm::LanguageContainment;
+  report.propertyName = name;
+  report.propertyText = "automaton " + aut.name() + " (" +
+                        std::to_string(aut.numStates()) + " states)";
+  LcOptions lo;
+  lo.earlyFailureDetection = opts_.earlyFailureDetection;
+  lo.wantTrace = opts_.wantTraces;
+  lo.partitionedTr = opts_.partitionedTr;
+  lo.clusterLimit = opts_.clusterLimit;
+  lo.quantMethod = opts_.quantMethod;
+  // Each containment check runs in its own manager: the product machine has
+  // its own variable space.
+  BddManager productMgr;
+  LcChecker lc(productMgr, flat_, aut, fairness_, lo);
+  LcResult r = lc.check();
+  report.holds = r.contained;
+  report.notes = r.notes;
+  report.seconds = r.stats.seconds;
+  report.usedEarlyFailure = r.stats.usedEarlyFailure;
+  if (r.trace.has_value()) {
+    // Render against the product FSM now; the trace's variable indices are
+    // only meaningful in the product manager.
+    report.notes.push_back("error trace (design + monitor):\n" +
+                           lc.formatTrace(*r.trace));
+  }
+  metrics_.lcSeconds += r.stats.seconds;
+  ++metrics_.numLcProps;
+  return report;
+}
+
+BugReport Environment::verify(const PifProperty& property) {
+  if (property.kind == PifProperty::Kind::Ctl) {
+    return verifyCtl(property.name, property.ctl);
+  }
+  return verifyAutomaton(property.name, property.aut);
+}
+
+std::vector<BugReport> Environment::verifyAll() {
+  std::vector<BugReport> reports;
+  reports.reserve(properties_.size());
+  for (const PifProperty& p : properties_) reports.push_back(verify(p));
+  return reports;
+}
+
+}  // namespace hsis

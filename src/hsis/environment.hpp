@@ -1,0 +1,111 @@
+// hsis::Environment — the top of the toolflow (paper Figure 1): read a
+// design in Verilog or BLIF-MV, read properties and fairness constraints in
+// PIF, build the symbolic machine, run both verification paradigms, and
+// produce bug reports for the debugger.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blifmv/blifmv.hpp"
+#include "ctl/mc.hpp"
+#include "debug/report.hpp"
+#include "fsm/fsm.hpp"
+#include "fsm/image.hpp"
+#include "lc/lc.hpp"
+#include "pif/pif.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsis {
+
+class Environment {
+ public:
+  struct Options {
+    bool partitionedTr = true;
+    size_t clusterLimit = 5000;
+    QuantMethod quantMethod = QuantMethod::Greedy;
+    bool earlyFailureDetection = true;
+    bool useReachedDontCares = true;
+    bool wantTraces = true;
+  };
+
+  /// Statistics in the shape of the paper's Table 1.
+  struct Metrics {
+    size_t linesVerilog = 0;
+    size_t linesBlifMv = 0;
+    double readSeconds = 0.0;  ///< parse + flatten + relation BDDs + TR
+    double reachedStates = 0.0;
+    size_t numLcProps = 0;
+    size_t numCtlFormulas = 0;
+    double lcSeconds = 0.0;
+    double mcSeconds = 0.0;
+  };
+
+  Environment();
+  explicit Environment(Options options);
+  ~Environment();
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  // ---- inputs ----
+  /// Compile Verilog through vl2mv; replaces any previous design.
+  void readVerilog(const std::string& text, const std::string& top = "");
+  /// Read a BLIF-MV design directly.
+  void readBlifMv(const std::string& text);
+  /// Read properties and fairness constraints (cumulative).
+  void readPif(const std::string& text);
+  void addProperty(PifProperty property);
+  void addFairness(const FairnessSpec& fairness);
+
+  // ---- build ----
+  /// Flatten the hierarchy and build the FSM + transition relation. Called
+  /// automatically by the verify entry points if needed.
+  void build();
+  [[nodiscard]] bool isBuilt() const { return fsm_ != nullptr; }
+
+  // ---- verification ----
+  /// Verify every property read so far, in order.
+  std::vector<BugReport> verifyAll();
+  BugReport verifyCtl(const std::string& name, const CtlRef& formula);
+  BugReport verifyAutomaton(const std::string& name, const Automaton& aut);
+  BugReport verify(const PifProperty& property);
+
+  // ---- access ----
+  [[nodiscard]] const blifmv::Design& design() const { return design_; }
+  [[nodiscard]] const blifmv::Model& flatModel() const { return flat_; }
+  const Fsm& fsm();
+  const TransitionRelation& tr();
+  /// The CTL checker (fairness constraints applied); valid until the next
+  /// read*() call.
+  CtlChecker& checker();
+  Simulator makeSimulator(uint64_t seed = 1);
+  /// Reachable state count (computed on demand).
+  double reachedStates();
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] const std::vector<PifProperty>& properties() const {
+    return properties_;
+  }
+  [[nodiscard]] const FairnessSpec& fairness() const { return fairness_; }
+  [[nodiscard]] const std::vector<std::string>& notes() const { return notes_; }
+
+ private:
+  std::vector<Bdd> ctlFairnessSets();
+
+  Options opts_;
+  blifmv::Design design_;
+  blifmv::Model flat_;
+  std::string verilogText_;
+  std::vector<PifProperty> properties_;
+  FairnessSpec fairness_;
+  std::vector<std::string> notes_;
+
+  std::unique_ptr<BddManager> mgr_;
+  std::unique_ptr<Fsm> fsm_;
+  std::optional<TransitionRelation> tr_;
+  std::unique_ptr<CtlChecker> checker_;
+  Metrics metrics_;
+};
+
+}  // namespace hsis

@@ -1,0 +1,273 @@
+#include "lc/automaton.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hsis {
+
+namespace {
+
+[[noreturn]] void autError(const std::string& name, const std::string& msg) {
+  throw std::runtime_error("automaton " + name + ": " + msg);
+}
+
+/// Resolve a value token against a declaration (symbolic name or numeral).
+std::optional<uint32_t> resolveValue(const blifmv::VarDecl* decl,
+                                     const std::string& tok) {
+  uint32_t domain = decl == nullptr ? 2 : decl->domain;
+  if (decl != nullptr) {
+    for (uint32_t k = 0; k < decl->valueNames.size(); ++k)
+      if (decl->valueNames[k] == tok) return k;
+  }
+  if (!tok.empty() && tok.find_first_not_of("0123456789") == std::string::npos) {
+    unsigned long v = std::stoul(tok);
+    if (v < domain) return static_cast<uint32_t>(v);
+  }
+  return std::nullopt;
+}
+
+/// Evaluate a guard on a concrete assignment of guard signals.
+bool evalConcrete(const SigExpr& e,
+                  const std::function<uint32_t(const std::string&)>& valueOfSig,
+                  const std::function<const blifmv::VarDecl*(const std::string&)>& declOfSig,
+                  const std::string& autName) {
+  switch (e.kind) {
+    case SigExpr::Kind::True:
+      return true;
+    case SigExpr::Kind::False:
+      return false;
+    case SigExpr::Kind::Not:
+      return !evalConcrete(*e.args[0], valueOfSig, declOfSig, autName);
+    case SigExpr::Kind::And:
+      return evalConcrete(*e.args[0], valueOfSig, declOfSig, autName) &&
+             evalConcrete(*e.args[1], valueOfSig, declOfSig, autName);
+    case SigExpr::Kind::Or:
+      return evalConcrete(*e.args[0], valueOfSig, declOfSig, autName) ||
+             evalConcrete(*e.args[1], valueOfSig, declOfSig, autName);
+    case SigExpr::Kind::Atom: {
+      uint32_t actual = valueOfSig(e.signal);
+      std::string tok = e.value.empty() ? "1" : e.value;
+      std::optional<uint32_t> want = resolveValue(declOfSig(e.signal), tok);
+      if (!want.has_value())
+        autError(autName, "guard value '" + tok + "' not in domain of " + e.signal);
+      bool eq = actual == *want;
+      return e.negatedAtom ? !eq : eq;
+    }
+  }
+  return false;
+}
+
+void collectSignals(const SigExpr& e, std::vector<std::string>& out) {
+  if (e.kind == SigExpr::Kind::Atom) {
+    for (const std::string& s : out)
+      if (s == e.signal) return;
+    out.push_back(e.signal);
+  }
+  for (const auto& a : e.args) collectSignals(*a, out);
+}
+
+}  // namespace
+
+uint32_t Automaton::addState(const std::string& name) {
+  if (findState(name).has_value()) autError(name_, "duplicate state " + name);
+  states_.push_back(name);
+  return static_cast<uint32_t>(states_.size() - 1);
+}
+
+void Automaton::setInitial(const std::string& name) {
+  std::optional<uint32_t> s = findState(name);
+  if (!s.has_value()) autError(name_, "unknown initial state " + name);
+  initial_ = *s;
+}
+
+void Automaton::addEdge(const std::string& from, const std::string& to,
+                        SigExprRef guard) {
+  std::optional<uint32_t> f = findState(from);
+  std::optional<uint32_t> t = findState(to);
+  if (!f.has_value()) autError(name_, "unknown state " + from);
+  if (!t.has_value()) autError(name_, "unknown state " + to);
+  edges_.push_back(Edge{*f, *t, std::move(guard)});
+}
+
+std::optional<uint32_t> Automaton::findState(const std::string& name) const {
+  for (uint32_t i = 0; i < states_.size(); ++i)
+    if (states_[i] == name) return i;
+  return std::nullopt;
+}
+
+void Automaton::addRabinPair(const std::vector<std::string>& fin,
+                             const std::vector<std::string>& inf) {
+  RabinPair p;
+  for (const std::string& s : fin) {
+    std::optional<uint32_t> i = findState(s);
+    if (!i.has_value()) autError(name_, "unknown state " + s + " in fin set");
+    p.fin.push_back(*i);
+  }
+  for (const std::string& s : inf) {
+    std::optional<uint32_t> i = findState(s);
+    if (!i.has_value()) autError(name_, "unknown state " + s + " in inf set");
+    p.inf.push_back(*i);
+  }
+  pairs_.push_back(std::move(p));
+}
+
+void Automaton::setStayAcceptance(const std::vector<std::string>& states) {
+  std::unordered_set<std::string> in(states.begin(), states.end());
+  std::vector<std::string> fin;
+  std::vector<std::string> inf;
+  for (const std::string& s : states_) {
+    if (!in.contains(s)) fin.push_back(s);
+    inf.push_back(s);  // Inf = all states: any cycle qualifies
+  }
+  addRabinPair(fin, inf);
+}
+
+void Automaton::setBuchiAcceptance(const std::vector<std::string>& states) {
+  addRabinPair({}, states);
+}
+
+std::vector<bool> Automaton::deadStates() const {
+  uint32_t n = numStates();
+  std::vector<bool> live(n, false);
+
+  // Adjacency (guards assumed satisfiable; identically-false guards would
+  // only make this analysis conservative in the safe direction is NOT true,
+  // so callers should not add 0-guards).
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const Edge& e : edges_) adj[e.from].push_back(e.to);
+
+  for (const RabinPair& pair : pairs_) {
+    std::vector<bool> isFin(n, false), isInf(n, false);
+    for (uint32_t s : pair.fin) isFin[s] = true;
+    for (uint32_t s : pair.inf) isInf[s] = true;
+
+    // Find states on a cycle within G\Fin that passes through an Inf state.
+    // Simple O(n^2) closure: within G\Fin compute reach sets.
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (uint32_t s = 0; s < n; ++s) {
+      if (isFin[s]) continue;
+      // BFS in G\Fin.
+      std::vector<uint32_t> stack{s};
+      while (!stack.empty()) {
+        uint32_t u = stack.back();
+        stack.pop_back();
+        for (uint32_t v : adj[u]) {
+          if (isFin[v] || reach[s][v]) continue;
+          reach[s][v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    std::vector<bool> good(n, false);
+    for (uint32_t s = 0; s < n; ++s) {
+      if (isFin[s] || !isInf[s]) continue;
+      if (reach[s][s]) good[s] = true;  // Inf state on a Fin-free cycle
+    }
+    // Live for this pair: can reach a good state through the FULL graph.
+    std::vector<bool> pairLive = good;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Edge& e : edges_) {
+        if (pairLive[e.to] && !pairLive[e.from]) {
+          pairLive[e.from] = true;
+          changed = true;
+        }
+      }
+    }
+    for (uint32_t s = 0; s < n; ++s)
+      if (pairLive[s]) live[s] = true;
+  }
+
+  std::vector<bool> dead(n, false);
+  for (uint32_t s = 0; s < n; ++s) dead[s] = !live[s];
+  return dead;
+}
+
+void Automaton::compose(blifmv::Model& flat, const std::string& monitorSignal,
+                        size_t maxRows) const {
+  if (states_.empty()) autError(name_, "no states");
+  if (pairs_.empty()) autError(name_, "no acceptance condition");
+  if (flat.declOf(monitorSignal) != nullptr)
+    autError(name_, "monitor signal name " + monitorSignal + " collides");
+
+  // Guard signal inventory.
+  std::vector<std::string> sigs;
+  for (const Edge& e : edges_) collectSignals(*e.guard, sigs);
+  std::vector<uint32_t> domains;
+  std::vector<const blifmv::VarDecl*> decls;
+  size_t assignments = 1;
+  for (const std::string& s : sigs) {
+    const blifmv::VarDecl* d = flat.declOf(s);
+    decls.push_back(d);
+    domains.push_back(d == nullptr ? 2 : d->domain);
+    assignments *= domains.back();
+    if (assignments * states_.size() > maxRows)
+      autError(name_, "guard enumeration too large");
+  }
+
+  // Declare monitor variables.
+  blifmv::VarDecl monDecl;
+  monDecl.domain = static_cast<uint32_t>(states_.size());
+  monDecl.valueNames = states_;
+  std::string nsName = monitorSignal + "_ns";
+  flat.varDecls[monitorSignal] = monDecl;
+  flat.varDecls[nsName] = monDecl;
+
+  blifmv::Table tab;
+  tab.inputs = sigs;
+  tab.inputs.push_back(monitorSignal);
+  tab.output = nsName;
+
+  std::vector<uint32_t> counters(sigs.size(), 0);
+  auto valueOfSig = [&](const std::string& name) -> uint32_t {
+    for (size_t i = 0; i < sigs.size(); ++i)
+      if (sigs[i] == name) return counters[i];
+    autError(name_, "internal: unknown guard signal " + name);
+  };
+  auto declOfSig = [&](const std::string& name) -> const blifmv::VarDecl* {
+    for (size_t i = 0; i < sigs.size(); ++i)
+      if (sigs[i] == name) return decls[i];
+    return nullptr;
+  };
+  auto tokenOf = [&](size_t sigIdx, uint32_t v) -> std::string {
+    const blifmv::VarDecl* d = decls[sigIdx];
+    if (d != nullptr && v < d->valueNames.size()) return d->valueNames[v];
+    return std::to_string(v);
+  };
+
+  for (size_t a = 0; a < assignments; ++a) {
+    for (uint32_t s = 0; s < states_.size(); ++s) {
+      int target = -1;
+      for (const Edge& e : edges_) {
+        if (e.from != s) continue;
+        if (!evalConcrete(*e.guard, valueOfSig, declOfSig, name_)) continue;
+        if (target >= 0 && target != static_cast<int>(e.to))
+          autError(name_, "nondeterministic at state " + states_[s] +
+                              " (two guards overlap)");
+        target = static_cast<int>(e.to);
+      }
+      if (target < 0)
+        autError(name_, "incomplete at state " + states_[s] +
+                            " (no guard matches some input)");
+      blifmv::Row row;
+      for (size_t i = 0; i < sigs.size(); ++i)
+        row.entries.push_back(blifmv::RowEntry::value(tokenOf(i, counters[i])));
+      row.entries.push_back(blifmv::RowEntry::value(states_[s]));
+      row.entries.push_back(
+          blifmv::RowEntry::value(states_[static_cast<uint32_t>(target)]));
+      tab.rows.push_back(std::move(row));
+    }
+    for (size_t k = sigs.size(); k-- > 0;) {
+      if (++counters[k] < domains[k]) break;
+      counters[k] = 0;
+    }
+  }
+
+  flat.tables.push_back(std::move(tab));
+  flat.latches.push_back(
+      blifmv::Latch{nsName, monitorSignal, {states_[initial_]}});
+}
+
+}  // namespace hsis

@@ -1,0 +1,77 @@
+// Deterministic ω-automata with edge guards over design signals and Rabin
+// acceptance — the property formalism of HSIS's language-containment
+// paradigm [16]. A property automaton is compiled into a BLIF-MV monitor
+// (one latch + one transition table) and composed with the design, so the
+// product machine is an ordinary Fsm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blifmv/blifmv.hpp"
+#include "pif/sigexpr.hpp"
+
+namespace hsis {
+
+/// Rabin pair over automaton states: a run is accepted iff for SOME pair,
+/// states in `fin` are visited finitely often AND states in `inf` are
+/// visited infinitely often.
+struct RabinPair {
+  std::vector<uint32_t> fin;
+  std::vector<uint32_t> inf;
+};
+
+class Automaton {
+ public:
+  explicit Automaton(std::string name = "property") : name_(std::move(name)) {}
+
+  uint32_t addState(const std::string& name);
+  void setInitial(const std::string& name);
+  void addEdge(const std::string& from, const std::string& to, SigExprRef guard);
+
+  void addRabinPair(const std::vector<std::string>& fin,
+                    const std::vector<std::string>& inf);
+  /// Figure-2 style sugar: accepting runs eventually remain inside `states`
+  /// forever. Equivalent to the Rabin pair (Fin = complement, Inf = all).
+  void setStayAcceptance(const std::vector<std::string>& states);
+  /// Büchi sugar: accepting runs visit `states` infinitely often.
+  void setBuchiAcceptance(const std::vector<std::string>& states);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] uint32_t numStates() const { return static_cast<uint32_t>(states_.size()); }
+  [[nodiscard]] const std::string& stateName(uint32_t s) const { return states_[s]; }
+  [[nodiscard]] std::optional<uint32_t> findState(const std::string& name) const;
+  [[nodiscard]] uint32_t initialState() const { return initial_; }
+  [[nodiscard]] const std::vector<RabinPair>& rabinPairs() const { return pairs_; }
+
+  struct Edge {
+    uint32_t from, to;
+    SigExprRef guard;
+  };
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// States with no accepting continuation (pure graph analysis, assuming
+  /// all guards satisfiable). Reaching one of these is an immediate
+  /// language-containment failure — the basis of early failure detection.
+  [[nodiscard]] std::vector<bool> deadStates() const;
+
+  /// Compile into a monitor and append to the flat design model:
+  /// a latch `monitorSignal` (domain = #states, symbolic value names) and a
+  /// transition table enumerating guard-signal assignments. Checks that the
+  /// automaton is deterministic and complete over the enumerated space;
+  /// throws std::runtime_error otherwise (or when the enumeration exceeds
+  /// `maxRows`).
+  void compose(blifmv::Model& flatDesign, const std::string& monitorSignal,
+               size_t maxRows = 1u << 16) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> states_;
+  std::vector<Edge> edges_;
+  std::vector<RabinPair> pairs_;
+  uint32_t initial_ = 0;
+};
+
+}  // namespace hsis

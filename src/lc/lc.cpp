@@ -1,0 +1,315 @@
+#include "lc/lc.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hsis {
+
+LcChecker::LcChecker(BddManager& mgr, const blifmv::Model& flatDesign,
+                     const Automaton& property, const FairnessSpec& fairness,
+                     LcOptions options)
+    : opts_(options) {
+  // Compose the monitor into a copy of the design, picking a monitor
+  // signal name that collides with nothing in the flat model.
+  blifmv::Model product = flatDesign;
+  std::unordered_set<std::string> taken;
+  for (const auto& [name, decl] : product.varDecls) {
+    (void)decl;
+    taken.insert(name);
+  }
+  for (const auto& l : product.latches) {
+    taken.insert(l.input);
+    taken.insert(l.output);
+  }
+  for (const auto& t : product.tables) {
+    taken.insert(t.output);
+    for (const auto& in : t.inputs) taken.insert(in);
+  }
+  monitor_ = "_monitor";
+  while (taken.contains(monitor_) || taken.contains(monitor_ + "_ns")) {
+    monitor_ += "_";
+  }
+  property.compose(product, monitor_);
+
+  fsm_.emplace(mgr, product);
+  if (opts_.partitionedTr) {
+    tr_ = TransitionRelation::partitioned(*fsm_, opts_.clusterLimit);
+  } else {
+    tr_ = TransitionRelation::monolithic(*fsm_, opts_.quantMethod);
+  }
+
+  std::optional<MvVarId> mv = fsm_->signalVar(monitor_);
+  if (!mv.has_value()) throw std::logic_error("lc: monitor variable missing");
+  monitorVar_ = *mv;
+  autDead_ = property.deadStates();
+
+  buildConstraints(property, fairness);
+}
+
+Bdd LcChecker::monitorSet(const std::vector<uint32_t>& states) const {
+  Bdd s = fsm_->mgr().bddZero();
+  for (uint32_t k : states) s |= fsm_->space().literal(monitorVar_, k);
+  return s;
+}
+
+void LcChecker::buildConstraints(const Automaton& property,
+                                 const FairnessSpec& fairness) {
+  BddManager& mgr = fsm_->mgr();
+  const Fsm& fsm = *fsm_;
+
+  for (const SigExprRef& e : fairness.noStay) {
+    // May not stay in S forever == visits ¬S infinitely often.
+    buchiSets_.push_back(!evalSigExpr(e, fsm));
+  }
+  for (const SigExprRef& e : fairness.buchi) {
+    buchiSets_.push_back(evalSigExpr(e, fsm));
+  }
+  for (const auto& [fromE, toE] : fairness.fairEdges) {
+    Bdd from = evalSigExpr(fromE, fsm);
+    Bdd to = evalSigExpr(toE, fsm);
+    // Both sides must be over present-state variables so the target can be
+    // renamed onto the next-state rail.
+    std::vector<bool> isState(mgr.numVars(), false);
+    for (BddVar v : mgr.support(fsm.presentCube())) isState[v] = true;
+    for (BddVar v : mgr.support(from))
+      if (!isState[v])
+        throw std::runtime_error(
+            "fair-edge constraint references a non-latch signal");
+    for (BddVar v : mgr.support(to))
+      if (!isState[v])
+        throw std::runtime_error(
+            "fair-edge constraint references a non-latch signal");
+    edgeSets_.push_back(from & fsm.presentToNext(to));
+  }
+
+  // Complemented Rabin acceptance: Streett pairs (L=Inf, U=Fin).
+  for (const RabinPair& p : property.rabinPairs()) {
+    Bdd inf = monitorSet(p.inf);
+    Bdd fin = monitorSet(p.fin);
+    if (p.fin.empty()) {
+      // (Inf inf-often -> false) == Inf visited finitely often; as a hull
+      // constraint this is a Streett pair with empty U.
+      streett_.emplace_back(inf, mgr.bddZero());
+    } else {
+      streett_.emplace_back(inf, fin);
+    }
+  }
+  if (buchiSets_.empty() && edgeSets_.empty())
+    buchiSets_.push_back(mgr.bddOne());  // require an infinite run
+}
+
+Bdd LcChecker::preVia(const Bdd& e, const Bdd& set) const {
+  const Fsm& fsm = *fsm_;
+  BddManager& mgr = fsm.mgr();
+  Bdd acc = fsm.presentToNext(set) & e;
+  for (const Bdd& c : tr_->clusters()) acc &= c;
+  acc = mgr.exists(acc, fsm.nextCube() & fsm.nonStateCube());
+  return acc;
+}
+
+std::optional<Trace> LcChecker::buildTrace(const Bdd& hull) {
+  const Fsm& fsm = *fsm_;
+  std::optional<Trace> trace =
+      fairLasso(*tr_, fsm.initialStates(), hull, buchiSets_, edgeSets_);
+  if (!trace.has_value()) return trace;
+  // Validate the Streett pairs (complemented Rabin acceptance) on the
+  // cycle; if a pair is violated, force a visit to its U set and retry.
+  for (const auto& [l, u] : streett_) {
+    bool hitL = false, hitU = false;
+    for (size_t i = static_cast<size_t>(trace->cycleStart);
+         i < trace->states.size(); ++i) {
+      Bdd sc = fsm.stateFromValues(fsm.decodeState(trace->states[i]));
+      if (!(sc & l).isZero()) hitL = true;
+      if (!(sc & u).isZero()) hitU = true;
+    }
+    if (hitL && !hitU) {
+      std::vector<Bdd> cs = buchiSets_;
+      cs.push_back(u);
+      trace = fairLasso(*tr_, fsm.initialStates(), hull, cs, edgeSets_);
+      if (!trace.has_value()) return trace;
+    }
+  }
+  return trace;
+}
+
+Bdd LcChecker::fairHull(const Bdd& within) {
+  Bdd z = within;
+  while (true) {
+    ++stats_.hullIterations;
+    Bdd zOld = z;
+
+    // Emerson-Lei steps for Büchi state sets.
+    for (const Bdd& b : buchiSets_) {
+      // Z := Z ∧ EX E[Z U (Z ∧ B)]
+      Bdd target = z & b;
+      Bdd y = target;
+      while (true) {
+        Bdd y2 = y | (z & tr_->preimage(y));
+        if (y2 == y) break;
+        y = std::move(y2);
+      }
+      z &= tr_->preimage(y);
+    }
+    // Edge sets: from Z one must be able to reach (within Z) a state that
+    // fires an E-edge back into Z.
+    for (const Bdd& e : edgeSets_) {
+      Bdd takeoff = z & preVia(e, z);
+      Bdd y = takeoff;
+      while (true) {
+        Bdd y2 = y | (z & tr_->preimage(y));
+        if (y2 == y) break;
+        y = std::move(y2);
+      }
+      z &= y;
+    }
+    // Streett pairs (L,U): remove L-states that cannot reach U within Z.
+    for (const auto& [l, u] : streett_) {
+      Bdd y = z & u;
+      while (true) {
+        Bdd y2 = y | (z & tr_->preimage(y));
+        if (y2 == y) break;
+        y = std::move(y2);
+      }
+      Bdd bad = z & l & !y;
+      z &= !bad;
+    }
+
+    if (z == zOld) return z;
+    if (z.isZero()) return z;
+  }
+}
+
+LcResult LcChecker::check() {
+  auto start = std::chrono::steady_clock::now();
+  LcResult res;
+  const Fsm& fsm = *fsm_;
+
+  // A statically unsatisfiable fairness constraint means the design has no
+  // fair runs at all: containment holds vacuously.
+  for (const Bdd& b : buchiSets_) {
+    if (b.isZero()) {
+      res.contained = true;
+      res.notes.push_back(
+          "vacuous pass: a fairness constraint is unsatisfiable");
+      res.stats = stats_;
+      return res;
+    }
+  }
+
+  // Dead monitor states: reaching one is an immediate failure candidate.
+  std::vector<uint32_t> deadList;
+  for (uint32_t s = 0; s < autDead_.size(); ++s)
+    if (autDead_[s]) deadList.push_back(s);
+  Bdd deadSet = monitorSet(deadList);
+
+  Bdd hitDead;
+  ReachOptions ro;
+  if (opts_.earlyFailureDetection && !deadSet.isZero()) {
+    ro.watch = [&](const Bdd& frontier, size_t) {
+      Bdd bad = frontier & deadSet;
+      if (!bad.isZero()) {
+        hitDead = bad;
+        return true;
+      }
+      return false;
+    };
+  }
+  ReachResult rr = reachableStates(*tr_, fsm.initialStates(), ro);
+  stats_.reachabilitySteps = rr.depth;
+
+  if (!hitDead.isNull()) {
+    // Early failure candidate: a reachable product state whose monitor
+    // component has no accepting continuation. Confirm there actually is a
+    // fair run (the fairness constraints might rule all runs out), first on
+    // the partial state space, widening to the full one if needed.
+    Bdd hull = fairHull(rr.reached);
+    bool confirmedOnPartial = !hull.isZero();
+    if (!confirmedOnPartial) {
+      rr = reachableStates(*tr_, fsm.initialStates(), ReachOptions{});
+      hull = fairHull(rr.reached);
+    }
+    if (!hull.isZero()) {
+      stats_.usedEarlyFailure = true;
+      res.contained = false;
+      res.notes.push_back(
+          "early failure: property automaton reached a dead state (step " +
+          std::to_string(rr.depth) + ")");
+      if (!confirmedOnPartial) {
+        res.notes.push_back(
+            "fair-cycle confirmation needed the full reachable set");
+      }
+      if (opts_.wantTrace) {
+        res.trace = buildTrace(hull);
+        if (!res.trace.has_value() && confirmedOnPartial) {
+          res.notes.push_back(
+              "early-failure trace needed the full reachable set");
+          rr = reachableStates(*tr_, fsm.initialStates(), ReachOptions{});
+          hull = fairHull(rr.reached);
+          res.trace = buildTrace(hull);
+        }
+      }
+      stats_.reachedStates = fsm.countStates(rr.reached);
+      stats_.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      res.stats = stats_;
+      return res;
+    }
+    // No fair cycle anywhere: fall through with the full reachable set.
+  }
+
+  stats_.reachedStates = fsm.countStates(rr.reached);
+
+  // Reachability don't cares: restrict-minimize the clusters by the
+  // reachable set before the (preimage-heavy) fair-cycle computation. All
+  // subsequent sources are inside the reachable set, so the minimized
+  // relation is exact where it is used.
+  tr_ = tr_->minimized(rr.reached);
+
+  // Early pass detection (technique 2): a required Büchi set that is
+  // unreachable means no fair run exists at all.
+  for (const Bdd& b : buchiSets_) {
+    if ((b & rr.reached).isZero() && !b.isOne()) {
+      res.contained = true;
+      res.notes.push_back(
+          "vacuous pass: a fairness constraint is unsatisfiable on the "
+          "reachable state space");
+      res.stats = stats_;
+      return res;
+    }
+  }
+
+  Bdd hull = fairHull(rr.reached);
+  res.contained = hull.isZero();
+  if (!res.contained && opts_.wantTrace) {
+    res.trace = buildTrace(hull);
+    if (!res.trace.has_value()) {
+      res.notes.push_back(
+          "fair hull nonempty but no concrete lasso found (approximation); "
+          "result may be a false failure");
+    }
+  }
+  res.stats = stats_;
+  res.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return res;
+}
+
+std::string LcChecker::formatState(const std::vector<int8_t>& s) const {
+  return fsm_->formatState(s);
+}
+
+std::string LcChecker::formatTrace(const Trace& t) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < t.states.size(); ++i) {
+    if (t.cycleStart == static_cast<int>(i)) os << "-- cycle --\n";
+    os << "  " << i << ": " << formatState(t.states[i]) << "\n";
+  }
+  if (t.isLasso()) os << "  (back to " << t.cycleStart << ")\n";
+  return os.str();
+}
+
+}  // namespace hsis

@@ -1,0 +1,50 @@
+// State minimization by bisimulation (paper Section 1, feature 6 and
+// Section 2 item 3): symbolic partition refinement computing the coarsest
+// bisimulation that respects a set of observations, plus the machinery to
+// use equivalence classes as don't cares for BDD minimization.
+#pragma once
+
+#include <vector>
+
+#include "fsm/image.hpp"
+
+namespace hsis {
+
+struct BisimResult {
+  /// Equivalence relation E(x, x') over two copies of the state rail; the
+  /// shadow rail's variables are listed in `shadowMap`.
+  Bdd equivalence;
+  /// One representative state per class (the lexicographically least).
+  Bdd representatives;
+  /// Number of equivalence classes among `careStates`.
+  double classCount = 0.0;
+  size_t refinementIterations = 0;
+  /// map[v] = shadow BDD variable for state-rail variable v (identity
+  /// elsewhere), for use with BddManager::permute.
+  std::vector<BddVar> shadowMap;
+  std::vector<BddVar> shadowMapInverse;
+};
+
+/// Compute the coarsest bisimulation on `careStates` (usually the reachable
+/// set) that distinguishes states with different values of any observation
+/// BDD (each over present-state variables). Allocates shadow state
+/// variables in the manager on first use.
+///
+/// Two care states s ~ t iff every observation agrees on them and every
+/// transition of s can be matched by a transition of t into an equivalent
+/// state (and vice versa).
+BisimResult bisimulation(const Fsm& fsm, const TransitionRelation& tr,
+                         const std::vector<Bdd>& observations,
+                         const Bdd& careStates);
+
+/// Shrink a class-closed state set using the equivalence: the result agrees
+/// with `set` on representative states and is don't-care elsewhere
+/// (restrict-minimized). Expanding back: expandByEquivalence.
+Bdd shrinkToRepresentatives(const Fsm& fsm, const BisimResult& bisim,
+                            const Bdd& set);
+
+/// Expand a representative-only set to the full union of its classes.
+Bdd expandByEquivalence(const Fsm& fsm, const BisimResult& bisim,
+                        const Bdd& repSet);
+
+}  // namespace hsis

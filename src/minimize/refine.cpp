@@ -1,0 +1,70 @@
+#include "minimize/refine.hpp"
+
+namespace hsis {
+
+RefinementResult simulationRefinement(
+    const Fsm& impl, const TransitionRelation& trImpl, const Bdd& implReached,
+    const Fsm& spec, const TransitionRelation& trSpec, const Bdd& specReached,
+    const std::vector<std::pair<Bdd, Bdd>>& observations) {
+  BddManager& mgr = impl.mgr();
+  RefinementResult res;
+
+  // Monolithic transition relations over each machine's (x, y) rails.
+  Bdd ti = mgr.bddOne();
+  for (const Bdd& c : trImpl.clusters()) ti &= c;
+  ti = mgr.exists(ti, impl.nonStateCube());
+  Bdd ts = mgr.bddOne();
+  for (const Bdd& c : trSpec.clusters()) ts &= c;
+  ts = mgr.exists(ts, spec.nonStateCube());
+
+  // Restrict to the reachable care sets (they are image-closed).
+  ti = mgr.restrict(ti, implReached);
+  ts = mgr.restrict(ts, specReached);
+
+  // present -> next rename covering both machines' rails at once.
+  uint32_t nv = mgr.numVars();
+  std::vector<BddVar> toNext(nv);
+  for (uint32_t v = 0; v < nv; ++v) toNext[v] = v;
+  const MvSpace& si = impl.space();
+  for (size_t l = 0; l < impl.numLatches(); ++l) {
+    const auto& xb = si.bits(impl.stateVar(l));
+    const auto& yb = si.bits(impl.nextVar(l));
+    for (size_t k = 0; k < xb.size(); ++k) toNext[xb[k]] = yb[k];
+  }
+  const MvSpace& ss = spec.space();
+  for (size_t l = 0; l < spec.numLatches(); ++l) {
+    const auto& xb = ss.bits(spec.stateVar(l));
+    const auto& yb = ss.bits(spec.nextVar(l));
+    for (size_t k = 0; k < xb.size(); ++k) toNext[xb[k]] = yb[k];
+  }
+
+  // Initial relation: reachable pairs that agree on every observation.
+  Bdd s = implReached & specReached;
+  for (const auto& [pi, ps] : observations) {
+    s &= (pi & ps) | ((!pi) & (!ps));
+  }
+
+  // Greatest fixpoint: every implementation move is matched.
+  while (true) {
+    ++res.refinementIterations;
+    Bdd sy = mgr.permute(s, toNext);  // over (y_impl, y_spec)
+    Bdd matched = mgr.andExists(ts, sy, spec.nextCube());   // (x_spec, y_impl)
+    Bdd bad = mgr.andExists(ti, !matched, impl.nextCube()); // (x_impl, x_spec)
+    Bdd s2 = s & !bad;
+    if (s2 == s) break;
+    s = std::move(s2);
+  }
+  res.simulation = s;
+
+  // Every initial implementation state must relate to some initial
+  // specification state.
+  Bdd initMatched = mgr.andExists(s, spec.initialStates(), spec.presentCube());
+  res.refines = impl.initialStates().leq(initMatched);
+  if (!res.refines) {
+    Bdd unmatched = impl.initialStates() & !initMatched;
+    if (!unmatched.isZero()) res.unmatchedInitial = unmatched;
+  }
+  return res;
+}
+
+}  // namespace hsis

@@ -1,0 +1,44 @@
+// Hierarchical verification (paper Section 8, item 3): "techniques that
+// compare lower level designs with higher level ones to guarantee that
+// re-evaluation of properties proved at higher levels is not needed."
+//
+// The check is a symbolic simulation preorder: every move of the
+// implementation can be matched by the (typically more abstract, more
+// nondeterministic) specification while agreeing on the given observations.
+// Simulation implies trace containment, so every linear-time property and
+// every ACTL property proved on the specification carries down — exactly
+// the top-down refinement methodology of the paper's Section 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/image.hpp"
+
+namespace hsis {
+
+struct RefinementResult {
+  /// Does every implementation behaviour simulate into the specification?
+  bool refines = false;
+  /// Greatest simulation relation S(x_impl, x_spec) over the two machines'
+  /// present-state rails (both FSMs must live in the same BddManager).
+  Bdd simulation;
+  size_t refinementIterations = 0;
+  /// When !refines: an initial implementation state with no matching
+  /// initial specification state, if that is the reason (else null).
+  Bdd unmatchedInitial;
+};
+
+/// Check that `impl` refines `spec` modulo the observation pairs: each pair
+/// (p_impl, p_spec) is a predicate over the respective machine's
+/// present-state variables that must agree on related states.
+///
+/// Both FSMs must have been built in the SAME BddManager (construct one
+/// after the other); the relations range over disjoint variable rails.
+/// Care sets restrict the computation to the two reachable sets.
+RefinementResult simulationRefinement(
+    const Fsm& impl, const TransitionRelation& trImpl, const Bdd& implReached,
+    const Fsm& spec, const TransitionRelation& trSpec, const Bdd& specReached,
+    const std::vector<std::pair<Bdd, Bdd>>& observations);
+
+}  // namespace hsis

@@ -1,0 +1,45 @@
+#include "models/models.hpp"
+
+#include <array>
+
+// Generated from models/*.v and models/*.pif by embed.cmake.
+#include "models_data.inc"
+
+namespace hsis::models {
+
+namespace {
+
+const std::array<ModelDef, 6> kModels = {{
+    {"philos",
+     "four dining philosophers; the classic left-fork deadlock is reachable",
+     k_philos_v, k_philos_pif, ""},
+    {"pingpong",
+     "two players exchanging a ball with fairness-bounded holding",
+     k_pingpong_v, k_pingpong_pif, ""},
+    {"gigamax",
+     "Encore Gigamax-style snooping cache-consistency protocol, 3 processors",
+     k_gigamax_v, k_gigamax_pif, ""},
+    {"scheduler",
+     "Milner's distributed cyclic scheduler, 8 cells in a token ring",
+     k_scheduler_v, k_scheduler_pif, ""},
+    {"dcnew",
+     "three-channel data-transfer controller with priority arbitration "
+     "(industrial-style substitute)",
+     k_dcnew_v, k_dcnew_pif, ""},
+    {"2mdlc",
+     "two-channel message data-link controller: alternating-bit protocol "
+     "over lossy corrupting wires (industrial-style substitute)",
+     k_mdlc2_v, k_mdlc2_pif, ""},
+}};
+
+}  // namespace
+
+std::span<const ModelDef> all() { return kModels; }
+
+const ModelDef* find(std::string_view name) {
+  for (const ModelDef& m : kModels)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+}  // namespace hsis::models

@@ -1,0 +1,33 @@
+// The benchmark suite of the paper's Table 1: six designs written in the
+// extended Verilog subset, each with a PIF property file. The sources are
+// embedded from models/*.v and models/*.pif.
+//
+// `philos`, `pingpong` are the paper's toy examples; `gigamax` models the
+// Encore Gigamax cache-consistency protocol; `scheduler` is Milner's
+// distributed cyclic scheduler; `dcnew` and `2mdlc` stand in for the
+// paper's industrial designs (see DESIGN.md, Substitutions).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace hsis::models {
+
+struct ModelDef {
+  std::string_view name;
+  std::string_view description;
+  std::string_view verilog;
+  std::string_view pif;
+  /// Top module for vl2mv (empty = first module in the file).
+  std::string_view top;
+};
+
+/// All models, in Table-1 order.
+std::span<const ModelDef> all();
+
+/// Look up by name ("philos", "pingpong", "gigamax", "scheduler", "dcnew",
+/// "2mdlc").
+const ModelDef* find(std::string_view name);
+
+}  // namespace hsis::models

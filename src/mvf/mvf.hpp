@@ -1,0 +1,112 @@
+// Multi-valued variables and functions over BDDs (the "MDD layer").
+//
+// BLIF-MV variables range over finite domains with symbolic value names; the
+// verification engine encodes each such variable onto ceil(log2(domain))
+// binary BDD variables. MvSpace owns the mapping; Mvf is a multi-valued
+// function/relation image represented as one BDD per value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace hsis {
+
+using MvVarId = uint32_t;
+
+/// Registry of multi-valued variables and their binary encodings.
+class MvSpace {
+ public:
+  explicit MvSpace(BddManager& mgr) : mgr_(&mgr) {}
+
+  /// Register a multi-valued variable of the given domain size. If `bits` is
+  /// provided it must contain exactly bitsFor(domain) fresh BDD variables;
+  /// otherwise bits are allocated at the bottom of the order.
+  MvVarId addVar(std::string name, uint32_t domain,
+                 std::vector<std::string> valueNames = {},
+                 std::optional<std::vector<BddVar>> bits = std::nullopt);
+
+  static uint32_t bitsFor(uint32_t domain);
+
+  [[nodiscard]] uint32_t numVars() const { return static_cast<uint32_t>(vars_.size()); }
+  [[nodiscard]] const std::string& name(MvVarId v) const { return vars_[v].name; }
+  [[nodiscard]] uint32_t domain(MvVarId v) const { return vars_[v].domain; }
+  [[nodiscard]] const std::vector<BddVar>& bits(MvVarId v) const { return vars_[v].bits; }
+  [[nodiscard]] const std::vector<std::string>& valueNames(MvVarId v) const {
+    return vars_[v].valueNames;
+  }
+  /// Printable name for a value (symbolic if available, else the number).
+  [[nodiscard]] std::string valueName(MvVarId v, uint32_t value) const;
+  /// Inverse of valueName; also accepts decimal numerals.
+  [[nodiscard]] std::optional<uint32_t> valueOf(MvVarId v, const std::string& s) const;
+  [[nodiscard]] std::optional<MvVarId> findVar(const std::string& name) const;
+
+  /// BDD of "v == value".
+  Bdd literal(MvVarId v, uint32_t value) const;
+  /// BDD of "v ∈ values".
+  Bdd literalSet(MvVarId v, const std::vector<uint32_t>& values) const;
+  /// Conjunction cube of the variable's encoding bits (for quantification).
+  Bdd cube(MvVarId v) const;
+  Bdd cube(const std::vector<MvVarId>& vs) const;
+  /// BDD of all bit patterns that encode a valid value (< domain).
+  Bdd validEncodings(MvVarId v) const;
+
+  /// Read the value of v out of a (complete enough) assignment as produced
+  /// by BddManager::pickCube. Don't-care bits read as 0.
+  uint32_t decode(MvVarId v, const std::vector<int8_t>& assignment) const;
+  /// Total number of encoding bits across the listed variables.
+  uint32_t totalBits(const std::vector<MvVarId>& vs) const;
+
+  [[nodiscard]] BddManager& mgr() const { return *mgr_; }
+
+ private:
+  struct Info {
+    std::string name;
+    uint32_t domain;
+    std::vector<std::string> valueNames;
+    std::vector<BddVar> bits;  ///< LSB first
+  };
+
+  BddManager* mgr_;
+  std::vector<Info> vars_;
+  std::unordered_map<std::string, MvVarId> byName_;
+};
+
+/// A multi-valued function (or nondeterministic relation image): parts[k] is
+/// the BDD of input assignments under which the function may take value k.
+/// Deterministic and complete iff the parts partition the input space.
+class Mvf {
+ public:
+  Mvf() = default;
+  explicit Mvf(std::vector<Bdd> parts) : parts_(std::move(parts)) {}
+
+  static Mvf constant(BddManager& mgr, uint32_t domain, uint32_t value);
+  /// The identity function of a variable: parts[k] = (v == k).
+  static Mvf varFunction(const MvSpace& space, MvVarId v);
+
+  [[nodiscard]] uint32_t domain() const { return static_cast<uint32_t>(parts_.size()); }
+  [[nodiscard]] const Bdd& part(uint32_t k) const { return parts_[k]; }
+  [[nodiscard]] Bdd& part(uint32_t k) { return parts_[k]; }
+  [[nodiscard]] const std::vector<Bdd>& parts() const { return parts_; }
+
+  /// BDD of assignments where this function and `o` may take equal values.
+  Bdd mayEqual(const Mvf& o) const;
+  /// BDD of assignments on which the function is defined (union of parts).
+  Bdd definedSet() const;
+  /// BDD of assignments with more than one possible value.
+  Bdd nondetSet() const;
+  /// Is this a (deterministic, complete) function on the given care set?
+  bool isDeterministic(const Bdd& careSet) const;
+
+  /// Relation R(inputs, v): OR_k parts[k] & (v == k).
+  Bdd toRelation(const MvSpace& space, MvVarId v) const;
+
+ private:
+  std::vector<Bdd> parts_;
+};
+
+}  // namespace hsis

@@ -1,0 +1,255 @@
+#include "pif/pif.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace hsis {
+
+size_t PifFile::ctlCount() const {
+  size_t n = 0;
+  for (const PifProperty& p : properties)
+    if (p.kind == PifProperty::Kind::Ctl) ++n;
+  return n;
+}
+
+size_t PifFile::automatonCount() const {
+  size_t n = 0;
+  for (const PifProperty& p : properties)
+    if (p.kind == PifProperty::Kind::Automaton) ++n;
+  return n;
+}
+
+namespace {
+
+class PifParser {
+ public:
+  explicit PifParser(const std::string& text) : text_(text) {}
+
+  PifFile parse() {
+    PifFile file;
+    while (true) {
+      skipWsAndComments();
+      if (pos_ >= text_.size()) break;
+      std::string kw = word();
+      if (kw == "ctl") {
+        PifProperty p;
+        p.kind = PifProperty::Kind::Ctl;
+        p.name = word();
+        p.ctl = parseCtl(quoted());
+        semi();
+        file.properties.push_back(std::move(p));
+      } else if (kw == "invariant") {
+        PifProperty p;
+        p.kind = PifProperty::Kind::Ctl;
+        p.name = word();
+        p.ctl = ctlAG(ctlAtomExpr(quoted()));
+        semi();
+        file.properties.push_back(std::move(p));
+      } else if (kw == "automaton") {
+        file.properties.push_back(parseAutomaton());
+      } else if (kw == "fairness") {
+        parseFairness(file.fairness);
+      } else {
+        fail("unknown directive '" + kw + "'");
+      }
+    }
+    return file;
+  }
+
+ private:
+  static CtlRef ctlAtomExpr(const std::string& expr) {
+    return ctlAtom(parseSigExpr(expr));
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::runtime_error("pif parse error (line " + std::to_string(line_) +
+                             "): " + msg);
+  }
+
+  void skipWsAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string word() {
+    skipWsAndComments();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '.' || c == '$') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (start == pos_) fail("expected identifier");
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string quoted() {
+    skipWsAndComments();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected '\"'");
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    std::string s = text_.substr(start, pos_ - start);
+    ++pos_;
+    return s;
+  }
+
+  bool eat(char c) {
+    skipWsAndComments();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void semi() { expect(';'); }
+
+  bool eatArrow() {
+    skipWsAndComments();
+    if (pos_ + 1 < text_.size() && text_[pos_] == '-' && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  PifProperty parseAutomaton() {
+    PifProperty p;
+    p.kind = PifProperty::Kind::Automaton;
+    p.name = word();
+    p.aut = Automaton(p.name);
+    expect('{');
+    bool initialSet = false;
+    while (!eat('}')) {
+      std::string kw = word();
+      if (kw == "state") {
+        do {
+          std::string s = word();
+          p.aut.addState(s);
+          skipWsAndComments();
+          // optional 'init' marker
+          size_t save = pos_;
+          int saveLine = line_;
+          if (pos_ < text_.size() &&
+              std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0) {
+            std::string mark = word();
+            if (mark == "init") {
+              p.aut.setInitial(s);
+              initialSet = true;
+            } else {
+              pos_ = save;
+              line_ = saveLine;
+            }
+          }
+        } while (eat(','));
+        semi();
+      } else if (kw == "edge") {
+        std::string from = word();
+        if (!eatArrow()) fail("expected '->' in edge");
+        std::string to = word();
+        std::string onKw = word();
+        if (onKw != "on") fail("expected 'on' in edge");
+        p.aut.addEdge(from, to, parseSigExpr(quoted()));
+        semi();
+      } else if (kw == "accept") {
+        std::string mode = word();
+        std::vector<std::string> states;
+        states.push_back(word());
+        while (eat(',')) states.push_back(word());
+        semi();
+        if (mode == "stay") {
+          p.aut.setStayAcceptance(states);
+        } else if (mode == "buchi") {
+          p.aut.setBuchiAcceptance(states);
+        } else {
+          fail("unknown acceptance mode '" + mode + "'");
+        }
+      } else if (kw == "rabin") {
+        std::string finKw = word();
+        if (finKw != "fin") fail("expected 'fin'");
+        expect('{');
+        std::vector<std::string> fin;
+        if (!eat('}')) {
+          fin.push_back(word());
+          while (eat(',')) fin.push_back(word());
+          expect('}');
+        }
+        std::string infKw = word();
+        if (infKw != "inf") fail("expected 'inf'");
+        expect('{');
+        std::vector<std::string> inf;
+        if (!eat('}')) {
+          inf.push_back(word());
+          while (eat(',')) inf.push_back(word());
+          expect('}');
+        }
+        semi();
+        p.aut.addRabinPair(fin, inf);
+      } else {
+        fail("unknown automaton directive '" + kw + "'");
+      }
+    }
+    if (!initialSet && p.aut.numStates() > 0) {
+      // first state is initial by default
+      p.aut.setInitial(p.aut.stateName(0));
+    }
+    return p;
+  }
+
+  void parseFairness(FairnessSpec& spec) {
+    expect('{');
+    while (!eat('}')) {
+      std::string kw = word();
+      if (kw == "nostay") {
+        spec.noStay.push_back(parseSigExpr(quoted()));
+        semi();
+      } else if (kw == "buchi") {
+        spec.buchi.push_back(parseSigExpr(quoted()));
+        semi();
+      } else if (kw == "fairedge") {
+        SigExprRef from = parseSigExpr(quoted());
+        if (!eatArrow()) fail("expected '->' in fairedge");
+        SigExprRef to = parseSigExpr(quoted());
+        spec.fairEdges.emplace_back(std::move(from), std::move(to));
+        semi();
+      } else {
+        fail("unknown fairness directive '" + kw + "'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+PifFile parsePif(const std::string& text) { return PifParser(text).parse(); }
+
+}  // namespace hsis

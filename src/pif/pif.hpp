@@ -1,0 +1,50 @@
+// PIF — the Property Intermediate Format. A PIF file carries the properties
+// to verify (CTL formulas and ω-automata) plus the system's fairness
+// constraints, separate from the design description (paper Figure 1).
+//
+// Syntax (line comments with '#'):
+//   ctl NAME "CTL formula";
+//   invariant NAME "boolean expr";             # sugar for AG(expr)
+//   automaton NAME {
+//     state A init;  state B;
+//     edge A -> B on "expr";
+//     accept stay A B;                          # eventually remain in {A,B}
+//     accept buchi A;                           # visit A infinitely often
+//     rabin fin { B } inf { A };                # general edge-Rabin pair
+//   }
+//   fairness {
+//     nostay "expr";                            # negative state-subset
+//     buchi "expr";                             # visit infinitely often
+//     fairedge "expr" -> "expr";                # positive fair edge
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ctl/ctl.hpp"
+#include "lc/automaton.hpp"
+#include "lc/lc.hpp"
+
+namespace hsis {
+
+struct PifProperty {
+  enum class Kind : uint8_t { Ctl, Automaton };
+  Kind kind = Kind::Ctl;
+  std::string name;
+  CtlRef ctl;       ///< Kind::Ctl
+  Automaton aut;    ///< Kind::Automaton
+};
+
+struct PifFile {
+  std::vector<PifProperty> properties;
+  FairnessSpec fairness;
+
+  [[nodiscard]] size_t ctlCount() const;
+  [[nodiscard]] size_t automatonCount() const;
+};
+
+/// Parse PIF text; throws std::runtime_error with line info.
+PifFile parsePif(const std::string& text);
+
+}  // namespace hsis

@@ -1,0 +1,162 @@
+#include "proplib/proplib.hpp"
+
+#include <stdexcept>
+
+namespace hsis::proplib {
+
+namespace {
+
+PifProperty ctlProperty(const std::string& name, CtlRef f) {
+  PifProperty p;
+  p.kind = PifProperty::Kind::Ctl;
+  p.name = name;
+  p.ctl = std::move(f);
+  return p;
+}
+
+PifProperty autProperty(const std::string& name, Automaton a) {
+  PifProperty p;
+  p.kind = PifProperty::Kind::Automaton;
+  p.name = name;
+  p.aut = std::move(a);
+  return p;
+}
+
+}  // namespace
+
+PifProperty invariant(const std::string& name, SigExprRef p) {
+  return ctlProperty(name, ctlAG(ctlAtom(std::move(p))));
+}
+
+PifProperty invariantAutomaton(const std::string& name, SigExprRef p) {
+  Automaton aut(name);
+  aut.addState("ok");
+  aut.addState("bad");
+  aut.setInitial("ok");
+  aut.addEdge("ok", "ok", p);
+  aut.addEdge("ok", "bad", sigNot(p));
+  aut.addEdge("bad", "bad", sigTrue());
+  aut.setStayAcceptance({"ok"});
+  return autProperty(name, std::move(aut));
+}
+
+PifProperty mutualExclusion(const std::string& name, SigExprRef a,
+                            SigExprRef b) {
+  return ctlProperty(
+      name, ctlAG(ctlNot(ctlAnd(ctlAtom(std::move(a)), ctlAtom(std::move(b))))));
+}
+
+PifProperty absenceAfter(const std::string& name, SigExprRef p,
+                         SigExprRef trigger) {
+  return ctlProperty(
+      name, ctlAG(ctlImplies(ctlAtom(std::move(trigger)),
+                             ctlAX(ctlAG(ctlNot(ctlAtom(std::move(p))))))));
+}
+
+PifProperty precedence(const std::string& name, SigExprRef p, SigExprRef q) {
+  // q may not occur strictly before the first p; simultaneous p & q counts
+  // as p first.
+  Automaton aut(name);
+  aut.addState("waiting");
+  aut.addState("done");
+  aut.addState("bad");
+  aut.setInitial("waiting");
+  aut.addEdge("waiting", "done", p);
+  aut.addEdge("waiting", "bad", sigAnd(sigNot(p), q));
+  aut.addEdge("waiting", "waiting", sigAnd(sigNot(p), sigNot(q)));
+  aut.addEdge("done", "done", sigTrue());
+  aut.addEdge("bad", "bad", sigTrue());
+  aut.setStayAcceptance({"waiting", "done"});
+  return autProperty(name, std::move(aut));
+}
+
+PifProperty cyclicOrder(const std::string& name,
+                        const std::vector<SigExprRef>& events) {
+  if (events.size() < 2)
+    throw std::invalid_argument("cyclicOrder needs at least two events");
+  Automaton aut(name);
+  size_t n = events.size();
+  for (size_t i = 0; i < n; ++i) aut.addState("expect" + std::to_string(i));
+  aut.addState("bad");
+  aut.setInitial("expect0");
+
+  auto noneOf = [&]() {
+    SigExprRef g = sigTrue();
+    for (const SigExprRef& e : events) g = sigAnd(std::move(g), sigNot(e));
+    return g;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    std::string here = "expect" + std::to_string(i);
+    std::string next = "expect" + std::to_string((i + 1) % n);
+    // only event i fires
+    SigExprRef only = events[i];
+    SigExprRef others = sigFalse();
+    for (size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      only = sigAnd(std::move(only), sigNot(events[k]));
+      others = sigOr(std::move(others), events[k]);
+    }
+    aut.addEdge(here, here, noneOf());
+    aut.addEdge(here, next, only);
+    aut.addEdge(here, "bad", others);
+  }
+  aut.addEdge("bad", "bad", sigTrue());
+  std::vector<std::string> good;
+  for (size_t i = 0; i < n; ++i) good.push_back("expect" + std::to_string(i));
+  aut.setStayAcceptance(good);
+  return autProperty(name, std::move(aut));
+}
+
+PifProperty existence(const std::string& name, SigExprRef p) {
+  return ctlProperty(name, ctlEF(ctlAtom(std::move(p))));
+}
+
+PifProperty response(const std::string& name, SigExprRef trigger,
+                     SigExprRef resp) {
+  return ctlProperty(name, ctlAG(ctlImplies(ctlAtom(std::move(trigger)),
+                                            ctlAF(ctlAtom(std::move(resp))))));
+}
+
+PifProperty responseAutomaton(const std::string& name, SigExprRef trigger,
+                              SigExprRef resp) {
+  Automaton aut(name);
+  aut.addState("idle");
+  aut.addState("pending");
+  aut.setInitial("idle");
+  // a trigger answered in the same step never leaves idle
+  aut.addEdge("idle", "pending", sigAnd(trigger, sigNot(resp)));
+  aut.addEdge("idle", "idle", sigOr(sigNot(trigger), resp));
+  aut.addEdge("pending", "idle", resp);
+  aut.addEdge("pending", "pending", sigNot(resp));
+  aut.setBuchiAcceptance({"idle"});
+  return autProperty(name, std::move(aut));
+}
+
+PifProperty recurrence(const std::string& name, SigExprRef p) {
+  Automaton aut(name);
+  aut.addState("wait");
+  aut.addState("seen");
+  aut.setInitial("wait");
+  aut.addEdge("wait", "seen", p);
+  aut.addEdge("wait", "wait", sigNot(p));
+  aut.addEdge("seen", "seen", p);
+  aut.addEdge("seen", "wait", sigNot(p));
+  aut.setBuchiAcceptance({"seen"});
+  return autProperty(name, std::move(aut));
+}
+
+PifProperty recurrenceCtl(const std::string& name, SigExprRef p) {
+  return ctlProperty(name, ctlAG(ctlAF(ctlAtom(std::move(p)))));
+}
+
+PifProperty resettable(const std::string& name, SigExprRef p) {
+  return ctlProperty(name, ctlAG(ctlEF(ctlAtom(std::move(p)))));
+}
+
+FairnessSpec noStarvation(SigExprRef set) {
+  FairnessSpec spec;
+  spec.noStay.push_back(std::move(set));
+  return spec;
+}
+
+}  // namespace hsis::proplib

@@ -1,0 +1,73 @@
+// The property library (paper Section 8, future-work item 8): "a library
+// of commonly used properties... parameterized so that they could be
+// adapted to specific situations, and ... accessible through an interface
+// that would not require knowledge of CTL or ω-automata."
+//
+// Every template takes signal expressions (the same atoms PIF uses) and
+// returns a ready-to-verify PifProperty — either a CTL formula or a
+// deterministic ω-automaton, whichever formalism suits the property class
+// (paper Section 5.2 discusses why both matter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pif/pif.hpp"
+
+namespace hsis::proplib {
+
+// ---- safety ----
+
+/// p holds in every reachable state:  AG p.
+PifProperty invariant(const std::string& name, SigExprRef p);
+
+/// The same invariant as a Figure-2 style automaton (language containment).
+PifProperty invariantAutomaton(const std::string& name, SigExprRef p);
+
+/// a and b are never true together:  AG !(a & b).
+PifProperty mutualExclusion(const std::string& name, SigExprRef a,
+                            SigExprRef b);
+
+/// After any state satisfying `trigger`, p never holds again:
+/// AG (trigger -> AX AG !p).
+PifProperty absenceAfter(const std::string& name, SigExprRef p,
+                         SigExprRef trigger);
+
+/// q does not occur before the first p (automaton; precedence).
+PifProperty precedence(const std::string& name, SigExprRef p, SigExprRef q);
+
+/// The events fire only in cyclic order e0, e1, ..., ek-1, e0, ...
+/// (automaton). At most one event may be true per step; simultaneous
+/// events are a violation.
+PifProperty cyclicOrder(const std::string& name,
+                        const std::vector<SigExprRef>& events);
+
+// ---- liveness ----
+
+/// Something good is reachable:  EF p.
+PifProperty existence(const std::string& name, SigExprRef p);
+
+/// Every request is eventually answered:  AG (trigger -> AF response).
+PifProperty response(const std::string& name, SigExprRef trigger,
+                     SigExprRef response);
+
+/// The automaton form of response: runs where a trigger stays unanswered
+/// forever are rejected (Büchi acceptance on the idle state).
+PifProperty responseAutomaton(const std::string& name, SigExprRef trigger,
+                              SigExprRef response);
+
+/// p holds infinitely often (automaton, Büchi).
+PifProperty recurrence(const std::string& name, SigExprRef p);
+
+/// The CTL form of recurrence:  AG AF p.
+PifProperty recurrenceCtl(const std::string& name, SigExprRef p);
+
+/// From everywhere the system can return to p:  AG EF p (resettability).
+PifProperty resettable(const std::string& name, SigExprRef p);
+
+// ---- fairness helpers ----
+
+/// "The system may not stay in `set` forever" as a FairnessSpec fragment.
+FairnessSpec noStarvation(SigExprRef set);
+
+}  // namespace hsis::proplib

@@ -1,0 +1,93 @@
+#include "sim/simulator.hpp"
+
+#include "fsm/trace.hpp"
+
+namespace hsis {
+
+Simulator::Simulator(const Fsm& fsm, const TransitionRelation& tr, uint64_t seed)
+    : fsm_(&fsm), tr_(&tr), rng_(seed == 0 ? 1 : seed) {
+  reset();
+}
+
+uint64_t Simulator::nextRandom() {
+  // xorshift64*
+  rng_ ^= rng_ >> 12;
+  rng_ ^= rng_ << 25;
+  rng_ ^= rng_ >> 27;
+  return rng_ * 0x2545F4914F6CDD1Dull;
+}
+
+void Simulator::reset() {
+  current_ = concretizeState(*fsm_, fsm_->initialStates());
+  steps_ = 0;
+}
+
+std::string Simulator::show() const { return fsm_->formatState(current_); }
+
+std::vector<std::vector<int8_t>> Simulator::statesOf(const Bdd& set,
+                                                     size_t limit) const {
+  std::vector<std::vector<int8_t>> out;
+  Bdd rest = set;
+  while (!rest.isZero() && out.size() < limit) {
+    std::vector<int8_t> s = concretizeState(*fsm_, rest);
+    out.push_back(s);
+    rest &= !fsm_->stateFromValues(fsm_->decodeState(s));
+  }
+  return out;
+}
+
+std::vector<std::vector<int8_t>> Simulator::successors(size_t limit) const {
+  Bdd cur = fsm_->stateFromValues(fsm_->decodeState(current_));
+  return statesOf(tr_->image(cur), limit);
+}
+
+bool Simulator::step(size_t choice) {
+  std::vector<std::vector<int8_t>> succ = successors(choice + 1);
+  if (choice >= succ.size()) return false;
+  current_ = succ[choice];
+  ++steps_;
+  return true;
+}
+
+bool Simulator::randomStep() {
+  std::vector<std::vector<int8_t>> succ = successors(64);
+  if (succ.empty()) return false;
+  current_ = succ[nextRandom() % succ.size()];
+  ++steps_;
+  return true;
+}
+
+size_t Simulator::randomWalk(size_t steps) {
+  size_t taken = 0;
+  for (size_t i = 0; i < steps; ++i) {
+    if (!randomStep()) break;
+    ++taken;
+  }
+  return taken;
+}
+
+size_t Simulator::enumerate(
+    size_t maxStates,
+    const std::function<void(const std::vector<int8_t>&)>& visit) const {
+  size_t count = 0;
+  Bdd frontier = fsm_->initialStates();
+  Bdd seen = frontier;
+  while (!frontier.isZero() && count < maxStates) {
+    for (const std::vector<int8_t>& s : statesOf(frontier, maxStates - count)) {
+      visit(s);
+      ++count;
+      if (count >= maxStates) return count;
+    }
+    Bdd next = tr_->image(frontier) & !seen;
+    seen |= next;
+    frontier = next;
+  }
+  return count;
+}
+
+double Simulator::reachableCount() const {
+  ReachResult r = reachableStates(*tr_, fsm_->initialStates());
+  return fsm_->countStates(r.reached);
+}
+
+}  // namespace hsis

@@ -1,0 +1,125 @@
+// AST for the vl2mv Verilog subset (synthesizable Verilog extended with
+// $ND non-determinism and enumerated types, per the paper's Section 3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vl2mv/lexer.hpp"
+
+namespace hsis::vl2mv {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    Const,    ///< number (value, width)
+    Id,       ///< identifier (net, parameter, or enum literal)
+    Unary,    ///< op args[0]
+    Binary,   ///< args[0] op args[1]
+    Ternary,  ///< args[0] ? args[1] : args[2]
+    Index,    ///< args[0] [ args[1] ]  (args[1] must elaborate to a constant)
+    Slice,    ///< args[0] [ args[1] : args[2] ]
+    Concat,   ///< { args... }
+    Nd,       ///< $ND(args...) — nondeterministic choice
+  };
+  Kind kind = Kind::Const;
+  uint64_t value = 0;  ///< Const
+  int width = -1;      ///< Const: declared width (4'b.. -> 4), -1 if bare
+  std::string name;    ///< Id
+  Tok op = Tok::End;   ///< Unary/Binary
+  std::vector<ExprPtr> args;
+  int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CaseItem {
+  std::vector<ExprPtr> labels;  ///< empty == default
+  StmtPtr body;
+};
+
+struct Stmt {
+  enum class Kind : uint8_t { NonBlocking, If, Case, Block };
+  Kind kind = Kind::Block;
+  // NonBlocking
+  std::string lhs;
+  ExprPtr rhs;
+  // If
+  ExprPtr cond;
+  StmtPtr thenS, elseS;
+  // Case
+  ExprPtr subject;
+  std::vector<CaseItem> items;
+  // Block
+  std::vector<StmtPtr> stmts;
+  int line = 0;
+};
+
+struct NetDecl {
+  enum class Kind : uint8_t { Input, Output, Wire, Reg };
+  Kind kind = Kind::Wire;
+  std::string name;
+  ExprPtr msb, lsb;                    ///< null for scalar
+  std::vector<std::string> enumValues; ///< non-empty: enumerated type
+  int line = 0;
+};
+
+struct ParamDecl {
+  std::string name;
+  ExprPtr value;
+};
+
+struct ContAssign {
+  std::string lhs;
+  ExprPtr rhs;
+  int line = 0;
+};
+
+struct AlwaysBlock {
+  StmtPtr body;
+  int line = 0;
+};
+
+/// `initial r = expr;` — expr must fold to constant(s); $ND yields a set.
+struct InitialAssign {
+  std::string lhs;
+  ExprPtr rhs;
+  int line = 0;
+};
+
+struct Instance {
+  std::string moduleName;
+  std::string instName;
+  /// named connections .port(expr); empty `second` means unconnected
+  std::vector<std::pair<std::string, ExprPtr>> namedConns;
+  std::vector<ExprPtr> posConns;  ///< positional, used when namedConns empty
+  std::vector<std::pair<std::string, ExprPtr>> namedParams;
+  std::vector<ExprPtr> posParams;
+  int line = 0;
+};
+
+struct ModuleDecl {
+  std::string name;
+  std::vector<std::string> portOrder;
+  std::vector<ParamDecl> params;
+  std::vector<NetDecl> nets;
+  std::vector<ContAssign> assigns;
+  std::vector<AlwaysBlock> always;
+  std::vector<InitialAssign> initials;
+  std::vector<Instance> instances;
+  int line = 0;
+};
+
+struct SourceFile {
+  std::vector<ModuleDecl> modules;
+};
+
+/// Parse Verilog source; throws std::runtime_error with line info.
+SourceFile parseVerilog(const std::string& text);
+
+}  // namespace hsis::vl2mv

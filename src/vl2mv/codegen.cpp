@@ -1,0 +1,1315 @@
+// vl2mv code generation: elaborate each module (with its parameter binding)
+// into a BLIF-MV model. Operators become small tables over fresh
+// intermediate signals; always blocks are symbolically executed into one
+// next-state expression per register, which drives a .latch.
+#include <cassert>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "vl2mv/ast.hpp"
+#include "vl2mv/vl2mv.hpp"
+
+namespace hsis::vl2mv {
+
+namespace {
+
+constexpr size_t kMaxTableRows = 1u << 14;
+
+[[noreturn]] void cgError(int line, const std::string& msg) {
+  throw std::runtime_error("vl2mv error (line " + std::to_string(line) +
+                           "): " + msg);
+}
+
+ExprPtr cloneExpr(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  auto c = std::make_unique<Expr>();
+  c->kind = e->kind;
+  c->value = e->value;
+  c->width = e->width;
+  c->name = e->name;
+  c->op = e->op;
+  c->line = e->line;
+  for (const auto& a : e->args) c->args.push_back(cloneExpr(a.get()));
+  return c;
+}
+
+ExprPtr mkId(const std::string& name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Id;
+  e->name = name;
+  e->line = line;
+  return e;
+}
+
+ExprPtr mkTernary(ExprPtr c, ExprPtr t, ExprPtr f) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Ternary;
+  e->line = c->line;
+  e->args.push_back(std::move(c));
+  e->args.push_back(std::move(t));
+  e->args.push_back(std::move(f));
+  return e;
+}
+
+/// The type of a value: a bit-vector of some width, or an enumerated type.
+struct Type {
+  uint32_t domain = 2;
+  int width = 1;    ///< bit width; -1 for enum types
+  int enumId = -1;  ///< index into the module's enum registry; -1 = bitvec
+
+  [[nodiscard]] bool isEnum() const { return enumId >= 0; }
+  bool operator==(const Type& o) const {
+    return domain == o.domain && enumId == o.enumId;
+  }
+};
+
+/// A generated value: either a named signal or a constant.
+struct Operand {
+  bool isConst = false;
+  uint64_t value = 0;   ///< for constants
+  std::string signal;   ///< for signals
+  Type type;
+};
+
+struct NetInfo {
+  NetDecl::Kind kind = NetDecl::Kind::Wire;
+  Type type;
+  int line = 0;
+};
+
+uint32_t widthToDomain(int width, int line) {
+  if (width < 1 || width > 16) cgError(line, "unsupported bit width");
+  return 1u << width;
+}
+
+int valueWidth(uint64_t v) {
+  int w = 1;
+  while ((v >> w) != 0) ++w;
+  return w;
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const SourceFile& sf) : source_(sf) {}
+
+  blifmv::Design compile(const std::string& topName) {
+    if (source_.modules.empty())
+      throw std::runtime_error("vl2mv: no modules in source");
+    const ModuleDecl* top = &source_.modules.front();
+    if (!topName.empty()) {
+      top = findModule(topName);
+      if (top == nullptr)
+        throw std::runtime_error("vl2mv: no module named " + topName);
+    }
+    std::string rootModel = instantiateModule(*top, {}, top->line);
+    design_.rootName = rootModel;
+    return std::move(design_);
+  }
+
+  const ModuleDecl* findModule(const std::string& name) const {
+    for (const ModuleDecl& m : source_.modules)
+      if (m.name == name) return &m;
+    return nullptr;
+  }
+
+  /// Elaborate `m` under the given parameter binding; returns the BLIF-MV
+  /// model name (memoized per distinct binding).
+  std::string instantiateModule(const ModuleDecl& m,
+                                const std::map<std::string, int64_t>& paramOverrides,
+                                int line);
+
+  blifmv::Design& design() { return design_; }
+  const SourceFile& source() const { return source_; }
+
+ private:
+  blifmv::Design design_;
+  const SourceFile& source_;
+  std::unordered_map<std::string, std::string> instantiated_;  // key -> model name
+};
+
+/// Per-module-elaboration state.
+class ModuleCompiler {
+ public:
+  ModuleCompiler(Compiler& parent, const ModuleDecl& decl,
+                 std::map<std::string, int64_t> params, std::string modelName)
+      : parent_(parent),
+        source_(parent.source()),
+        decl_(decl),
+        params_(std::move(params)),
+        design_(parent.design()) {
+    model_.name = std::move(modelName);
+  }
+
+  void run();
+
+ private:
+  // ---- constant evaluation (parameters, ranges, initial values) ----
+
+  int64_t evalConst(const Expr* e) {
+    switch (e->kind) {
+      case Expr::Kind::Const:
+        return static_cast<int64_t>(e->value);
+      case Expr::Kind::Id: {
+        auto it = params_.find(e->name);
+        if (it != params_.end()) return it->second;
+        // enum literal?
+        if (auto lit = enumLiteral(e->name)) return lit->second;
+        cgError(e->line, "'" + e->name + "' is not a constant");
+      }
+      case Expr::Kind::Unary: {
+        int64_t a = evalConst(e->args[0].get());
+        switch (e->op) {
+          case Tok::Minus: return -a;
+          case Tok::Tilde: return ~a;
+          case Tok::Bang: return a == 0 ? 1 : 0;
+          default: cgError(e->line, "bad constant unary operator");
+        }
+      }
+      case Expr::Kind::Binary: {
+        int64_t a = evalConst(e->args[0].get());
+        int64_t b = evalConst(e->args[1].get());
+        switch (e->op) {
+          case Tok::Plus: return a + b;
+          case Tok::Minus: return a - b;
+          case Tok::Star: return a * b;
+          case Tok::Slash: return b == 0 ? 0 : a / b;
+          case Tok::Percent: return b == 0 ? 0 : a % b;
+          case Tok::Shl: return a << b;
+          case Tok::Shr: return a >> b;
+          case Tok::Lt: return a < b;
+          case Tok::Gt: return a > b;
+          case Tok::GtEq: return a >= b;
+          case Tok::NonBlocking: return a <= b;
+          case Tok::EqEq: return a == b;
+          case Tok::BangEq: return a != b;
+          case Tok::AmpAmp: return (a != 0 && b != 0) ? 1 : 0;
+          case Tok::PipePipe: return (a != 0 || b != 0) ? 1 : 0;
+          case Tok::Amp: return a & b;
+          case Tok::Pipe: return a | b;
+          case Tok::Caret: return a ^ b;
+          default: cgError(e->line, "bad constant binary operator");
+        }
+      }
+      default:
+        cgError(e->line, "expression is not constant");
+    }
+  }
+
+  // ---- enum registry ----
+
+  /// (enumId, value index) of an enum literal name, if any.
+  std::optional<std::pair<int, uint32_t>> enumLiteral(const std::string& name) {
+    auto it = enumLiterals_.find(name);
+    if (it == enumLiterals_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  int registerEnum(const std::vector<std::string>& values, int line) {
+    for (size_t i = 0; i < enums_.size(); ++i)
+      if (enums_[i] == values) return static_cast<int>(i);
+    int id = static_cast<int>(enums_.size());
+    enums_.push_back(values);
+    for (uint32_t k = 0; k < values.size(); ++k) {
+      auto [it, fresh] =
+          enumLiterals_.emplace(values[k], std::pair<int, uint32_t>{id, k});
+      if (!fresh && enums_[it->second.first][it->second.second] != values[k])
+        cgError(line, "enum literal " + values[k] + " declared twice");
+    }
+    return id;
+  }
+
+  // ---- net table ----
+
+  void declareNets() {
+    for (const NetDecl& d : decl_.nets) {
+      NetInfo info;
+      info.kind = d.kind;
+      info.line = d.line;
+      if (!d.enumValues.empty()) {
+        int id = registerEnum(d.enumValues, d.line);
+        info.type.enumId = id;
+        info.type.width = -1;
+        info.type.domain = static_cast<uint32_t>(d.enumValues.size());
+      } else if (d.msb != nullptr) {
+        int64_t msb = evalConst(d.msb.get());
+        int64_t lsb = evalConst(d.lsb.get());
+        if (lsb != 0 || msb < 0) cgError(d.line, "ranges must be [N:0]");
+        info.type.width = static_cast<int>(msb) + 1;
+        info.type.domain = widthToDomain(info.type.width, d.line);
+      }
+      if (nets_.contains(d.name))
+        cgError(d.line, "net " + d.name + " declared twice");
+      nets_.emplace(d.name, info);
+      declareSignal(d.name, info.type);
+    }
+    for (const std::string& p : decl_.portOrder) {
+      if (!nets_.contains(p))
+        cgError(decl_.line, "port " + p + " has no declaration");
+    }
+  }
+
+  /// Record the .mv declaration for a signal of the given type.
+  void declareSignal(const std::string& name, const Type& t) {
+    if (t.domain == 2 && !t.isEnum()) return;  // binary default
+    blifmv::VarDecl vd;
+    vd.domain = t.domain;
+    if (t.isEnum()) vd.valueNames = enums_[t.enumId];
+    model_.varDecls[name] = std::move(vd);
+  }
+
+  std::string freshSignal(const Type& t) {
+    std::string name = "_e" + std::to_string(nextTemp_++);
+    declareSignal(name, t);
+    // Register as a net so the name resolves in synthesized expressions
+    // (if/case merges refer to materialized condition signals by name).
+    NetInfo info;
+    info.kind = NetDecl::Kind::Wire;
+    info.type = t;
+    nets_.emplace(name, info);
+    return name;
+  }
+
+  const NetInfo* netOf(const std::string& name) const {
+    auto it = nets_.find(name);
+    return it == nets_.end() ? nullptr : &it->second;
+  }
+
+  // ---- expression code generation ----
+
+  std::string exprKey(const Expr* e) {
+    std::ostringstream os;
+    serialize(e, os);
+    return os.str();
+  }
+
+  void serialize(const Expr* e, std::ostream& os) {
+    os << static_cast<int>(e->kind) << ':';
+    switch (e->kind) {
+      case Expr::Kind::Const: os << e->value << '#' << e->width; break;
+      case Expr::Kind::Id: os << e->name; break;
+      default: os << static_cast<int>(e->op); break;
+    }
+    os << '(';
+    for (const auto& a : e->args) {
+      serialize(a.get(), os);
+      os << ',';
+    }
+    os << ')';
+  }
+
+  Operand constOperand(uint64_t v, Type t) {
+    Operand o;
+    o.isConst = true;
+    o.value = v;
+    o.type = t;
+    return o;
+  }
+
+  Operand signalOperand(const std::string& name, Type t) {
+    Operand o;
+    o.signal = name;
+    o.type = t;
+    return o;
+  }
+
+  static bool containsNd(const Expr* e) {
+    if (e->kind == Expr::Kind::Nd) return true;
+    for (const auto& a : e->args)
+      if (containsNd(a.get())) return true;
+    return false;
+  }
+
+  /// Main expression entry point; memoized on the serialized tree.
+  /// Nondeterministic expressions are NEVER memoized: every textual $ND is
+  /// an independent choice, so two occurrences of "$ND(0,1)" must compile
+  /// to two distinct free sources.
+  Operand genExpr(const Expr* e) {
+    if (containsNd(e)) return genExprUncached(e);
+    std::string key = exprKey(e);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Operand o = genExprUncached(e);
+    memo_.emplace(std::move(key), o);
+    return o;
+  }
+
+  Operand genExprUncached(const Expr* e);
+  Operand genBinary(const Expr* e);
+  Operand genUnary(const Expr* e);
+  Operand genTernary(const Expr* e);
+  Operand genNd(const Expr* e);
+
+  /// Emit a table computing `fn` over the (signal) operands, enumerating
+  /// their domains; constant operands are folded.
+  Operand emitFunctionTable(const std::vector<Operand>& ops, Type resultType,
+                            const std::function<uint64_t(const std::vector<uint64_t>&)>& fn,
+                            int line);
+
+  /// Coerce an operand to a named signal (materializing constants).
+  std::string materialize(const Operand& o, int line);
+
+  static std::string valueToken(const Operand& o, uint64_t v,
+                                const std::vector<std::vector<std::string>>& enums) {
+    if (o.type.enumId >= 0) return enums[o.type.enumId][v];
+    return std::to_string(v);
+  }
+
+  std::string valueToken(const Type& t, uint64_t v) const {
+    if (t.enumId >= 0) return enums_[t.enumId].at(static_cast<size_t>(v));
+    return std::to_string(v);
+  }
+
+  // ---- statements ----
+
+  using Env = std::map<std::string, ExprPtr>;
+
+  void execStmt(const Stmt* s, Env& env);
+
+  // ---- module pieces ----
+
+  void compileAssigns();
+  void compileAlways();
+  void compileInitials(const std::unordered_set<std::string>& latched);
+  void compileInstances();
+  void emitAlias(const std::string& from, const Type& t, const std::string& to,
+                 int line);
+
+  Compiler& parent_;
+  const SourceFile& source_;
+  const ModuleDecl& decl_;
+  std::map<std::string, int64_t> params_;
+  blifmv::Design& design_;
+
+  blifmv::Model model_;
+  std::unordered_map<std::string, NetInfo> nets_;
+  std::vector<std::vector<std::string>> enums_;
+  std::unordered_map<std::string, std::pair<int, uint32_t>> enumLiterals_;
+  std::unordered_map<std::string, Operand> memo_;
+  std::unordered_map<std::string, ExprPtr> nextState_;  // reg -> final expr
+  int nextTemp_ = 0;
+
+ public:
+  blifmv::Model takeModel() { return std::move(model_); }
+};
+
+// ----------------------------------------------------------- expressions
+
+Operand ModuleCompiler::genExprUncached(const Expr* e) {
+  switch (e->kind) {
+    case Expr::Kind::Const: {
+      Type t;
+      t.width = e->width > 0 ? e->width : valueWidth(e->value);
+      t.domain = widthToDomain(t.width, e->line);
+      if (e->value >= t.domain) cgError(e->line, "literal exceeds its width");
+      return constOperand(e->value, t);
+    }
+    case Expr::Kind::Id: {
+      if (auto it = params_.find(e->name); it != params_.end()) {
+        uint64_t v = static_cast<uint64_t>(it->second);
+        Type t;
+        t.width = valueWidth(v);
+        t.domain = widthToDomain(t.width, e->line);
+        return constOperand(v, t);
+      }
+      if (const NetInfo* n = netOf(e->name)) return signalOperand(e->name, n->type);
+      if (auto lit = enumLiteral(e->name)) {
+        Type t;
+        t.enumId = lit->first;
+        t.width = -1;
+        t.domain = static_cast<uint32_t>(enums_[lit->first].size());
+        return constOperand(lit->second, t);
+      }
+      cgError(e->line, "unknown identifier " + e->name);
+    }
+    case Expr::Kind::Unary:
+      return genUnary(e);
+    case Expr::Kind::Binary:
+      return genBinary(e);
+    case Expr::Kind::Ternary:
+      return genTernary(e);
+    case Expr::Kind::Nd:
+      return genNd(e);
+    case Expr::Kind::Index: {
+      Operand base = genExpr(e->args[0].get());
+      int64_t idx = evalConst(e->args[1].get());
+      if (base.type.isEnum()) cgError(e->line, "cannot index an enum value");
+      if (idx < 0 || idx >= base.type.width) cgError(e->line, "index out of range");
+      Type t;  // 1 bit
+      if (base.isConst) return constOperand((base.value >> idx) & 1u, t);
+      return emitFunctionTable(
+          {base}, t, [idx](const std::vector<uint64_t>& v) { return (v[0] >> idx) & 1u; },
+          e->line);
+    }
+    case Expr::Kind::Slice: {
+      Operand base = genExpr(e->args[0].get());
+      int64_t msb = evalConst(e->args[1].get());
+      int64_t lsb = evalConst(e->args[2].get());
+      if (base.type.isEnum()) cgError(e->line, "cannot slice an enum value");
+      if (lsb < 0 || msb < lsb || msb >= base.type.width)
+        cgError(e->line, "slice out of range");
+      Type t;
+      t.width = static_cast<int>(msb - lsb) + 1;
+      t.domain = widthToDomain(t.width, e->line);
+      uint64_t mask = t.domain - 1;
+      if (base.isConst) return constOperand((base.value >> lsb) & mask, t);
+      return emitFunctionTable(
+          {base}, t,
+          [lsb, mask](const std::vector<uint64_t>& v) { return (v[0] >> lsb) & mask; },
+          e->line);
+    }
+    case Expr::Kind::Concat: {
+      std::vector<Operand> ops;
+      int width = 0;
+      for (const auto& a : e->args) {
+        Operand o = genExpr(a.get());
+        if (o.type.isEnum()) cgError(e->line, "cannot concatenate enum values");
+        ops.push_back(o);
+        width += o.type.width;
+      }
+      Type t;
+      t.width = width;
+      t.domain = widthToDomain(width, e->line);
+      std::vector<int> widths;
+      for (const Operand& o : ops) widths.push_back(o.type.width);
+      return emitFunctionTable(
+          ops, t,
+          [widths](const std::vector<uint64_t>& v) {
+            uint64_t out = 0;
+            for (size_t i = 0; i < v.size(); ++i)
+              out = (out << widths[i]) | v[i];
+            return out;
+          },
+          e->line);
+    }
+  }
+  cgError(e->line, "unhandled expression");
+}
+
+Operand ModuleCompiler::genUnary(const Expr* e) {
+  Operand a = genExpr(e->args[0].get());
+  if (a.type.isEnum()) cgError(e->line, "operator on enum value");
+  Type t = a.type;
+  uint64_t mask = a.type.domain - 1;
+  std::function<uint64_t(const std::vector<uint64_t>&)> fn;
+  switch (e->op) {
+    case Tok::Bang:
+      t = Type{};  // 1 bit
+      fn = [](const std::vector<uint64_t>& v) { return v[0] == 0 ? 1u : 0u; };
+      break;
+    case Tok::Tilde:
+      fn = [mask](const std::vector<uint64_t>& v) { return ~v[0] & mask; };
+      break;
+    case Tok::Minus:
+      fn = [mask](const std::vector<uint64_t>& v) { return (~v[0] + 1) & mask; };
+      break;
+    default:
+      cgError(e->line, "bad unary operator");
+  }
+  if (a.isConst) return constOperand(fn({a.value}), t);
+  return emitFunctionTable({a}, t, fn, e->line);
+}
+
+Operand ModuleCompiler::genBinary(const Expr* e) {
+  Operand a = genExpr(e->args[0].get());
+  Operand b = genExpr(e->args[1].get());
+  bool isEqNeq = e->op == Tok::EqEq || e->op == Tok::BangEq;
+
+  if (a.type.isEnum() || b.type.isEnum()) {
+    // Enums support only ==/!= against the same enum type.
+    if (!isEqNeq || !(a.type == b.type))
+      cgError(e->line, "enums support only ==/!= against the same enum");
+  } else if (isEqNeq && a.type.domain != b.type.domain) {
+    // widen the narrower side conceptually; handled by value comparison
+  }
+
+  Type t;  // default: 1-bit result
+  int wmax = std::max(a.type.width, b.type.width);
+  uint64_t maskMax = (wmax >= 1 && wmax <= 16) ? ((1ull << wmax) - 1) : 1;
+  std::function<uint64_t(const std::vector<uint64_t>&)> fn;
+  switch (e->op) {
+    case Tok::EqEq:
+      fn = [](const std::vector<uint64_t>& v) { return v[0] == v[1] ? 1u : 0u; };
+      break;
+    case Tok::BangEq:
+      fn = [](const std::vector<uint64_t>& v) { return v[0] != v[1] ? 1u : 0u; };
+      break;
+    case Tok::Lt:
+      fn = [](const std::vector<uint64_t>& v) { return v[0] < v[1] ? 1u : 0u; };
+      break;
+    case Tok::Gt:
+      fn = [](const std::vector<uint64_t>& v) { return v[0] > v[1] ? 1u : 0u; };
+      break;
+    case Tok::GtEq:
+      fn = [](const std::vector<uint64_t>& v) { return v[0] >= v[1] ? 1u : 0u; };
+      break;
+    case Tok::NonBlocking:  // '<=' in expression position
+      fn = [](const std::vector<uint64_t>& v) { return v[0] <= v[1] ? 1u : 0u; };
+      break;
+    case Tok::AmpAmp:
+      fn = [](const std::vector<uint64_t>& v) {
+        return (v[0] != 0 && v[1] != 0) ? 1u : 0u;
+      };
+      break;
+    case Tok::PipePipe:
+      fn = [](const std::vector<uint64_t>& v) {
+        return (v[0] != 0 || v[1] != 0) ? 1u : 0u;
+      };
+      break;
+    case Tok::Plus:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [maskMax](const std::vector<uint64_t>& v) { return (v[0] + v[1]) & maskMax; };
+      break;
+    case Tok::Minus:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [maskMax](const std::vector<uint64_t>& v) { return (v[0] - v[1]) & maskMax; };
+      break;
+    case Tok::Star:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [maskMax](const std::vector<uint64_t>& v) { return (v[0] * v[1]) & maskMax; };
+      break;
+    case Tok::Slash:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [maskMax](const std::vector<uint64_t>& v) {
+        return v[1] == 0 ? 0 : (v[0] / v[1]) & maskMax;
+      };
+      break;
+    case Tok::Percent:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [maskMax](const std::vector<uint64_t>& v) {
+        return v[1] == 0 ? 0 : (v[0] % v[1]) & maskMax;
+      };
+      break;
+    case Tok::Amp:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [](const std::vector<uint64_t>& v) { return v[0] & v[1]; };
+      break;
+    case Tok::Pipe:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [](const std::vector<uint64_t>& v) { return v[0] | v[1]; };
+      break;
+    case Tok::Caret:
+      t.width = wmax;
+      t.domain = widthToDomain(wmax, e->line);
+      fn = [](const std::vector<uint64_t>& v) { return v[0] ^ v[1]; };
+      break;
+    case Tok::Shl: {
+      t = a.type;
+      uint64_t m = a.type.domain - 1;
+      fn = [m](const std::vector<uint64_t>& v) {
+        return v[1] >= 16 ? 0 : (v[0] << v[1]) & m;
+      };
+      break;
+    }
+    case Tok::Shr:
+      t = a.type;
+      fn = [](const std::vector<uint64_t>& v) {
+        return v[1] >= 16 ? 0 : v[0] >> v[1];
+      };
+      break;
+    default:
+      cgError(e->line, "bad binary operator");
+  }
+
+  if (a.isConst && b.isConst) return constOperand(fn({a.value, b.value}), t);
+
+  // Special compact form for ==/!= between two signals of equal domain:
+  // one row per value plus a default, instead of the full cross product.
+  if (isEqNeq && !a.isConst && !b.isConst && a.type.domain == b.type.domain) {
+    std::string out = freshSignal(t);
+    blifmv::Table tab;
+    tab.inputs = {a.signal, b.signal};
+    tab.output = out;
+    bool eq = e->op == Tok::EqEq;
+    tab.defaultValue = eq ? "0" : "1";
+    for (uint64_t k = 0; k < a.type.domain; ++k) {
+      blifmv::Row row;
+      row.entries.push_back(blifmv::RowEntry::value(valueToken(a.type, k)));
+      row.entries.push_back(blifmv::RowEntry::value(valueToken(b.type, k)));
+      row.entries.push_back(blifmv::RowEntry::value(eq ? "1" : "0"));
+      tab.rows.push_back(std::move(row));
+    }
+    model_.tables.push_back(std::move(tab));
+    return signalOperand(out, t);
+  }
+  return emitFunctionTable({a, b}, t, fn, e->line);
+}
+
+Operand ModuleCompiler::genTernary(const Expr* e) {
+  Operand c = genExpr(e->args[0].get());
+  Operand t1 = genExpr(e->args[1].get());
+  Operand t2 = genExpr(e->args[2].get());
+  if (c.type.isEnum()) cgError(e->line, "ternary condition cannot be an enum");
+
+  Type t;
+  if (t1.type.isEnum() || t2.type.isEnum()) {
+    if (!(t1.type == t2.type))
+      cgError(e->line, "ternary branches have incompatible enum types");
+    t = t1.type;
+  } else {
+    t.width = std::max(t1.type.width, t2.type.width);
+    t.domain = widthToDomain(t.width, e->line);
+  }
+  if (c.isConst) return c.value != 0 ? t1 : t2;
+
+  // Two-row mux using '=' entries.
+  std::string out = freshSignal(t);
+  blifmv::Table tab;
+  tab.inputs.push_back(c.signal);
+  auto branchEntry = [&](const Operand& o) -> blifmv::RowEntry {
+    if (o.isConst) return blifmv::RowEntry::value(valueToken(t, o.value));
+    blifmv::RowEntry re;
+    re.kind = blifmv::RowEntry::Kind::Equal;
+    re.eqVar = o.signal;
+    return re;
+  };
+  if (!t1.isConst) tab.inputs.push_back(t1.signal);
+  if (!t2.isConst && (t1.isConst || t2.signal != t1.signal))
+    tab.inputs.push_back(t2.signal);
+  tab.output = out;
+  size_t nIn = tab.inputs.size();
+  {
+    blifmv::Row row;
+    for (size_t i = 0; i < nIn; ++i) row.entries.push_back(blifmv::RowEntry::any());
+    // condition != 0 (condition domain may exceed 2)
+    blifmv::RowEntry ce;
+    if (c.type.domain == 2) {
+      ce = blifmv::RowEntry::value("1");
+    } else {
+      ce.kind = blifmv::RowEntry::Kind::Complement;
+      ce.values = {"0"};
+    }
+    row.entries[0] = ce;
+    row.entries.push_back(branchEntry(t1));
+    tab.rows.push_back(std::move(row));
+  }
+  {
+    blifmv::Row row;
+    for (size_t i = 0; i < nIn; ++i) row.entries.push_back(blifmv::RowEntry::any());
+    row.entries[0] = blifmv::RowEntry::value("0");
+    row.entries.push_back(branchEntry(t2));
+    tab.rows.push_back(std::move(row));
+  }
+  model_.tables.push_back(std::move(tab));
+  return signalOperand(out, t);
+}
+
+Operand ModuleCompiler::genNd(const Expr* e) {
+  std::vector<Operand> choices;
+  Type t;
+  bool first = true;
+  for (const auto& a : e->args) {
+    Operand o = genExpr(a.get());
+    if (first) {
+      t = o.type;
+      first = false;
+    } else if (o.type.isEnum() || t.isEnum()) {
+      if (!(o.type == t)) cgError(e->line, "$ND choices of mixed enum types");
+    } else {
+      t.width = std::max(t.width, o.type.width);
+      t.domain = widthToDomain(t.width, e->line);
+    }
+    choices.push_back(std::move(o));
+  }
+  std::string out = freshSignal(t);
+  blifmv::Table tab;
+  tab.output = out;
+  // Inputs: every distinct non-constant choice signal.
+  std::vector<std::string> ins;
+  for (const Operand& o : choices) {
+    if (!o.isConst) {
+      bool dup = false;
+      for (const std::string& s : ins) dup = dup || s == o.signal;
+      if (!dup) ins.push_back(o.signal);
+    }
+  }
+  tab.inputs = ins;
+  for (const Operand& o : choices) {
+    blifmv::Row row;
+    for (size_t i = 0; i < ins.size(); ++i)
+      row.entries.push_back(blifmv::RowEntry::any());
+    if (o.isConst) {
+      row.entries.push_back(blifmv::RowEntry::value(valueToken(t, o.value)));
+    } else {
+      blifmv::RowEntry re;
+      re.kind = blifmv::RowEntry::Kind::Equal;
+      re.eqVar = o.signal;
+      row.entries.push_back(std::move(re));
+    }
+    tab.rows.push_back(std::move(row));
+  }
+  model_.tables.push_back(std::move(tab));
+  return signalOperand(out, t);
+}
+
+Operand ModuleCompiler::emitFunctionTable(
+    const std::vector<Operand>& ops, Type resultType,
+    const std::function<uint64_t(const std::vector<uint64_t>&)>& fn, int line) {
+  // Enumerate the domains of the signal operands; constants stay fixed.
+  std::vector<size_t> sigIdx;
+  size_t rows = 1;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].isConst) {
+      sigIdx.push_back(i);
+      rows *= ops[i].type.domain;
+    }
+  }
+  if (rows > kMaxTableRows)
+    cgError(line, "operator table too large (" + std::to_string(rows) +
+                      " rows); reduce operand widths");
+
+  std::string out = freshSignal(resultType);
+  blifmv::Table tab;
+  for (size_t i : sigIdx) tab.inputs.push_back(ops[i].signal);
+  tab.output = out;
+
+  std::vector<uint64_t> vals(ops.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i)
+    if (ops[i].isConst) vals[i] = ops[i].value;
+
+  std::vector<uint64_t> counters(sigIdx.size(), 0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t k = 0; k < sigIdx.size(); ++k) vals[sigIdx[k]] = counters[k];
+    uint64_t res = fn(vals);
+    blifmv::Row row;
+    for (size_t k = 0; k < sigIdx.size(); ++k) {
+      row.entries.push_back(
+          blifmv::RowEntry::value(valueToken(ops[sigIdx[k]].type, counters[k])));
+    }
+    if (res >= resultType.domain) cgError(line, "operator result out of range");
+    row.entries.push_back(blifmv::RowEntry::value(valueToken(resultType, res)));
+    tab.rows.push_back(std::move(row));
+    // increment the mixed-radix counter
+    for (size_t k = sigIdx.size(); k-- > 0;) {
+      if (++counters[k] < ops[sigIdx[k]].type.domain) break;
+      counters[k] = 0;
+    }
+  }
+  model_.tables.push_back(std::move(tab));
+  return signalOperand(out, resultType);
+}
+
+std::string ModuleCompiler::materialize(const Operand& o, int line) {
+  if (!o.isConst) return o.signal;
+  std::string out = freshSignal(o.type);
+  blifmv::Table tab;
+  tab.output = out;
+  blifmv::Row row;
+  row.entries.push_back(blifmv::RowEntry::value(valueToken(o.type, o.value)));
+  tab.rows.push_back(std::move(row));
+  model_.tables.push_back(std::move(tab));
+  (void)line;
+  return out;
+}
+
+void ModuleCompiler::emitAlias(const std::string& from, const Type& t,
+                               const std::string& to, int line) {
+  (void)line;
+  (void)t;
+  blifmv::Table tab;
+  tab.inputs = {from};
+  tab.output = to;
+  blifmv::Row row;
+  row.entries.push_back(blifmv::RowEntry::any());
+  blifmv::RowEntry re;
+  re.kind = blifmv::RowEntry::Kind::Equal;
+  re.eqVar = from;
+  row.entries.push_back(std::move(re));
+  tab.rows.push_back(std::move(row));
+  model_.tables.push_back(std::move(tab));
+}
+
+// ------------------------------------------------------------ statements
+
+void ModuleCompiler::execStmt(const Stmt* s, Env& env) {
+  switch (s->kind) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr& st : s->stmts) execStmt(st.get(), env);
+      return;
+    case Stmt::Kind::NonBlocking: {
+      const NetInfo* n = netOf(s->lhs);
+      if (n == nullptr) cgError(s->line, "assignment to undeclared " + s->lhs);
+      env[s->lhs] = cloneExpr(s->rhs.get());
+      return;
+    }
+    case Stmt::Kind::If: {
+      // Evaluate the condition once and refer to it by name in the merge.
+      Operand c = genExpr(s->cond.get());
+      if (c.isConst) {
+        if (c.value != 0) {
+          execStmt(s->thenS.get(), env);
+        } else if (s->elseS != nullptr) {
+          execStmt(s->elseS.get(), env);
+        }
+        return;
+      }
+      std::string cname = c.signal;
+      Env thenEnv, elseEnv;
+      for (const auto& [k, v] : env) {
+        thenEnv[k] = cloneExpr(v.get());
+        elseEnv[k] = cloneExpr(v.get());
+      }
+      execStmt(s->thenS.get(), thenEnv);
+      if (s->elseS != nullptr) execStmt(s->elseS.get(), elseEnv);
+      std::unordered_set<std::string> regs;
+      for (const auto& [k, _] : thenEnv) regs.insert(k);
+      for (const auto& [k, _] : elseEnv) regs.insert(k);
+      for (const std::string& r : regs) {
+        auto pick = [&](Env& e2) -> ExprPtr {
+          auto it = e2.find(r);
+          if (it != e2.end()) return std::move(it->second);
+          return mkId(r, s->line);  // unassigned: hold present value
+        };
+        ExprPtr tv = pick(thenEnv);
+        ExprPtr ev = pick(elseEnv);
+        if (exprKey(tv.get()) == exprKey(ev.get())) {
+          env[r] = std::move(tv);
+        } else {
+          env[r] = mkTernary(mkId(cname, s->line), std::move(tv), std::move(ev));
+        }
+      }
+      return;
+    }
+    case Stmt::Kind::Case: {
+      // Rewrite into an if/else chain on (subject == label).
+      Operand subj = genExpr(s->subject.get());
+      std::string sname =
+          subj.isConst ? materialize(subj, s->line) : subj.signal;
+      Type stype = subj.type;
+      const Stmt* defaultBody = nullptr;
+      // Build nested manually, from the last item backwards.
+      struct Arm {
+        ExprPtr cond;
+        const Stmt* body;
+      };
+      std::vector<Arm> arms;
+      for (const CaseItem& item : s->items) {
+        if (item.labels.empty()) {
+          defaultBody = item.body.get();
+          continue;
+        }
+        ExprPtr cond;
+        for (const ExprPtr& lab : item.labels) {
+          auto eq = std::make_unique<Expr>();
+          eq->kind = Expr::Kind::Binary;
+          eq->op = Tok::EqEq;
+          eq->line = s->line;
+          eq->args.push_back(mkId(sname, s->line));
+          eq->args.push_back(cloneExpr(lab.get()));
+          if (cond == nullptr) {
+            cond = std::move(eq);
+          } else {
+            auto orE = std::make_unique<Expr>();
+            orE->kind = Expr::Kind::Binary;
+            orE->op = Tok::PipePipe;
+            orE->line = s->line;
+            orE->args.push_back(std::move(cond));
+            orE->args.push_back(std::move(eq));
+            cond = std::move(orE);
+          }
+        }
+        arms.push_back(Arm{std::move(cond), item.body.get()});
+      }
+      (void)stype;
+      // Fold into env via recursive if-merging, reusing the If machinery.
+      std::function<void(size_t, Env&)> rec = [&](size_t i, Env& env2) {
+        if (i == arms.size()) {
+          if (defaultBody != nullptr) execStmt(defaultBody, env2);
+          return;
+        }
+        Operand c = genExpr(arms[i].cond.get());
+        std::string cname = c.isConst ? materialize(c, s->line) : c.signal;
+        Env thenEnv, elseEnv;
+        for (const auto& [k, v] : env2) {
+          thenEnv[k] = cloneExpr(v.get());
+          elseEnv[k] = cloneExpr(v.get());
+        }
+        execStmt(arms[i].body, thenEnv);
+        rec(i + 1, elseEnv);
+        std::unordered_set<std::string> regs;
+        for (const auto& [k, _] : thenEnv) regs.insert(k);
+        for (const auto& [k, _] : elseEnv) regs.insert(k);
+        for (const std::string& r : regs) {
+          auto pick = [&](Env& e2) -> ExprPtr {
+            auto it = e2.find(r);
+            if (it != e2.end()) return std::move(it->second);
+            return mkId(r, s->line);
+          };
+          ExprPtr tv = pick(thenEnv);
+          ExprPtr ev = pick(elseEnv);
+          if (exprKey(tv.get()) == exprKey(ev.get())) {
+            env2[r] = std::move(tv);
+          } else {
+            env2[r] = mkTernary(mkId(cname, s->line), std::move(tv), std::move(ev));
+          }
+        }
+      };
+      rec(0, env);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------- module pieces
+
+void ModuleCompiler::compileAssigns() {
+  for (const ContAssign& a : decl_.assigns) {
+    const NetInfo* n = netOf(a.lhs);
+    if (n == nullptr) cgError(a.line, "assign to undeclared net " + a.lhs);
+    Operand o = genExpr(a.rhs.get());
+    if (!o.type.isEnum() && !n->type.isEnum() && o.type.domain > n->type.domain)
+      cgError(a.line, "assign to " + a.lhs + " loses bits");
+    if (o.type.isEnum() != n->type.isEnum() ||
+        (o.type.isEnum() && !(o.type == n->type)))
+      cgError(a.line, "assign to " + a.lhs + ": enum type mismatch");
+    if (o.isConst) {
+      blifmv::Table tab;
+      tab.output = a.lhs;
+      blifmv::Row row;
+      row.entries.push_back(blifmv::RowEntry::value(valueToken(n->type, o.value)));
+      tab.rows.push_back(std::move(row));
+      model_.tables.push_back(std::move(tab));
+    } else if (o.type.domain == n->type.domain) {
+      emitAlias(o.signal, n->type, a.lhs, a.line);
+    } else {
+      // widen: enumerate
+      blifmv::Table tab;
+      tab.inputs = {o.signal};
+      tab.output = a.lhs;
+      for (uint64_t k = 0; k < o.type.domain; ++k) {
+        blifmv::Row row;
+        row.entries.push_back(blifmv::RowEntry::value(valueToken(o.type, k)));
+        row.entries.push_back(blifmv::RowEntry::value(valueToken(n->type, k)));
+        tab.rows.push_back(std::move(row));
+      }
+      model_.tables.push_back(std::move(tab));
+    }
+  }
+}
+
+void ModuleCompiler::compileAlways() {
+  for (const AlwaysBlock& ab : decl_.always) {
+    Env env;
+    execStmt(ab.body.get(), env);
+    for (auto& [reg, expr] : env) {
+      if (nextState_.contains(reg))
+        cgError(ab.line, "register " + reg + " assigned in two always blocks");
+      nextState_[reg] = std::move(expr);
+    }
+  }
+}
+
+void ModuleCompiler::compileInitials(
+    const std::unordered_set<std::string>& latched) {
+  std::unordered_map<std::string, std::vector<std::string>> resets;
+  for (const InitialAssign& ia : decl_.initials) {
+    const NetInfo* n = netOf(ia.lhs);
+    if (n == nullptr) cgError(ia.line, "initial for undeclared " + ia.lhs);
+    std::vector<const Expr*> values;
+    if (ia.rhs->kind == Expr::Kind::Nd) {
+      for (const ExprPtr& a : ia.rhs->args) values.push_back(a.get());
+    } else {
+      values.push_back(ia.rhs.get());
+    }
+    for (const Expr* v : values) {
+      int64_t k = evalConst(v);
+      if (k < 0 || static_cast<uint64_t>(k) >= n->type.domain)
+        cgError(ia.line, "initial value out of domain for " + ia.lhs);
+      resets[ia.lhs].push_back(valueToken(n->type, static_cast<uint64_t>(k)));
+    }
+  }
+  for (blifmv::Latch& l : model_.latches) {
+    auto it = resets.find(l.output);
+    if (it != resets.end()) l.resetValues = it->second;
+  }
+  for (const auto& [name, vals] : resets) {
+    (void)vals;
+    if (!latched.contains(name))
+      cgError(decl_.line, "initial for " + name +
+                              ", which is not assigned in any always block");
+  }
+}
+
+void ModuleCompiler::compileInstances() {
+  for (const Instance& inst : decl_.instances) {
+    const ModuleDecl* child = nullptr;
+    for (const ModuleDecl& m : source_.modules)
+      if (m.name == inst.moduleName) child = &m;
+    if (child == nullptr)
+      cgError(inst.line, "unknown module " + inst.moduleName);
+
+    // Parameter binding.
+    std::map<std::string, int64_t> bound;
+    if (!inst.posParams.empty()) {
+      if (inst.posParams.size() > child->params.size())
+        cgError(inst.line, "too many parameter overrides");
+      for (size_t i = 0; i < inst.posParams.size(); ++i)
+        bound[child->params[i].name] = evalConst(inst.posParams[i].get());
+    }
+    for (const auto& [pname, pexpr] : inst.namedParams)
+      bound[pname] = evalConst(pexpr.get());
+
+    std::string childModel = parent_.instantiateModule(*child, bound, inst.line);
+    const blifmv::Model* childBlif = design_.findModel(childModel);
+    assert(childBlif != nullptr);
+
+    // Port connections.
+    std::vector<std::pair<std::string, const Expr*>> conns;
+    if (!inst.posConns.empty()) {
+      if (inst.posConns.size() > child->portOrder.size())
+        cgError(inst.line, "too many connections for " + inst.moduleName);
+      for (size_t i = 0; i < inst.posConns.size(); ++i)
+        conns.emplace_back(child->portOrder[i], inst.posConns[i].get());
+    } else {
+      for (const auto& [p, e] : inst.namedConns)
+        if (e != nullptr) conns.emplace_back(p, e.get());
+    }
+
+    blifmv::Subckt sc;
+    sc.modelName = childModel;
+    sc.instanceName = inst.instName;
+    for (const auto& [port, expr] : conns) {
+      // Find the port direction in the child.
+      const NetDecl* pd = nullptr;
+      for (const NetDecl& nd : child->nets)
+        if (nd.name == port) pd = &nd;
+      if (pd == nullptr || (pd->kind != NetDecl::Kind::Input &&
+                            pd->kind != NetDecl::Kind::Output))
+        cgError(inst.line, inst.moduleName + " has no port " + port);
+      // Elaborated domain of the child-side port.
+      const blifmv::VarDecl* portDecl = childBlif->declOf(port);
+      uint32_t portDom = portDecl == nullptr ? 2 : portDecl->domain;
+
+      std::string actual;
+      if (pd->kind == NetDecl::Kind::Output) {
+        if (expr->kind != Expr::Kind::Id || netOf(expr->name) == nullptr)
+          cgError(inst.line, "output port " + port + " must connect to a net");
+        if (netOf(expr->name)->type.domain != portDom)
+          cgError(inst.line, "output port " + port + " domain mismatch");
+        actual = expr->name;
+      } else {
+        Operand o = genExpr(expr);
+        if (o.isConst) {
+          // Materialize at the child port's domain so flattening agrees.
+          if (o.value >= portDom)
+            cgError(inst.line, "constant exceeds domain of port " + port);
+          Type t;
+          t.width = valueWidth(o.value);
+          t.domain = portDom;
+          std::string sig = freshSignal(t);
+          blifmv::Table tab;
+          tab.output = sig;
+          blifmv::Row row;
+          row.entries.push_back(blifmv::RowEntry::value(std::to_string(o.value)));
+          tab.rows.push_back(std::move(row));
+          model_.tables.push_back(std::move(tab));
+          actual = sig;
+        } else if (o.type.domain == portDom) {
+          actual = o.signal;
+        } else if (o.type.domain < portDom) {
+          // Widen through an enumeration table.
+          Type t;
+          t.width = valueWidth(portDom - 1);
+          t.domain = portDom;
+          std::string sig = freshSignal(t);
+          blifmv::Table tab;
+          tab.inputs = {o.signal};
+          tab.output = sig;
+          for (uint64_t k = 0; k < o.type.domain; ++k) {
+            blifmv::Row row;
+            row.entries.push_back(blifmv::RowEntry::value(valueToken(o.type, k)));
+            row.entries.push_back(blifmv::RowEntry::value(std::to_string(k)));
+            tab.rows.push_back(std::move(row));
+          }
+          model_.tables.push_back(std::move(tab));
+          actual = sig;
+        } else {
+          cgError(inst.line, "connection to port " + port + " loses bits");
+        }
+      }
+      sc.connections.emplace_back(port, actual);
+    }
+    model_.subckts.push_back(std::move(sc));
+  }
+}
+
+void ModuleCompiler::run() {
+  declareNets();
+
+  // Ports.
+  for (const std::string& p : decl_.portOrder) {
+    const NetInfo& n = nets_.at(p);
+    if (n.kind == NetDecl::Kind::Input) {
+      model_.inputs.push_back(p);
+    } else {
+      model_.outputs.push_back(p);
+    }
+  }
+
+  compileAssigns();
+  compileAlways();
+
+  // Registers with a next-state expression become latches.
+  std::unordered_set<std::string> latched;
+  for (auto& [reg, expr] : nextState_) {
+    const NetInfo* n = netOf(reg);
+    // Trivial self-assignment keeps the value; still a latch.
+    Operand o = genExpr(expr.get());
+    std::string in;
+    if (o.isConst) {
+      in = materialize(o, n->line);
+    } else if (o.signal == reg) {
+      in = reg;
+    } else {
+      if (!(o.type.isEnum() == n->type.isEnum()) ||
+          (o.type.isEnum() && !(o.type == n->type)) ||
+          (!o.type.isEnum() && o.type.domain > n->type.domain))
+        cgError(n->line, "next-state expression type mismatch for " + reg);
+      if (o.type.domain == n->type.domain) {
+        in = o.signal;
+      } else {
+        // widen through an alias table into a fresh signal of reg's domain
+        std::string w = freshSignal(n->type);
+        blifmv::Table tab;
+        tab.inputs = {o.signal};
+        tab.output = w;
+        for (uint64_t k = 0; k < o.type.domain; ++k) {
+          blifmv::Row row;
+          row.entries.push_back(blifmv::RowEntry::value(valueToken(o.type, k)));
+          row.entries.push_back(blifmv::RowEntry::value(valueToken(n->type, k)));
+          tab.rows.push_back(std::move(row));
+        }
+        model_.tables.push_back(std::move(tab));
+        in = w;
+      }
+    }
+    model_.latches.push_back(blifmv::Latch{in, reg, {}});
+    latched.insert(reg);
+    // Source-level debugging: remember where the register was declared so
+    // error traces can point back into the Verilog (future-work item 7).
+    if (n->line > 0) model_.lineInfo[reg] = n->line;
+  }
+
+  compileInitials(latched);
+  compileInstances();
+
+  design_.models.push_back(takeModel());
+}
+
+// ------------------------------------------------------------- Compiler
+
+std::string Compiler::instantiateModule(
+    const ModuleDecl& m, const std::map<std::string, int64_t>& paramOverrides,
+    int line) {
+  // Resolve the full parameter binding: defaults overridden by call site.
+  std::map<std::string, int64_t> params;
+  {
+    // Defaults may reference earlier parameters.
+    for (const ParamDecl& p : m.params) {
+      auto ov = paramOverrides.find(p.name);
+      if (ov != paramOverrides.end()) {
+        params[p.name] = ov->second;
+        continue;
+      }
+      // Evaluate the default in the partial environment.
+      // A tiny evaluator: reuse ModuleCompiler's via a throwaway instance is
+      // overkill; defaults in our subset are plain constants or arithmetic
+      // over earlier parameters.
+      std::function<int64_t(const Expr*)> ev = [&](const Expr* e) -> int64_t {
+        switch (e->kind) {
+          case Expr::Kind::Const:
+            return static_cast<int64_t>(e->value);
+          case Expr::Kind::Id: {
+            auto it = params.find(e->name);
+            if (it == params.end())
+              cgError(e->line, "parameter default references unknown " + e->name);
+            return it->second;
+          }
+          case Expr::Kind::Binary: {
+            int64_t a = ev(e->args[0].get());
+            int64_t b = ev(e->args[1].get());
+            switch (e->op) {
+              case Tok::Plus: return a + b;
+              case Tok::Minus: return a - b;
+              case Tok::Star: return a * b;
+              case Tok::Slash: return b == 0 ? 0 : a / b;
+              default: cgError(e->line, "unsupported parameter expression");
+            }
+          }
+          default:
+            cgError(e->line, "unsupported parameter expression");
+        }
+      };
+      params[p.name] = ev(p.value.get());
+    }
+  }
+  for (const auto& [k, v] : paramOverrides) {
+    bool known = false;
+    for (const ParamDecl& p : m.params) known = known || p.name == k;
+    if (!known) cgError(line, "module " + m.name + " has no parameter " + k);
+    params[k] = v;
+  }
+
+  std::string key = m.name;
+  std::string modelName = m.name;
+  for (const auto& [k, v] : params) {
+    key += "#" + k + "=" + std::to_string(v);
+    bool overridden = paramOverrides.contains(k);
+    if (overridden) modelName += "_" + k + std::to_string(v);
+  }
+  auto it = instantiated_.find(key);
+  if (it != instantiated_.end()) return it->second;
+  instantiated_.emplace(key, modelName);
+
+  ModuleCompiler mc(*this, m, params, modelName);
+  mc.run();
+  return modelName;
+}
+
+}  // namespace
+
+blifmv::Design compile(const std::string& verilogText,
+                       const std::string& topName) {
+  SourceFile sf = parseVerilog(verilogText);
+  return Compiler(sf).compile(topName);
+}
+
+size_t verilogLineCount(const std::string& verilogText) {
+  size_t n = 0;
+  std::istringstream in(verilogText);
+  std::string line;
+  bool inBlock = false;
+  while (std::getline(in, line)) {
+    std::string kept;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (inBlock) {
+        if (i + 1 < line.size() && line[i] == '*' && line[i + 1] == '/') {
+          inBlock = false;
+          ++i;
+        }
+        continue;
+      }
+      if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '/') break;
+      if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '*') {
+        inBlock = true;
+        ++i;
+        continue;
+      }
+      kept.push_back(line[i]);
+    }
+    if (kept.find_first_not_of(" \t\r") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace hsis::vl2mv

@@ -1,0 +1,269 @@
+#include "vl2mv/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hsis::vl2mv {
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"module", Tok::KwModule},       {"endmodule", Tok::KwEndmodule},
+      {"input", Tok::KwInput},         {"output", Tok::KwOutput},
+      {"wire", Tok::KwWire},           {"reg", Tok::KwReg},
+      {"assign", Tok::KwAssign},       {"always", Tok::KwAlways},
+      {"posedge", Tok::KwPosedge},     {"negedge", Tok::KwNegedge},
+      {"if", Tok::KwIf},               {"else", Tok::KwElse},
+      {"begin", Tok::KwBegin},         {"end", Tok::KwEnd},
+      {"case", Tok::KwCase},           {"endcase", Tok::KwEndcase},
+      {"default", Tok::KwDefault},     {"initial", Tok::KwInitial},
+      {"parameter", Tok::KwParameter}, {"enum", Tok::KwEnum},
+  };
+  return kw;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("vl2mv lex error (line " + std::to_string(line) +
+                           "): " + msg);
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  size_t n = text.size();
+
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // comments
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) fail(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+
+    Token t;
+    t.line = line;
+
+    // identifiers / keywords / $ND
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '$') {
+      size_t start = i;
+      ++i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) != 0 ||
+                       text[i] == '_' || text[i] == '$')) {
+        ++i;
+      }
+      t.text = text.substr(start, i - start);
+      if (t.text == "$ND" || t.text == "$nd") {
+        t.kind = Tok::KwNd;
+      } else if (auto it = keywords().find(t.text); it != keywords().end()) {
+        t.kind = it->second;
+      } else {
+        if (t.text[0] == '$') fail(line, "unknown system task " + t.text);
+        t.kind = Tok::Identifier;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // numbers: 12, 4'b1010, 8'hff, 3'd5, 'b01
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '\'') {
+      uint64_t firstNum = 0;
+      bool haveFirst = false;
+      size_t save = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+        firstNum = firstNum * 10 + static_cast<uint64_t>(text[i] - '0');
+        haveFirst = true;
+        ++i;
+      }
+      if (i < n && text[i] == '\'') {
+        ++i;
+        if (i >= n) fail(line, "dangling ' in literal");
+        char base = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+        ++i;
+        int radix = 0;
+        switch (base) {
+          case 'b': radix = 2; break;
+          case 'o': radix = 8; break;
+          case 'd': radix = 10; break;
+          case 'h': radix = 16; break;
+          default: fail(line, std::string("bad base '") + base + "' in literal");
+        }
+        uint64_t val = 0;
+        bool any = false;
+        while (i < n) {
+          char d = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+          int dv;
+          if (d >= '0' && d <= '9') {
+            dv = d - '0';
+          } else if (d >= 'a' && d <= 'f') {
+            dv = d - 'a' + 10;
+          } else if (d == '_') {
+            ++i;
+            continue;
+          } else {
+            break;
+          }
+          if (dv >= radix) break;
+          val = val * static_cast<uint64_t>(radix) + static_cast<uint64_t>(dv);
+          any = true;
+          ++i;
+        }
+        if (!any) fail(line, "empty digits in based literal");
+        t.kind = Tok::Number;
+        t.value = val;
+        t.width = haveFirst ? static_cast<int>(firstNum) : -1;
+        t.text = text.substr(save, i - save);
+        out.push_back(std::move(t));
+        continue;
+      }
+      t.kind = Tok::Number;
+      t.value = firstNum;
+      t.text = text.substr(save, i - save);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // operators / punctuation
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('&', '&')) { t.kind = Tok::AmpAmp; i += 2; }
+    else if (two('|', '|')) { t.kind = Tok::PipePipe; i += 2; }
+    else if (two('=', '=')) { t.kind = Tok::EqEq; i += 2; }
+    else if (two('!', '=')) { t.kind = Tok::BangEq; i += 2; }
+    else if (two('<', '=')) { t.kind = Tok::NonBlocking; i += 2; }
+    else if (two('>', '=')) { t.kind = Tok::GtEq; i += 2; }
+    else if (two('<', '<')) { t.kind = Tok::Shl; i += 2; }
+    else if (two('>', '>')) { t.kind = Tok::Shr; i += 2; }
+    else {
+      ++i;
+      switch (c) {
+        case '(': t.kind = Tok::LParen; break;
+        case ')': t.kind = Tok::RParen; break;
+        case '{': t.kind = Tok::LBrace; break;
+        case '}': t.kind = Tok::RBrace; break;
+        case '[': t.kind = Tok::LBracket; break;
+        case ']': t.kind = Tok::RBracket; break;
+        case ';': t.kind = Tok::Semi; break;
+        case ',': t.kind = Tok::Comma; break;
+        case ':': t.kind = Tok::Colon; break;
+        case '.': t.kind = Tok::Dot; break;
+        case '#': t.kind = Tok::Hash; break;
+        case '@': t.kind = Tok::At; break;
+        case '?': t.kind = Tok::Question; break;
+        case '=': t.kind = Tok::Assign; break;
+        case '+': t.kind = Tok::Plus; break;
+        case '-': t.kind = Tok::Minus; break;
+        case '*': t.kind = Tok::Star; break;
+        case '/': t.kind = Tok::Slash; break;
+        case '%': t.kind = Tok::Percent; break;
+        case '&': t.kind = Tok::Amp; break;
+        case '|': t.kind = Tok::Pipe; break;
+        case '^': t.kind = Tok::Caret; break;
+        case '~': t.kind = Tok::Tilde; break;
+        case '!': t.kind = Tok::Bang; break;
+        case '<': t.kind = Tok::Lt; break;
+        case '>': t.kind = Tok::Gt; break;
+        default:
+          fail(line, std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.line = line;
+  out.push_back(end);
+  return out;
+}
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Identifier: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Semi: return ";";
+    case Tok::Comma: return ",";
+    case Tok::Colon: return ":";
+    case Tok::Dot: return ".";
+    case Tok::Hash: return "#";
+    case Tok::At: return "@";
+    case Tok::Question: return "?";
+    case Tok::Assign: return "=";
+    case Tok::NonBlocking: return "<=";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Amp: return "&";
+    case Tok::Pipe: return "|";
+    case Tok::Caret: return "^";
+    case Tok::Tilde: return "~";
+    case Tok::Bang: return "!";
+    case Tok::AmpAmp: return "&&";
+    case Tok::PipePipe: return "||";
+    case Tok::EqEq: return "==";
+    case Tok::BangEq: return "!=";
+    case Tok::Lt: return "<";
+    case Tok::Gt: return ">";
+    case Tok::GtEq: return ">=";
+    case Tok::Shl: return "<<";
+    case Tok::Shr: return ">>";
+    case Tok::KwModule: return "module";
+    case Tok::KwEndmodule: return "endmodule";
+    case Tok::KwInput: return "input";
+    case Tok::KwOutput: return "output";
+    case Tok::KwWire: return "wire";
+    case Tok::KwReg: return "reg";
+    case Tok::KwAssign: return "assign";
+    case Tok::KwAlways: return "always";
+    case Tok::KwPosedge: return "posedge";
+    case Tok::KwNegedge: return "negedge";
+    case Tok::KwIf: return "if";
+    case Tok::KwElse: return "else";
+    case Tok::KwBegin: return "begin";
+    case Tok::KwEnd: return "end";
+    case Tok::KwCase: return "case";
+    case Tok::KwEndcase: return "endcase";
+    case Tok::KwDefault: return "default";
+    case Tok::KwInitial: return "initial";
+    case Tok::KwParameter: return "parameter";
+    case Tok::KwEnum: return "enum";
+    case Tok::KwNd: return "$ND";
+  }
+  return "?";
+}
+
+}  // namespace hsis::vl2mv

@@ -1,0 +1,50 @@
+// Lexer for the synthesizable Verilog subset of HSIS (vl2mv front end).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsis::vl2mv {
+
+enum class Tok : uint8_t {
+  End,
+  Identifier,
+  Number,     ///< decimal or based literal, value in Token::value
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Dot, Hash, At, Question,
+  // operators
+  Assign,        // =
+  NonBlocking,   // <=  (also less-equal; parser disambiguates by context)
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  EqEq, BangEq, Lt, Gt, GtEq,
+  Shl, Shr,
+  // keywords
+  KwModule, KwEndmodule, KwInput, KwOutput, KwWire, KwReg, KwAssign,
+  KwAlways, KwPosedge, KwNegedge, KwIf, KwElse, KwBegin, KwEnd,
+  KwCase, KwEndcase, KwDefault, KwInitial, KwParameter, KwEnum,
+  KwNd,  ///< $ND
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  uint64_t value = 0;   ///< for numbers
+  int width = -1;       ///< for sized literals (4'b0101 -> 4), else -1
+  int line = 1;
+};
+
+struct LexError {
+  std::string message;
+  int line;
+};
+
+/// Tokenize; throws std::runtime_error with line info on bad input.
+std::vector<Token> lex(const std::string& text);
+
+const char* tokName(Tok t);
+
+}  // namespace hsis::vl2mv

@@ -1,0 +1,445 @@
+// Recursive-descent parser for the vl2mv Verilog subset.
+#include <stdexcept>
+
+#include "vl2mv/ast.hpp"
+
+namespace hsis::vl2mv {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  SourceFile parse() {
+    SourceFile sf;
+    while (!at(Tok::End)) {
+      expect(Tok::KwModule, "expected 'module'");
+      sf.modules.push_back(parseModule());
+    }
+    return sf;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::runtime_error("vl2mv parse error (line " +
+                             std::to_string(cur().line) + "): " + msg +
+                             " (got '" + describe(cur()) + "')");
+  }
+
+  static std::string describe(const Token& t) {
+    return t.text.empty() ? tokName(t.kind) : t.text;
+  }
+
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t k = 1) const {
+    size_t p = pos_ + k;
+    return p < toks_.size() ? toks_[p] : toks_.back();
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  Token take() { return toks_[pos_++]; }
+  bool accept(Tok k) {
+    if (at(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token expect(Tok k, const std::string& what) {
+    if (!at(k)) fail(what);
+    return take();
+  }
+  std::string expectId(const std::string& what) {
+    return expect(Tok::Identifier, what).text;
+  }
+
+  // ---- module ----
+
+  ModuleDecl parseModule() {
+    ModuleDecl m;
+    m.line = cur().line;
+    m.name = expectId("module name");
+    if (accept(Tok::LParen)) {
+      if (!at(Tok::RParen)) {
+        m.portOrder.push_back(expectId("port name"));
+        while (accept(Tok::Comma)) m.portOrder.push_back(expectId("port name"));
+      }
+      expect(Tok::RParen, "')' after port list");
+    }
+    expect(Tok::Semi, "';' after module header");
+
+    while (!at(Tok::KwEndmodule)) {
+      switch (cur().kind) {
+        case Tok::KwParameter: parseParameter(m); break;
+        case Tok::KwInput: parseNetDecl(m, NetDecl::Kind::Input); break;
+        case Tok::KwOutput: parseNetDecl(m, NetDecl::Kind::Output); break;
+        case Tok::KwWire: parseNetDecl(m, NetDecl::Kind::Wire); break;
+        case Tok::KwReg: parseNetDecl(m, NetDecl::Kind::Reg); break;
+        case Tok::KwEnum: parseEnumDecl(m); break;
+        case Tok::KwAssign: parseAssign(m); break;
+        case Tok::KwAlways: parseAlways(m); break;
+        case Tok::KwInitial: parseInitial(m); break;
+        case Tok::Identifier: parseInstance(m); break;
+        case Tok::End: fail("unexpected end of file inside module");
+        default: fail("unexpected token in module body");
+      }
+    }
+    expect(Tok::KwEndmodule, "'endmodule'");
+    return m;
+  }
+
+  void parseParameter(ModuleDecl& m) {
+    take();  // parameter
+    do {
+      ParamDecl p;
+      p.name = expectId("parameter name");
+      expect(Tok::Assign, "'=' in parameter");
+      p.value = parseExpr();
+      m.params.push_back(std::move(p));
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "';' after parameter");
+  }
+
+  void parseNetDecl(ModuleDecl& m, NetDecl::Kind kind) {
+    int line = cur().line;
+    take();  // input/output/wire/reg
+    // "output reg [..]" style
+    if (kind == NetDecl::Kind::Output && accept(Tok::KwReg)) {
+      // treat as Output; the codegen decides reg-ness by always-assignment
+    }
+    ExprPtr msb, lsb;
+    if (accept(Tok::LBracket)) {
+      msb = parseExpr();
+      expect(Tok::Colon, "':' in range");
+      lsb = parseExpr();
+      expect(Tok::RBracket, "']' after range");
+    }
+    do {
+      NetDecl d;
+      d.kind = kind;
+      d.line = line;
+      d.name = expectId("net name");
+      d.msb = cloneExpr(msb.get());
+      d.lsb = cloneExpr(lsb.get());
+      m.nets.push_back(std::move(d));
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "';' after declaration");
+  }
+
+  /// enum { a, b, c } name1, name2;   (extension, Section 3 of the paper)
+  void parseEnumDecl(ModuleDecl& m) {
+    int line = cur().line;
+    take();  // enum
+    expect(Tok::LBrace, "'{' after enum");
+    std::vector<std::string> values;
+    values.push_back(expectId("enum value"));
+    while (accept(Tok::Comma)) values.push_back(expectId("enum value"));
+    expect(Tok::RBrace, "'}' after enum values");
+    // optional wire/reg qualifier
+    NetDecl::Kind kind = NetDecl::Kind::Reg;
+    if (accept(Tok::KwWire)) kind = NetDecl::Kind::Wire;
+    else if (accept(Tok::KwReg)) kind = NetDecl::Kind::Reg;
+    do {
+      NetDecl d;
+      d.kind = kind;
+      d.line = line;
+      d.name = expectId("enum variable name");
+      d.enumValues = values;
+      m.nets.push_back(std::move(d));
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "';' after enum declaration");
+  }
+
+  void parseAssign(ModuleDecl& m) {
+    take();  // assign
+    do {
+      ContAssign a;
+      a.line = cur().line;
+      a.lhs = expectId("assign target");
+      expect(Tok::Assign, "'=' in assign");
+      a.rhs = parseExpr();
+      m.assigns.push_back(std::move(a));
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "';' after assign");
+  }
+
+  void parseAlways(ModuleDecl& m) {
+    AlwaysBlock ab;
+    ab.line = cur().line;
+    take();  // always
+    expect(Tok::At, "'@' after always");
+    expect(Tok::LParen, "'(' after '@'");
+    if (!accept(Tok::KwPosedge)) accept(Tok::KwNegedge);
+    expectId("clock signal");  // clock identity is ignored: one global clock
+    expect(Tok::RParen, "')' after sensitivity list");
+    ab.body = parseStmt();
+    m.always.push_back(std::move(ab));
+  }
+
+  void parseInitial(ModuleDecl& m) {
+    int line = cur().line;
+    take();  // initial
+    if (accept(Tok::KwBegin)) {
+      while (!accept(Tok::KwEnd)) m.initials.push_back(parseInitialAssign(line));
+    } else {
+      m.initials.push_back(parseInitialAssign(line));
+    }
+  }
+
+  InitialAssign parseInitialAssign(int line) {
+    InitialAssign ia;
+    ia.line = line;
+    ia.lhs = expectId("initial target");
+    if (!accept(Tok::Assign)) expect(Tok::NonBlocking, "'=' in initial");
+    ia.rhs = parseExpr();
+    expect(Tok::Semi, "';' after initial assignment");
+    return ia;
+  }
+
+  void parseInstance(ModuleDecl& m) {
+    Instance inst;
+    inst.line = cur().line;
+    inst.moduleName = expectId("module name");
+    if (accept(Tok::Hash)) {
+      expect(Tok::LParen, "'(' after '#'");
+      if (at(Tok::Dot)) {
+        do {
+          expect(Tok::Dot, "'.'");
+          std::string pname = expectId("parameter name");
+          expect(Tok::LParen, "'('");
+          inst.namedParams.emplace_back(pname, parseExpr());
+          expect(Tok::RParen, "')'");
+        } while (accept(Tok::Comma));
+      } else if (!at(Tok::RParen)) {
+        inst.posParams.push_back(parseExpr());
+        while (accept(Tok::Comma)) inst.posParams.push_back(parseExpr());
+      }
+      expect(Tok::RParen, "')' after parameter overrides");
+    }
+    inst.instName = expectId("instance name");
+    expect(Tok::LParen, "'(' after instance name");
+    if (!at(Tok::RParen)) {
+      if (at(Tok::Dot)) {
+        do {
+          expect(Tok::Dot, "'.'");
+          std::string pname = expectId("port name");
+          expect(Tok::LParen, "'('");
+          ExprPtr e;
+          if (!at(Tok::RParen)) e = parseExpr();
+          expect(Tok::RParen, "')'");
+          inst.namedConns.emplace_back(pname, std::move(e));
+        } while (accept(Tok::Comma));
+      } else {
+        inst.posConns.push_back(parseExpr());
+        while (accept(Tok::Comma)) inst.posConns.push_back(parseExpr());
+      }
+    }
+    expect(Tok::RParen, "')' after connections");
+    expect(Tok::Semi, "';' after instance");
+    m.instances.push_back(std::move(inst));
+  }
+
+  // ---- statements ----
+
+  StmtPtr parseStmt() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    if (accept(Tok::KwBegin)) {
+      s->kind = Stmt::Kind::Block;
+      while (!accept(Tok::KwEnd)) s->stmts.push_back(parseStmt());
+      return s;
+    }
+    if (accept(Tok::KwIf)) {
+      s->kind = Stmt::Kind::If;
+      expect(Tok::LParen, "'(' after if");
+      s->cond = parseExpr();
+      expect(Tok::RParen, "')' after condition");
+      s->thenS = parseStmt();
+      if (accept(Tok::KwElse)) s->elseS = parseStmt();
+      return s;
+    }
+    if (accept(Tok::KwCase)) {
+      s->kind = Stmt::Kind::Case;
+      expect(Tok::LParen, "'(' after case");
+      s->subject = parseExpr();
+      expect(Tok::RParen, "')' after case subject");
+      while (!at(Tok::KwEndcase)) {
+        CaseItem item;
+        if (accept(Tok::KwDefault)) {
+          accept(Tok::Colon);
+        } else {
+          item.labels.push_back(parseExpr());
+          while (accept(Tok::Comma)) item.labels.push_back(parseExpr());
+          expect(Tok::Colon, "':' after case label");
+        }
+        item.body = parseStmt();
+        s->items.push_back(std::move(item));
+      }
+      expect(Tok::KwEndcase, "'endcase'");
+      return s;
+    }
+    // nonblocking assignment: id <= expr ;
+    s->kind = Stmt::Kind::NonBlocking;
+    s->lhs = expectId("assignment target");
+    if (!accept(Tok::NonBlocking)) expect(Tok::Assign, "'<=' in always block");
+    s->rhs = parseExpr();
+    expect(Tok::Semi, "';' after assignment");
+    return s;
+  }
+
+  // ---- expressions (precedence climbing) ----
+
+  static ExprPtr cloneExpr(const Expr* e) {
+    if (e == nullptr) return nullptr;
+    auto c = std::make_unique<Expr>();
+    c->kind = e->kind;
+    c->value = e->value;
+    c->width = e->width;
+    c->name = e->name;
+    c->op = e->op;
+    c->line = e->line;
+    for (const auto& a : e->args) c->args.push_back(cloneExpr(a.get()));
+    return c;
+  }
+
+  static int precOf(Tok t) {
+    switch (t) {
+      case Tok::PipePipe: return 1;
+      case Tok::AmpAmp: return 2;
+      case Tok::Pipe: return 3;
+      case Tok::Caret: return 4;
+      case Tok::Amp: return 5;
+      case Tok::EqEq:
+      case Tok::BangEq: return 6;
+      case Tok::Lt:
+      case Tok::Gt:
+      case Tok::GtEq:
+      case Tok::NonBlocking: return 7;  // '<=' as less-equal inside exprs
+      case Tok::Shl:
+      case Tok::Shr: return 8;
+      case Tok::Plus:
+      case Tok::Minus: return 9;
+      case Tok::Star:
+      case Tok::Slash:
+      case Tok::Percent: return 10;
+      default: return -1;
+    }
+  }
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    ExprPtr c = parseBinary(1);
+    if (accept(Tok::Question)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Ternary;
+      e->line = cur().line;
+      e->args.push_back(std::move(c));
+      e->args.push_back(parseTernary());
+      expect(Tok::Colon, "':' in ternary");
+      e->args.push_back(parseTernary());
+      return e;
+    }
+    return c;
+  }
+
+  ExprPtr parseBinary(int minPrec) {
+    ExprPtr lhs = parseUnary();
+    while (true) {
+      int p = precOf(cur().kind);
+      if (p < minPrec) break;
+      Tok op = take().kind;
+      ExprPtr rhs = parseBinary(p + 1);
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Binary;
+      e->op = op;
+      e->line = cur().line;
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseUnary() {
+    if (at(Tok::Bang) || at(Tok::Tilde) || at(Tok::Minus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Unary;
+      e->op = take().kind;
+      e->line = cur().line;
+      e->args.push_back(parseUnary());
+      return e;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr base = parsePrimary();
+    while (accept(Tok::LBracket)) {
+      ExprPtr first = parseExpr();
+      auto e = std::make_unique<Expr>();
+      e->line = cur().line;
+      e->args.push_back(std::move(base));
+      if (accept(Tok::Colon)) {
+        e->kind = Expr::Kind::Slice;
+        e->args.push_back(std::move(first));
+        e->args.push_back(parseExpr());
+      } else {
+        e->kind = Expr::Kind::Index;
+        e->args.push_back(std::move(first));
+      }
+      expect(Tok::RBracket, "']'");
+      base = std::move(e);
+    }
+    return base;
+  }
+
+  ExprPtr parsePrimary() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    if (at(Tok::Number)) {
+      Token t = take();
+      e->kind = Expr::Kind::Const;
+      e->value = t.value;
+      e->width = t.width;
+      return e;
+    }
+    if (at(Tok::Identifier)) {
+      e->kind = Expr::Kind::Id;
+      e->name = take().text;
+      return e;
+    }
+    if (accept(Tok::KwNd)) {
+      e->kind = Expr::Kind::Nd;
+      expect(Tok::LParen, "'(' after $ND");
+      e->args.push_back(parseExpr());
+      while (accept(Tok::Comma)) e->args.push_back(parseExpr());
+      expect(Tok::RParen, "')' after $ND");
+      return e;
+    }
+    if (accept(Tok::LBrace)) {
+      e->kind = Expr::Kind::Concat;
+      e->args.push_back(parseExpr());
+      while (accept(Tok::Comma)) e->args.push_back(parseExpr());
+      expect(Tok::RBrace, "'}' after concatenation");
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr inner = parseExpr();
+      expect(Tok::RParen, "')'");
+      return inner;
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+SourceFile parseVerilog(const std::string& text) {
+  return Parser(lex(text)).parse();
+}
+
+}  // namespace hsis::vl2mv

@@ -1,0 +1,36 @@
+// vl2mv: compile the HSIS Verilog subset into BLIF-MV [Cheng, 1994].
+//
+// Supported language (see docs in README):
+//  - modules, ports, parameters (with #(...) overrides), wire/reg with bit
+//    ranges, enumerated types ("enum { idle, busy } state;"),
+//  - assign with the full expression language (logical, bitwise, relational,
+//    arithmetic, shifts, ternary, constant bit-select/slice, concatenation),
+//  - always @(posedge clk) with non-blocking assignments, if/else,
+//    case/default,
+//  - initial assignments for reset values,
+//  - $ND(e1,...,ek): non-deterministic choice (Balarin-York style), usable
+//    in assigns, always blocks, and initial (giving a set of reset values).
+//
+// Compilation is structural: every operator becomes a small multi-valued
+// table and a fresh intermediate signal — exactly the "many small tables
+// and intermediate variables" regime the paper's early-quantification
+// machinery is designed for.
+#pragma once
+
+#include <string>
+
+#include "blifmv/blifmv.hpp"
+
+namespace hsis::vl2mv {
+
+/// Compile Verilog text to a hierarchical BLIF-MV design. `topName` selects
+/// the root module (default: the first module in the file). Throws
+/// std::runtime_error with line information on errors.
+blifmv::Design compile(const std::string& verilogText,
+                       const std::string& topName = "");
+
+/// Number of non-blank, non-comment source lines (Table 1's "# lines
+/// Verilog" statistic).
+size_t verilogLineCount(const std::string& verilogText);
+
+}  // namespace hsis::vl2mv

@@ -1,0 +1,360 @@
+// Unit and property-based tests for the BDD package.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+namespace hsis {
+namespace {
+
+TEST(Bdd, TerminalBasics) {
+  BddManager m(2);
+  EXPECT_TRUE(m.bddOne().isOne());
+  EXPECT_TRUE(m.bddZero().isZero());
+  EXPECT_NE(m.bddOne(), m.bddZero());
+  EXPECT_TRUE((!m.bddZero()).isOne());
+  EXPECT_TRUE(m.bddOne().isConstant());
+  Bdd nullBdd;
+  EXPECT_TRUE(nullBdd.isNull());
+  EXPECT_FALSE(m.bddOne().isNull());
+}
+
+TEST(Bdd, VarStructure) {
+  BddManager m(3);
+  Bdd a = m.bddVar(0);
+  EXPECT_EQ(a.var(), 0u);
+  EXPECT_TRUE(a.low().isZero());
+  EXPECT_TRUE(a.high().isOne());
+  Bdd na = m.bddLiteral(0, false);
+  EXPECT_EQ(na, !a);
+}
+
+TEST(Bdd, HandleRefCounting) {
+  BddManager m(4);
+  size_t before = m.liveNodeCount();
+  {
+    Bdd f = m.bddVar(0) & m.bddVar(1) & m.bddVar(2);
+    EXPECT_GT(m.liveNodeCount(), before);
+  }
+  m.gc();
+  // After dropping the only handle, intermediate nodes are collectable;
+  // only the single-variable nodes referenced by nothing remain collectable
+  // too, so we are back at (or below) the initial live count.
+  EXPECT_LE(m.liveNodeCount(), before + 3);
+}
+
+TEST(Bdd, BooleanAlgebraLaws) {
+  BddManager m(4);
+  Bdd a = m.bddVar(0), b = m.bddVar(1), c = m.bddVar(2);
+  EXPECT_EQ(a & b, b & a);
+  EXPECT_EQ(a | b, b | a);
+  EXPECT_EQ((a & b) & c, a & (b & c));
+  EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+  EXPECT_EQ(!(a & b), (!a) | (!b));
+  EXPECT_EQ(!(a | b), (!a) & (!b));
+  EXPECT_EQ(a ^ b, (a & (!b)) | ((!a) & b));
+  EXPECT_TRUE((a | !a).isOne());
+  EXPECT_TRUE((a & !a).isZero());
+  EXPECT_EQ(!(!a), a);
+}
+
+TEST(Bdd, IteIsCanonical) {
+  BddManager m(3);
+  Bdd a = m.bddVar(0), b = m.bddVar(1), c = m.bddVar(2);
+  EXPECT_EQ(m.ite(a, b, c), (a & b) | ((!a) & c));
+  EXPECT_EQ(m.ite(a, m.bddOne(), m.bddZero()), a);
+  EXPECT_EQ(m.ite(a, m.bddZero(), m.bddOne()), !a);
+  EXPECT_EQ(m.ite(m.bddOne(), b, c), b);
+  EXPECT_EQ(m.ite(m.bddZero(), b, c), c);
+}
+
+TEST(Bdd, Quantification) {
+  BddManager m(4);
+  Bdd a = m.bddVar(0), b = m.bddVar(1), c = m.bddVar(2);
+  Bdd f = (a & b) | c;
+  EXPECT_EQ(m.exists(f, a), b | c);
+  EXPECT_EQ(m.forall(f, a), c);
+  // quantifying a variable not in the support is identity
+  Bdd d = m.bddVar(3);
+  EXPECT_EQ(m.exists(f, d), f);
+  EXPECT_EQ(m.forall(f, d), f);
+  // multi-variable cube
+  EXPECT_TRUE(m.exists(f, a & b & c).isOne());
+  EXPECT_TRUE(m.forall(f, a & b & c).isZero());
+  // duality
+  EXPECT_EQ(m.forall(f, a & b), !m.exists(!f, a & b));
+}
+
+TEST(Bdd, AndExistsMatchesComposition) {
+  BddManager m(6);
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    // random functions over 6 vars from random minterm sets
+    auto randomFn = [&]() {
+      Bdd f = m.bddZero();
+      for (int k = 0; k < 8; ++k) {
+        Bdd cube = m.bddOne();
+        for (BddVar v = 0; v < 6; ++v) {
+          int r = static_cast<int>(rng() % 3);
+          if (r == 0) cube &= m.bddVar(v);
+          if (r == 1) cube &= !m.bddVar(v);
+        }
+        f |= cube;
+      }
+      return f;
+    };
+    Bdd f = randomFn(), g = randomFn();
+    Bdd cube = m.bddVar(1) & m.bddVar(3) & m.bddVar(5);
+    EXPECT_EQ(m.andExists(f, g, cube), m.exists(f & g, cube));
+  }
+}
+
+TEST(Bdd, ConstrainAndRestrictAgreeOnCareSet) {
+  BddManager m(5);
+  std::mt19937 rng(42);
+  auto randomFn = [&]() {
+    Bdd f = m.bddZero();
+    for (int k = 0; k < 6; ++k) {
+      Bdd cube = m.bddOne();
+      for (BddVar v = 0; v < 5; ++v) {
+        int r = static_cast<int>(rng() % 3);
+        if (r == 0) cube &= m.bddVar(v);
+        if (r == 1) cube &= !m.bddVar(v);
+      }
+      f |= cube;
+    }
+    return f;
+  };
+  for (int iter = 0; iter < 30; ++iter) {
+    Bdd f = randomFn();
+    Bdd c = randomFn();
+    if (c.isZero()) continue;
+    // Both generalized cofactors agree with f wherever c holds.
+    EXPECT_EQ(m.constrain(f, c) & c, f & c);
+    EXPECT_EQ(m.restrict(f, c) & c, f & c);
+  }
+  EXPECT_THROW(m.constrain(m.bddVar(0), m.bddZero()), std::invalid_argument);
+  EXPECT_THROW(m.restrict(m.bddVar(0), m.bddZero()), std::invalid_argument);
+}
+
+TEST(Bdd, RestrictShrinks) {
+  BddManager m(6);
+  Bdd a = m.bddVar(0), b = m.bddVar(1), c = m.bddVar(2);
+  Bdd f = (a & b & c) | ((!a) & b & (!c)) | (a & (!b));
+  // On the care set a=1, f loses its dependence on much of the structure.
+  Bdd r = m.restrict(f, a);
+  EXPECT_LE(r.nodeCount(), f.nodeCount());
+  EXPECT_EQ(r & a, f & a);
+}
+
+TEST(Bdd, Cofactor) {
+  BddManager m(3);
+  Bdd a = m.bddVar(0), b = m.bddVar(1);
+  Bdd f = (a & b) | ((!a) & (!b));
+  EXPECT_EQ(m.cofactor(f, 0, true), b);
+  EXPECT_EQ(m.cofactor(f, 0, false), !b);
+}
+
+TEST(Bdd, PermuteSwapsRails) {
+  BddManager m(6);
+  Bdd f = (m.bddVar(0) & m.bddVar(2)) | m.bddVar(4);
+  std::vector<BddVar> map{1, 0, 3, 2, 5, 4};
+  Bdd g = m.permute(f, map);
+  EXPECT_EQ(g, (m.bddVar(1) & m.bddVar(3)) | m.bddVar(5));
+  // applying the swap twice is the identity
+  EXPECT_EQ(m.permute(g, map), f);
+}
+
+TEST(Bdd, Leq) {
+  BddManager m(4);
+  Bdd a = m.bddVar(0), b = m.bddVar(1);
+  EXPECT_TRUE((a & b).leq(a));
+  EXPECT_TRUE(a.leq(a | b));
+  EXPECT_FALSE(a.leq(a & b));
+  EXPECT_TRUE(m.bddZero().leq(a));
+  EXPECT_TRUE(a.leq(m.bddOne()));
+  // leq(f,g) <=> (f & !g) == 0
+  Bdd f = a ^ b;
+  Bdd g = a | b;
+  EXPECT_EQ(f.leq(g), (f & !g).isZero());
+}
+
+TEST(Bdd, Support) {
+  BddManager m(5);
+  Bdd f = (m.bddVar(0) & m.bddVar(3)) | m.bddVar(4);
+  std::vector<BddVar> s = m.support(f);
+  EXPECT_EQ(s, (std::vector<BddVar>{0, 3, 4}));
+  Bdd cube = m.supportCube(f);
+  EXPECT_EQ(cube, m.bddVar(0) & m.bddVar(3) & m.bddVar(4));
+  EXPECT_TRUE(m.support(m.bddOne()).empty());
+}
+
+TEST(Bdd, SatCount) {
+  BddManager m(4);
+  Bdd a = m.bddVar(0), b = m.bddVar(1);
+  EXPECT_DOUBLE_EQ(m.satCount(a, 4), 8.0);
+  EXPECT_DOUBLE_EQ(m.satCount(a & b, 4), 4.0);
+  EXPECT_DOUBLE_EQ(m.satCount(a | b, 4), 12.0);
+  EXPECT_DOUBLE_EQ(m.satCount(m.bddOne(), 4), 16.0);
+  EXPECT_DOUBLE_EQ(m.satCount(m.bddZero(), 4), 0.0);
+  EXPECT_DOUBLE_EQ(m.satCount(a ^ b, 2), 2.0);
+}
+
+TEST(Bdd, PickCubeSatisfies) {
+  BddManager m(5);
+  std::mt19937 rng(3);
+  for (int iter = 0; iter < 20; ++iter) {
+    Bdd f = m.bddZero();
+    for (int k = 0; k < 4; ++k) {
+      Bdd cube = m.bddOne();
+      for (BddVar v = 0; v < 5; ++v) {
+        int r = static_cast<int>(rng() % 3);
+        if (r == 0) cube &= m.bddVar(v);
+        if (r == 1) cube &= !m.bddVar(v);
+      }
+      f |= cube;
+    }
+    if (f.isZero()) continue;
+    std::vector<int8_t> pick = m.pickCube(f);
+    Bdd cube = m.cubeFromAssignment(pick);
+    EXPECT_TRUE(cube.leq(f)) << "picked cube must imply f";
+  }
+  EXPECT_TRUE(m.pickCube(m.bddZero()).empty());
+}
+
+TEST(Bdd, ImpliesOperator) {
+  BddManager m(2);
+  Bdd a = m.bddVar(0), b = m.bddVar(1);
+  EXPECT_EQ(a.implies(b), (!a) | b);
+}
+
+TEST(Bdd, GarbageCollectionKeepsLiveNodes) {
+  BddManager m(8);
+  Bdd keep = (m.bddVar(0) & m.bddVar(1)) | (m.bddVar(2) ^ m.bddVar(3));
+  size_t keepCount = keep.nodeCount();
+  // create garbage
+  for (int i = 0; i < 1000; ++i) {
+    Bdd tmp = m.bddVar(static_cast<BddVar>(i % 8)) ^ m.bddVar(static_cast<BddVar>((i + 1) % 8));
+    (void)tmp;
+  }
+  m.gc();
+  EXPECT_EQ(keep.nodeCount(), keepCount);
+  EXPECT_EQ(keep, (m.bddVar(0) & m.bddVar(1)) | (m.bddVar(2) ^ m.bddVar(3)));
+}
+
+TEST(Bdd, SetOrderPreservesFunctions) {
+  BddManager m(6);
+  Bdd f = (m.bddVar(0) & m.bddVar(1)) | (m.bddVar(2) & m.bddVar(3)) |
+          (m.bddVar(4) & m.bddVar(5));
+  double count = m.satCount(f, 6);
+  m.setOrder({0, 2, 4, 1, 3, 5});
+  EXPECT_DOUBLE_EQ(m.satCount(f, 6), count);
+  // rebuilding the same function still yields the same node
+  Bdd g = (m.bddVar(0) & m.bddVar(1)) | (m.bddVar(2) & m.bddVar(3)) |
+          (m.bddVar(4) & m.bddVar(5));
+  EXPECT_EQ(f, g);
+}
+
+TEST(Bdd, SiftReducesInterleavedConjunction) {
+  BddManager m(16);
+  // Force the worst order for (x0&y0)|(x1&y1)|... : all x's above all y's.
+  std::vector<BddVar> badOrder;
+  for (BddVar v = 0; v < 16; v += 2) badOrder.push_back(v);
+  for (BddVar v = 1; v < 16; v += 2) badOrder.push_back(v);
+  m.setOrder(badOrder);
+  Bdd f = m.bddZero();
+  for (BddVar v = 0; v < 16; v += 2) f |= m.bddVar(v) & m.bddVar(v + 1);
+  size_t before = f.nodeCount();
+  double count = m.satCount(f, 16);
+  m.sift();
+  EXPECT_LT(f.nodeCount(), before);
+  EXPECT_DOUBLE_EQ(m.satCount(f, 16), count);
+}
+
+TEST(Bdd, NewVarAtLevel) {
+  BddManager m(2);
+  Bdd a = m.bddVar(0), b = m.bddVar(1);
+  Bdd f = a & b;
+  BddVar v = m.newVarAtLevel(0);
+  EXPECT_EQ(m.level(v), 0u);
+  EXPECT_EQ(m.level(0), 1u);
+  EXPECT_EQ(f, m.bddVar(0) & m.bddVar(1));  // unaffected
+}
+
+TEST(Bdd, ToDotContainsStructure) {
+  BddManager m(2);
+  Bdd f = m.bddVar(0) & m.bddVar(1);
+  std::vector<Bdd> roots{f};
+  std::vector<std::string> names{"f"};
+  std::string dot = m.toDot(roots, names, {"alpha", "beta"});
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Bdd, SharedNodeCount) {
+  BddManager m(4);
+  Bdd f = m.bddVar(0) & m.bddVar(1);
+  Bdd g = m.bddVar(0) & m.bddVar(1) & m.bddVar(2);
+  std::vector<Bdd> roots{f, g};
+  // shared count is less than the sum of individual counts
+  EXPECT_LT(m.sharedNodeCount(roots), f.nodeCount() + g.nodeCount());
+}
+
+// Property-style sweep: exhaustive semantics check against truth tables on
+// a small variable count.
+class BddTruthTable : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddTruthTable, OperationsMatchTruthTables) {
+  int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  constexpr int kVars = 4;
+  BddManager m(kVars);
+
+  // random truth tables
+  uint16_t tf = static_cast<uint16_t>(rng());
+  uint16_t tg = static_cast<uint16_t>(rng());
+
+  auto buildFromTable = [&](uint16_t t) {
+    Bdd f = m.bddZero();
+    for (int minterm = 0; minterm < 16; ++minterm) {
+      if ((t >> minterm & 1) == 0) continue;
+      Bdd cube = m.bddOne();
+      for (int v = 0; v < kVars; ++v)
+        cube &= m.bddLiteral(static_cast<BddVar>(v), (minterm >> v & 1) != 0);
+      f |= cube;
+    }
+    return f;
+  };
+  auto evalBdd = [&](const Bdd& f, int minterm) {
+    Bdd cube = m.bddOne();
+    for (int v = 0; v < kVars; ++v)
+      cube &= m.bddLiteral(static_cast<BddVar>(v), (minterm >> v & 1) != 0);
+    return !(f & cube).isZero();
+  };
+
+  Bdd f = buildFromTable(tf), g = buildFromTable(tg);
+  for (int minterm = 0; minterm < 16; ++minterm) {
+    bool vf = (tf >> minterm & 1) != 0;
+    bool vg = (tg >> minterm & 1) != 0;
+    EXPECT_EQ(evalBdd(f, minterm), vf);
+    EXPECT_EQ(evalBdd(f & g, minterm), vf && vg);
+    EXPECT_EQ(evalBdd(f | g, minterm), vf || vg);
+    EXPECT_EQ(evalBdd(f ^ g, minterm), vf != vg);
+    EXPECT_EQ(evalBdd(!f, minterm), !vf);
+  }
+  // exists over var 0 == f|x0=0 OR f|x0=1
+  Bdd ex = m.exists(f, m.bddVar(0));
+  for (int minterm = 0; minterm < 16; ++minterm) {
+    bool expected = (tf >> (minterm & ~1) & 1) != 0 || (tf >> (minterm | 1) & 1) != 0;
+    EXPECT_EQ(evalBdd(ex, minterm), expected);
+  }
+  EXPECT_DOUBLE_EQ(m.satCount(f, kVars), static_cast<double>(std::popcount(tf)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTables, BddTruthTable, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hsis

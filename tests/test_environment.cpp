@@ -1,0 +1,172 @@
+// Tests for the top-level hsis::Environment (the Figure-1 toolflow).
+#include <gtest/gtest.h>
+
+#include "hsis/environment.hpp"
+
+namespace hsis {
+namespace {
+
+const char* kMutexVerilog = R"(
+module top;
+  wire clk;
+  enum { idle, trying, critical } p0, p1;
+  wire grant0, grant1, req0, req1;
+  assign req0 = $ND(0, 1);
+  assign req1 = $ND(0, 1);
+  assign grant0 = (p0 == trying) && !(p1 == critical);
+  assign grant1 = (p1 == trying) && !(p0 == critical) && !grant0;
+  always @(posedge clk) begin
+    case (p0)
+      idle:     if (req0) p0 <= trying;
+      trying:   if (grant0) p0 <= critical;
+      critical: p0 <= idle;
+    endcase
+  end
+  always @(posedge clk) begin
+    case (p1)
+      idle:     if (req1) p1 <= trying;
+      trying:   if (grant1) p1 <= critical;
+      critical: p1 <= idle;
+    endcase
+  end
+  initial p0 = idle;
+  initial p1 = idle;
+endmodule
+)";
+
+const char* kMutexPif = R"PIF(
+ctl mutex "AG !(p0=critical & p1=critical)";
+ctl no_both_trying "AG !(p0=trying & p1=trying)";
+automaton never_both {
+  state A init;
+  state B;
+  edge A -> A on "!(p0=critical & p1=critical)";
+  edge A -> B on "p0=critical & p1=critical";
+  edge B -> B on "1";
+  accept stay A;
+}
+)PIF";
+
+TEST(Environment, FullFlow) {
+  Environment env;
+  env.readVerilog(kMutexVerilog);
+  env.readPif(kMutexPif);
+  std::vector<BugReport> reports = env.verifyAll();
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_TRUE(reports[0].holds);
+  EXPECT_EQ(reports[0].paradigm, BugReport::Paradigm::ModelChecking);
+  EXPECT_FALSE(reports[1].holds);
+  EXPECT_TRUE(reports[1].trace.has_value());
+  EXPECT_TRUE(reports[2].holds);
+  EXPECT_EQ(reports[2].paradigm, BugReport::Paradigm::LanguageContainment);
+
+  const Environment::Metrics& m = env.metrics();
+  EXPECT_GT(m.linesVerilog, 0u);
+  EXPECT_GT(m.linesBlifMv, m.linesVerilog);
+  EXPECT_EQ(m.numCtlFormulas, 2u);
+  EXPECT_EQ(m.numLcProps, 1u);
+  EXPECT_GE(m.readSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(env.reachedStates(), 8.0);
+}
+
+TEST(Environment, ReadBlifMvDirectly) {
+  Environment env;
+  env.readBlifMv(R"(
+.model counter
+.mv s, ns 4
+.table s ns
+0 1
+1 2
+2 3
+3 0
+.latch ns s
+.reset s
+0
+.end
+)");
+  EXPECT_DOUBLE_EQ(env.reachedStates(), 4.0);
+  EXPECT_EQ(env.metrics().linesVerilog, 0u);
+  BugReport r = env.verifyCtl("loops", parseCtl("AG EF s=0"));
+  EXPECT_TRUE(r.holds);
+}
+
+TEST(Environment, FairnessAppliesAcrossParadigms) {
+  Environment env;
+  env.readBlifMv(R"(
+.model stall
+.mv s, ns 2
+.table s ns
+0 (0,1)
+1 0
+.latch ns s
+.reset s
+0
+.end
+)");
+  // without fairness the liveness fails
+  EXPECT_FALSE(env.verifyCtl("live", parseCtl("AG (s=0 -> AF s=1)")).holds);
+  env.readPif("fairness { nostay \"s=0\"; }");
+  EXPECT_TRUE(env.verifyCtl("live", parseCtl("AG (s=0 -> AF s=1)")).holds);
+
+  // the same fairness feeds language containment
+  Automaton live("live");
+  live.addState("wait");
+  live.addState("seen");
+  live.addEdge("wait", "seen", parseSigExpr("s=1"));
+  live.addEdge("wait", "wait", parseSigExpr("s!=1"));
+  live.addEdge("seen", "seen", parseSigExpr("s=1"));
+  live.addEdge("seen", "wait", parseSigExpr("s!=1"));
+  live.setBuchiAcceptance({"seen"});
+  EXPECT_TRUE(env.verifyAutomaton("keeps_visiting", live).holds);
+}
+
+TEST(Environment, SimulatorAccess) {
+  Environment env;
+  env.readVerilog(kMutexVerilog);
+  Simulator sim = env.makeSimulator(3);
+  EXPECT_GE(sim.successors().size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.reachableCount(), 8.0);
+}
+
+TEST(Environment, ErrorsWithoutDesign) {
+  Environment env;
+  EXPECT_THROW(env.build(), std::runtime_error);
+}
+
+TEST(Environment, OptionsRespected) {
+  Environment::Options opts;
+  opts.partitionedTr = false;
+  opts.quantMethod = QuantMethod::Tree;
+  opts.earlyFailureDetection = false;
+  opts.wantTraces = false;
+  Environment env(opts);
+  env.readVerilog(kMutexVerilog);
+  BugReport r = env.verifyCtl("fails", parseCtl("AG !(p0=trying & p1=trying)"));
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_FALSE(r.usedEarlyFailure);
+  EXPECT_TRUE(env.tr().isMonolithic());
+}
+
+TEST(Environment, VerilogTopSelection) {
+  Environment env;
+  env.readVerilog(R"(
+module one;
+  wire clk;
+  reg r;
+  always @(posedge clk) r <= !r;
+  initial r = 0;
+endmodule
+module two;
+  wire clk;
+  reg [1:0] q;
+  always @(posedge clk) q <= q + 1;
+  initial q = 0;
+endmodule
+)",
+                  "two");
+  EXPECT_DOUBLE_EQ(env.reachedStates(), 4.0);
+}
+
+}  // namespace
+}  // namespace hsis

@@ -1,0 +1,343 @@
+// Tests for ω-automata and the language-containment checker.
+#include <gtest/gtest.h>
+
+#include "blifmv/blifmv.hpp"
+#include "lc/lc.hpp"
+#include "vl2mv/vl2mv.hpp"
+
+namespace hsis {
+namespace {
+
+// ------------------------------------------------------------- automaton
+
+Automaton figure2Automaton(const std::string& badExpr) {
+  // The paper's Figure 2: stay in A unless the bad condition fires.
+  Automaton aut("invariance");
+  aut.addState("A");
+  aut.addState("B");
+  aut.setInitial("A");
+  aut.addEdge("A", "A", sigNot(parseSigExpr(badExpr)));
+  aut.addEdge("A", "B", parseSigExpr(badExpr));
+  aut.addEdge("B", "B", sigTrue());
+  aut.setStayAcceptance({"A"});
+  return aut;
+}
+
+TEST(Automaton, Structure) {
+  Automaton aut = figure2Automaton("x=1");
+  EXPECT_EQ(aut.numStates(), 2u);
+  EXPECT_EQ(aut.initialState(), 0u);
+  EXPECT_EQ(aut.stateName(1), "B");
+  EXPECT_EQ(aut.findState("B"), std::optional<uint32_t>(1));
+  EXPECT_EQ(aut.findState("C"), std::nullopt);
+  EXPECT_EQ(aut.edges().size(), 3u);
+  ASSERT_EQ(aut.rabinPairs().size(), 1u);
+  // stay {A} == Rabin(fin = {B}, inf = all)
+  EXPECT_EQ(aut.rabinPairs()[0].fin, std::vector<uint32_t>{1});
+}
+
+TEST(Automaton, DeadStates) {
+  Automaton aut = figure2Automaton("x=1");
+  std::vector<bool> dead = aut.deadStates();
+  EXPECT_FALSE(dead[0]);  // A can accept
+  EXPECT_TRUE(dead[1]);   // B is the rejecting trap
+  // Büchi acceptance on a two-state ping automaton: nothing is dead.
+  Automaton b("buchi");
+  b.addState("p");
+  b.addState("q");
+  b.addEdge("p", "q", sigTrue());
+  b.addEdge("q", "p", sigTrue());
+  b.setBuchiAcceptance({"q"});
+  std::vector<bool> bd = b.deadStates();
+  EXPECT_FALSE(bd[0]);
+  EXPECT_FALSE(bd[1]);
+}
+
+TEST(Automaton, ErrorsAndChecks) {
+  Automaton aut("t");
+  aut.addState("A");
+  EXPECT_THROW(aut.addState("A"), std::runtime_error);
+  EXPECT_THROW(aut.setInitial("Z"), std::runtime_error);
+  EXPECT_THROW(aut.addEdge("A", "Z", sigTrue()), std::runtime_error);
+  EXPECT_THROW(aut.addRabinPair({"Z"}, {}), std::runtime_error);
+
+  blifmv::Model flat;
+  // no acceptance condition
+  Automaton na("na");
+  na.addState("A");
+  na.addEdge("A", "A", sigTrue());
+  EXPECT_THROW(na.compose(flat, "_m"), std::runtime_error);
+  // nondeterministic guards
+  Automaton nd("nd");
+  nd.addState("A");
+  nd.addState("B");
+  nd.addEdge("A", "A", parseSigExpr("x=1"));
+  nd.addEdge("A", "B", parseSigExpr("x=1"));
+  nd.addEdge("B", "B", sigTrue());
+  nd.setStayAcceptance({"A"});
+  EXPECT_THROW(nd.compose(flat, "_m"), std::runtime_error);
+  // incomplete guards
+  Automaton inc("inc");
+  inc.addState("A");
+  inc.addEdge("A", "A", parseSigExpr("x=1"));
+  inc.setStayAcceptance({"A"});
+  EXPECT_THROW(inc.compose(flat, "_m"), std::runtime_error);
+}
+
+TEST(Automaton, ComposeBuildsMonitor) {
+  blifmv::Model flat = blifmv::flatten(blifmv::parse(R"(
+.model m
+.table x
+(0,1)
+.end
+)"));
+  Automaton aut = figure2Automaton("x=1");
+  aut.compose(flat, "_monitor");
+  ASSERT_EQ(flat.latches.size(), 1u);
+  EXPECT_EQ(flat.latches[0].output, "_monitor");
+  EXPECT_EQ(flat.latches[0].resetValues, std::vector<std::string>{"A"});
+  ASSERT_NE(flat.declOf("_monitor"), nullptr);
+  EXPECT_EQ(flat.declOf("_monitor")->domain, 2u);
+  EXPECT_EQ(flat.declOf("_monitor")->valueNames,
+            (std::vector<std::string>{"A", "B"}));
+  // 2 assignments of x times 2 states = 4 rows
+  EXPECT_EQ(flat.tables.back().rows.size(), 4u);
+}
+
+// ------------------------------------------------------------ containment
+
+/// Modulo-4 counter; out=1 exactly at s=3.
+const char* kCounter = R"(
+.model counter
+.mv s, ns 4
+.table s ns
+0 1
+1 2
+2 3
+3 0
+.latch ns s
+.reset s
+0
+.table s out
+3 1
+.default 0
+.end
+)";
+
+TEST(Lc, InvarianceHolds) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(kCounter));
+  // "out and s=1 never coincide" — true, out only at s=3.
+  LcChecker lc(mgr, flat, figure2Automaton("out=1 & s=1"));
+  LcResult r = lc.check();
+  EXPECT_TRUE(r.contained);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_GT(r.stats.reachedStates, 0.0);
+}
+
+TEST(Lc, InvarianceFailsWithEarlyDetectionAndTrace) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(kCounter));
+  LcChecker lc(mgr, flat, figure2Automaton("out=1"));
+  LcResult r = lc.check();
+  EXPECT_FALSE(r.contained);
+  EXPECT_TRUE(r.stats.usedEarlyFailure);
+  ASSERT_TRUE(r.trace.has_value());
+  EXPECT_TRUE(r.trace->isLasso());
+  std::string text = lc.formatTrace(*r.trace);
+  EXPECT_NE(text.find("_monitor"), std::string::npos);
+}
+
+TEST(Lc, EarlyFailureCanBeDisabled) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(kCounter));
+  LcOptions opts;
+  opts.earlyFailureDetection = false;
+  LcChecker lc(mgr, flat, figure2Automaton("out=1"), {}, opts);
+  LcResult r = lc.check();
+  EXPECT_FALSE(r.contained);
+  EXPECT_FALSE(r.stats.usedEarlyFailure);
+  EXPECT_TRUE(r.trace.has_value());
+}
+
+TEST(Lc, BuchiLiveness) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(kCounter));
+  // the counter passes s=3 infinitely often
+  Automaton live("live");
+  live.addState("wait");
+  live.addState("seen");
+  live.addEdge("wait", "seen", parseSigExpr("s=3"));
+  live.addEdge("wait", "wait", parseSigExpr("s!=3"));
+  live.addEdge("seen", "seen", parseSigExpr("s=3"));
+  live.addEdge("seen", "wait", parseSigExpr("s!=3"));
+  live.setBuchiAcceptance({"seen"});
+  LcChecker lc(mgr, flat, live);
+  EXPECT_TRUE(lc.check().contained);
+}
+
+TEST(Lc, BuchiLivenessFailsWithLasso) {
+  BddManager mgr;
+  // A machine that may stall forever at s=0.
+  auto flat = blifmv::flatten(blifmv::parse(R"(
+.model stall
+.mv s, ns 2
+.table s ns
+0 (0,1)
+1 0
+.latch ns s
+.reset s
+0
+.end
+)"));
+  Automaton live("live");
+  live.addState("wait");
+  live.addState("seen");
+  live.addEdge("wait", "seen", parseSigExpr("s=1"));
+  live.addEdge("wait", "wait", parseSigExpr("s!=1"));
+  live.addEdge("seen", "seen", parseSigExpr("s=1"));
+  live.addEdge("seen", "wait", parseSigExpr("s!=1"));
+  live.setBuchiAcceptance({"seen"});
+  LcChecker lc(mgr, flat, live);
+  LcResult r = lc.check();
+  ASSERT_FALSE(r.contained);
+  ASSERT_TRUE(r.trace.has_value());
+  // the counterexample cycle never visits s=1
+  for (size_t i = static_cast<size_t>(r.trace->cycleStart);
+       i < r.trace->states.size(); ++i) {
+    EXPECT_EQ(lc.fsm().decodeState(r.trace->states[i])[0], 0u);
+  }
+}
+
+TEST(Lc, NoStayFairnessRescuesLiveness) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(R"(
+.model stall
+.mv s, ns 2
+.table s ns
+0 (0,1)
+1 0
+.latch ns s
+.reset s
+0
+.end
+)"));
+  Automaton live("live");
+  live.addState("wait");
+  live.addState("seen");
+  live.addEdge("wait", "seen", parseSigExpr("s=1"));
+  live.addEdge("wait", "wait", parseSigExpr("s!=1"));
+  live.addEdge("seen", "seen", parseSigExpr("s=1"));
+  live.addEdge("seen", "wait", parseSigExpr("s!=1"));
+  live.setBuchiAcceptance({"seen"});
+  FairnessSpec fair;
+  fair.noStay.push_back(parseSigExpr("s=0"));  // cannot stall forever
+  LcChecker lc(mgr, flat, live, fair);
+  EXPECT_TRUE(lc.check().contained);
+}
+
+TEST(Lc, FairEdgeConstraint) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(R"(
+.model stall
+.mv s, ns 2
+.table s ns
+0 (0,1)
+1 0
+.latch ns s
+.reset s
+0
+.end
+)"));
+  Automaton live("live");
+  live.addState("wait");
+  live.addState("seen");
+  live.addEdge("wait", "seen", parseSigExpr("s=1"));
+  live.addEdge("wait", "wait", parseSigExpr("s!=1"));
+  live.addEdge("seen", "seen", parseSigExpr("s=1"));
+  live.addEdge("seen", "wait", parseSigExpr("s!=1"));
+  live.setBuchiAcceptance({"seen"});
+  FairnessSpec fair;
+  // the edge s=0 -> s=1 must be taken infinitely often
+  fair.fairEdges.emplace_back(parseSigExpr("s=0"), parseSigExpr("s=1"));
+  LcChecker lc(mgr, flat, live, fair);
+  EXPECT_TRUE(lc.check().contained);
+  EXPECT_EQ(lc.edgeSets().size(), 1u);
+}
+
+TEST(Lc, FairEdgeRejectsCombinationalGuards) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(kCounter));
+  FairnessSpec fair;
+  fair.fairEdges.emplace_back(parseSigExpr("s=0"), parseSigExpr("s=1"));
+  {
+    // fine: both sides over latches
+    LcChecker lc(mgr, flat, figure2Automaton("out=1 & s=1"), fair);
+  }
+  FairnessSpec bad;
+  bad.fairEdges.emplace_back(parseSigExpr("out=1"), parseSigExpr("s=1"));
+  BddManager mgr2;
+  EXPECT_THROW(
+      LcChecker(mgr2, flat, figure2Automaton("out=1 & s=1"), bad),
+      std::runtime_error);
+}
+
+TEST(Lc, VacuousPassWhenFairnessUnsatisfiable) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(kCounter));
+  FairnessSpec fair;
+  // s=1 and s=2 simultaneously is impossible: no fair runs at all
+  fair.buchi.push_back(parseSigExpr("s=1 & s=2"));
+  LcChecker lc(mgr, flat, figure2Automaton("out=1"), fair);
+  LcResult r = lc.check();
+  EXPECT_TRUE(r.contained);
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes[0].find("vacuous"), std::string::npos);
+}
+
+TEST(Lc, MonolithicAndPartitionedAgree) {
+  for (bool partitioned : {false, true}) {
+    BddManager mgr;
+    auto flat = blifmv::flatten(blifmv::parse(kCounter));
+    LcOptions opts;
+    opts.partitionedTr = partitioned;
+    LcChecker lc(mgr, flat, figure2Automaton("out=1 & s=1"), {}, opts);
+    EXPECT_TRUE(lc.check().contained);
+    BddManager mgr2;
+    LcChecker lc2(mgr2, flat, figure2Automaton("out=1"), {}, opts);
+    EXPECT_FALSE(lc2.check().contained);
+  }
+}
+
+TEST(Lc, RabinPairAcceptance) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(kCounter));
+  // explicit Rabin pair equivalent to the stay-acceptance
+  Automaton aut("rabin");
+  aut.addState("A");
+  aut.addState("B");
+  aut.addEdge("A", "A", parseSigExpr("!(out=1 & s=1)"));
+  aut.addEdge("A", "B", parseSigExpr("out=1 & s=1"));
+  aut.addEdge("B", "B", sigTrue());
+  aut.addRabinPair({"B"}, {"A"});
+  LcChecker lc(mgr, flat, aut);
+  EXPECT_TRUE(lc.check().contained);
+}
+
+TEST(Lc, MonitorNameAvoidsCollision) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(R"(
+.model m
+.table _monitor
+(0,1)
+.table _monitor x
+- =_monitor
+.end
+)"));
+  // design already uses "_monitor": the checker must pick another name
+  LcChecker lc(mgr, flat, figure2Automaton("x=1"));
+  EXPECT_NE(lc.monitorSignal(), "_monitor");
+}
+
+}  // namespace
+}  // namespace hsis

@@ -1,0 +1,143 @@
+// Tests for the multi-valued (MDD) layer.
+#include <gtest/gtest.h>
+
+#include "mvf/mvf.hpp"
+
+namespace hsis {
+namespace {
+
+TEST(MvSpace, BitsFor) {
+  EXPECT_EQ(MvSpace::bitsFor(1), 1u);
+  EXPECT_EQ(MvSpace::bitsFor(2), 1u);
+  EXPECT_EQ(MvSpace::bitsFor(3), 2u);
+  EXPECT_EQ(MvSpace::bitsFor(4), 2u);
+  EXPECT_EQ(MvSpace::bitsFor(5), 3u);
+  EXPECT_EQ(MvSpace::bitsFor(8), 3u);
+  EXPECT_EQ(MvSpace::bitsFor(9), 4u);
+}
+
+TEST(MvSpace, AddVarAndLookup) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId s = sp.addVar("state", 3, {"idle", "busy", "done"});
+  EXPECT_EQ(sp.numVars(), 1u);
+  EXPECT_EQ(sp.domain(s), 3u);
+  EXPECT_EQ(sp.name(s), "state");
+  EXPECT_EQ(sp.bits(s).size(), 2u);
+  EXPECT_EQ(sp.findVar("state"), std::optional<MvVarId>(s));
+  EXPECT_EQ(sp.findVar("nope"), std::nullopt);
+  EXPECT_EQ(sp.valueName(s, 1), "busy");
+  EXPECT_EQ(sp.valueOf(s, "done"), std::optional<uint32_t>(2));
+  EXPECT_EQ(sp.valueOf(s, "2"), std::optional<uint32_t>(2));
+  EXPECT_EQ(sp.valueOf(s, "7"), std::nullopt);
+  EXPECT_EQ(sp.valueOf(s, "unknown"), std::nullopt);
+}
+
+TEST(MvSpace, RejectsBadDeclarations) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  EXPECT_THROW(sp.addVar("x", 0), std::invalid_argument);
+  EXPECT_THROW(sp.addVar("y", 3, {"a", "b"}), std::invalid_argument);
+}
+
+TEST(MvSpace, LiteralsPartitionValidEncodings) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId s = sp.addVar("s", 3);
+  Bdd all = mgr.bddZero();
+  for (uint32_t k = 0; k < 3; ++k) {
+    for (uint32_t j = k + 1; j < 3; ++j) {
+      EXPECT_TRUE((sp.literal(s, k) & sp.literal(s, j)).isZero());
+    }
+    all |= sp.literal(s, k);
+  }
+  EXPECT_EQ(all, sp.validEncodings(s));
+  // power-of-two domains have no invalid encodings
+  MvVarId t = sp.addVar("t", 4);
+  EXPECT_TRUE(sp.validEncodings(t).isOne());
+  EXPECT_THROW(sp.literal(s, 3), std::out_of_range);
+}
+
+TEST(MvSpace, DecodeInverseOfLiteral) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId s = sp.addVar("s", 5);
+  for (uint32_t k = 0; k < 5; ++k) {
+    std::vector<int8_t> pick = mgr.pickCube(sp.literal(s, k));
+    EXPECT_EQ(sp.decode(s, pick), k);
+  }
+}
+
+TEST(MvSpace, ExplicitBits) {
+  BddManager mgr(4);
+  MvSpace sp(mgr);
+  MvVarId s = sp.addVar("s", 4, {}, std::vector<BddVar>{1, 3});
+  EXPECT_EQ(sp.bits(s), (std::vector<BddVar>{1, 3}));
+  EXPECT_THROW(sp.addVar("t", 4, {}, std::vector<BddVar>{0}),
+               std::invalid_argument);
+}
+
+TEST(MvSpace, CubeCoversBits) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId a = sp.addVar("a", 4);
+  MvVarId b = sp.addVar("b", 2);
+  Bdd cube = sp.cube(std::vector<MvVarId>{a, b});
+  EXPECT_EQ(mgr.support(cube).size(), 3u);
+  EXPECT_EQ(sp.totalBits({a, b}), 3u);
+}
+
+TEST(Mvf, ConstantAndVarFunction) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId s = sp.addVar("s", 3);
+  Mvf c = Mvf::constant(mgr, 3, 1);
+  EXPECT_TRUE(c.part(0).isZero());
+  EXPECT_TRUE(c.part(1).isOne());
+  EXPECT_TRUE(c.part(2).isZero());
+  Mvf f = Mvf::varFunction(sp, s);
+  EXPECT_EQ(f.part(2), sp.literal(s, 2));
+  EXPECT_TRUE(f.isDeterministic(sp.validEncodings(s)));
+}
+
+TEST(Mvf, MayEqualAndRelations) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId a = sp.addVar("a", 3);
+  MvVarId b = sp.addVar("b", 3);
+  Mvf fa = Mvf::varFunction(sp, a);
+  Mvf fb = Mvf::varFunction(sp, b);
+  Bdd eq = fa.mayEqual(fb);
+  // eq == OR_k (a=k & b=k)
+  Bdd expected = mgr.bddZero();
+  for (uint32_t k = 0; k < 3; ++k)
+    expected |= sp.literal(a, k) & sp.literal(b, k);
+  EXPECT_EQ(eq, expected);
+}
+
+TEST(Mvf, NondetSet) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId a = sp.addVar("a", 2);
+  // A relation that allows both values when a=1.
+  Mvf f(std::vector<Bdd>{sp.literal(a, 0) | sp.literal(a, 1), sp.literal(a, 1)});
+  EXPECT_EQ(f.nondetSet(), sp.literal(a, 1));
+  EXPECT_FALSE(f.isDeterministic(mgr.bddOne()));
+  EXPECT_TRUE(f.isDeterministic(sp.literal(a, 0)));
+  EXPECT_TRUE(f.definedSet().isOne());
+}
+
+TEST(Mvf, ToRelation) {
+  BddManager mgr;
+  MvSpace sp(mgr);
+  MvVarId in = sp.addVar("in", 2);
+  MvVarId out = sp.addVar("out", 3);
+  // f(in) = in + 1
+  Mvf f(std::vector<Bdd>{mgr.bddZero(), sp.literal(in, 0), sp.literal(in, 1)});
+  Bdd rel = f.toRelation(sp, out);
+  EXPECT_EQ(rel, (sp.literal(in, 0) & sp.literal(out, 1)) |
+                     (sp.literal(in, 1) & sp.literal(out, 2)));
+}
+
+}  // namespace
+}  // namespace hsis

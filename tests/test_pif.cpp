@@ -1,0 +1,119 @@
+// Tests for the Property Intermediate Format parser.
+#include <gtest/gtest.h>
+
+#include "pif/pif.hpp"
+
+namespace hsis {
+namespace {
+
+TEST(Pif, CtlDeclarations) {
+  PifFile f = parsePif(R"PIF(
+# two formulas
+ctl safety "AG !(a=1 & b=1)";
+invariant quick "a=0 | b=0";
+)PIF");
+  ASSERT_EQ(f.properties.size(), 2u);
+  EXPECT_EQ(f.ctlCount(), 2u);
+  EXPECT_EQ(f.automatonCount(), 0u);
+  EXPECT_EQ(f.properties[0].name, "safety");
+  EXPECT_EQ(f.properties[0].ctl->kind, CtlFormula::Kind::AG);
+  // invariant sugar becomes AG(expr)
+  EXPECT_EQ(f.properties[1].ctl->kind, CtlFormula::Kind::AG);
+  EXPECT_TRUE(f.properties[1].ctl->isInvariant());
+}
+
+TEST(Pif, AutomatonBlock) {
+  PifFile f = parsePif(R"PIF(
+automaton watch {
+  state A init;
+  state B;
+  edge A -> A on "!(x=1)";
+  edge A -> B on "x=1";
+  edge B -> B on "1";
+  accept stay A;
+}
+)PIF");
+  ASSERT_EQ(f.properties.size(), 1u);
+  const Automaton& a = f.properties[0].aut;
+  EXPECT_EQ(a.numStates(), 2u);
+  EXPECT_EQ(a.initialState(), 0u);
+  EXPECT_EQ(a.edges().size(), 3u);
+  EXPECT_EQ(a.rabinPairs().size(), 1u);
+}
+
+TEST(Pif, RabinAndBuchiAcceptance) {
+  PifFile f = parsePif(R"PIF(
+automaton r {
+  state A init;
+  state B;
+  edge A -> B on "1";
+  edge B -> A on "1";
+  rabin fin { B } inf { A };
+  accept buchi A;
+}
+)PIF");
+  const Automaton& a = f.properties[0].aut;
+  ASSERT_EQ(a.rabinPairs().size(), 2u);
+  EXPECT_EQ(a.rabinPairs()[0].fin, std::vector<uint32_t>{1});
+  EXPECT_EQ(a.rabinPairs()[0].inf, std::vector<uint32_t>{0});
+  EXPECT_TRUE(a.rabinPairs()[1].fin.empty());
+}
+
+TEST(Pif, DefaultInitialIsFirstState) {
+  PifFile f = parsePif(R"PIF(
+automaton d {
+  state P;
+  state Q;
+  edge P -> Q on "1";
+  edge Q -> Q on "1";
+  accept stay Q;
+}
+)PIF");
+  EXPECT_EQ(f.properties[0].aut.initialState(), 0u);
+}
+
+TEST(Pif, FairnessBlock) {
+  PifFile f = parsePif(R"PIF(
+fairness {
+  nostay "s=waiting";
+  buchi "tick=1";
+  fairedge "s=ready" -> "s=run";
+}
+)PIF");
+  EXPECT_EQ(f.fairness.noStay.size(), 1u);
+  EXPECT_EQ(f.fairness.buchi.size(), 1u);
+  ASSERT_EQ(f.fairness.fairEdges.size(), 1u);
+  EXPECT_EQ(f.fairness.fairEdges[0].first->toString(), "s=ready");
+}
+
+TEST(Pif, MixedFile) {
+  PifFile f = parsePif(R"PIF(
+fairness { nostay "a=1"; }
+ctl c1 "EF a=1";
+automaton a1 {
+  state S init;
+  edge S -> S on "1";
+  accept buchi S;
+}
+ctl c2 "AG a=0";
+)PIF");
+  EXPECT_EQ(f.properties.size(), 3u);
+  EXPECT_EQ(f.ctlCount(), 2u);
+  EXPECT_EQ(f.automatonCount(), 1u);
+  // file order preserved
+  EXPECT_EQ(f.properties[0].name, "c1");
+  EXPECT_EQ(f.properties[1].name, "a1");
+}
+
+TEST(Pif, Errors) {
+  EXPECT_THROW(parsePif("bogus x;"), std::runtime_error);
+  EXPECT_THROW(parsePif("ctl name AG"), std::runtime_error);       // no quotes
+  EXPECT_THROW(parsePif("ctl name \"unterminated"), std::runtime_error);
+  EXPECT_THROW(parsePif("automaton a { state S init; edge S S on \"1\"; }"),
+               std::runtime_error);  // missing ->
+  EXPECT_THROW(parsePif("automaton a { accept wiggle S; }"), std::runtime_error);
+  EXPECT_THROW(parsePif("fairness { bogus \"1\"; }"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hsis

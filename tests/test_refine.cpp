@@ -1,0 +1,146 @@
+// Tests for hierarchical refinement checking (paper future-work item 3).
+#include <gtest/gtest.h>
+
+#include "blifmv/blifmv.hpp"
+#include "minimize/refine.hpp"
+
+namespace hsis {
+namespace {
+
+struct Machine {
+  std::unique_ptr<Fsm> fsm;
+  std::optional<TransitionRelation> tr;
+  Bdd reached;
+};
+
+Machine build(BddManager& mgr, const char* text) {
+  Machine m;
+  m.fsm = std::make_unique<Fsm>(mgr, blifmv::flatten(blifmv::parse(text)));
+  m.tr = TransitionRelation::monolithic(*m.fsm);
+  m.reached = reachableStates(*m.tr, m.fsm->initialStates()).reached;
+  return m;
+}
+
+// Deterministic mod-4 counter (the "low-level" implementation).
+const char* kCounter = R"(
+.model counter
+.mv s, ns 4
+.table s ns
+0 1
+1 2
+2 3
+3 0
+.latch ns s
+.reset s
+0
+.end
+)";
+
+// Abstract spec: a bit that may stay or toggle (covers "low bit of s").
+const char* kToggleSpec = R"(
+.model spec
+.table b nb
+0 (0,1)
+1 (1,0)
+.latch nb b
+.reset b
+0
+.end
+)";
+
+// Overly strict spec: the bit must stay 0 forever.
+const char* kStuckSpec = R"(
+.model stuck
+.table b nb
+0 0
+1 1
+.latch nb b
+.reset b
+0
+.end
+)";
+
+TEST(Refinement, CounterRefinesToggleAbstraction) {
+  BddManager mgr;
+  Machine impl = build(mgr, kCounter);
+  Machine spec = build(mgr, kToggleSpec);
+  // observation: low bit of the counter vs the spec bit
+  Bdd pImpl = impl.fsm->space().literal(impl.fsm->stateVar(0), 1) |
+              impl.fsm->space().literal(impl.fsm->stateVar(0), 3);
+  Bdd pSpec = spec.fsm->space().literal(spec.fsm->stateVar(0), 1);
+  RefinementResult r = simulationRefinement(
+      *impl.fsm, *impl.tr, impl.reached, *spec.fsm, *spec.tr, spec.reached,
+      {{pImpl, pSpec}});
+  EXPECT_TRUE(r.refines);
+  EXPECT_GE(r.refinementIterations, 1u);
+  EXPECT_FALSE(r.simulation.isZero());
+}
+
+TEST(Refinement, CounterDoesNotRefineStuckSpec) {
+  BddManager mgr;
+  Machine impl = build(mgr, kCounter);
+  Machine spec = build(mgr, kStuckSpec);
+  Bdd pImpl = impl.fsm->space().literal(impl.fsm->stateVar(0), 1) |
+              impl.fsm->space().literal(impl.fsm->stateVar(0), 3);
+  Bdd pSpec = spec.fsm->space().literal(spec.fsm->stateVar(0), 1);
+  RefinementResult r = simulationRefinement(
+      *impl.fsm, *impl.tr, impl.reached, *spec.fsm, *spec.tr, spec.reached,
+      {{pImpl, pSpec}});
+  // the counter toggles its low bit; the stuck spec cannot follow
+  EXPECT_FALSE(r.refines);
+  EXPECT_FALSE(r.unmatchedInitial.isNull());
+}
+
+TEST(Refinement, AbstractionDoesNotRefineImplementation) {
+  // The nondeterministic spec has a stutter move the deterministic counter
+  // cannot match: refinement is not symmetric.
+  BddManager mgr;
+  Machine impl = build(mgr, kToggleSpec);
+  Machine spec = build(mgr, kCounter);
+  Bdd pImpl = impl.fsm->space().literal(impl.fsm->stateVar(0), 1);
+  Bdd pSpec = spec.fsm->space().literal(spec.fsm->stateVar(0), 1) |
+              spec.fsm->space().literal(spec.fsm->stateVar(0), 3);
+  RefinementResult r = simulationRefinement(
+      *impl.fsm, *impl.tr, impl.reached, *spec.fsm, *spec.tr, spec.reached,
+      {{pImpl, pSpec}});
+  EXPECT_FALSE(r.refines);
+}
+
+TEST(Refinement, SelfRefinement) {
+  BddManager mgr;
+  Machine impl = build(mgr, kCounter);
+  Machine spec = build(mgr, kCounter);
+  Bdd pImpl = impl.fsm->space().literal(impl.fsm->stateVar(0), 0);
+  Bdd pSpec = spec.fsm->space().literal(spec.fsm->stateVar(0), 0);
+  RefinementResult r = simulationRefinement(
+      *impl.fsm, *impl.tr, impl.reached, *spec.fsm, *spec.tr, spec.reached,
+      {{pImpl, pSpec}});
+  EXPECT_TRUE(r.refines);
+}
+
+TEST(Refinement, RefinementPreservesInvariants) {
+  // The point of the methodology (paper Section 2): a property proved on
+  // the abstraction holds on the implementation. "AG (b=0 | b=1)" is
+  // trivial; use the toggle spec's real invariant "never two consecutive
+  // unobserved changes" — here we check a simpler transfer: any state set
+  // closed on the spec side pulls back to a superset of reachable impl
+  // states via the simulation.
+  BddManager mgr;
+  Machine impl = build(mgr, kCounter);
+  Machine spec = build(mgr, kToggleSpec);
+  Bdd pImpl = impl.fsm->space().literal(impl.fsm->stateVar(0), 1) |
+              impl.fsm->space().literal(impl.fsm->stateVar(0), 3);
+  Bdd pSpec = spec.fsm->space().literal(spec.fsm->stateVar(0), 1);
+  RefinementResult r = simulationRefinement(
+      *impl.fsm, *impl.tr, impl.reached, *spec.fsm, *spec.tr, spec.reached,
+      {{pImpl, pSpec}});
+  ASSERT_TRUE(r.refines);
+  // every reachable impl state is related to some reachable spec state
+  Bdd related = mgr.andExists(r.simulation, spec.reached, spec.fsm->presentCube());
+  EXPECT_TRUE(impl.reached.leq(related | !impl.reached));
+  EXPECT_TRUE((impl.fsm->initialStates() & related) ==
+              impl.fsm->initialStates());
+}
+
+}  // namespace
+}  // namespace hsis

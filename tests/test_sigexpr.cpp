@@ -1,0 +1,89 @@
+// Tests for the shared signal-expression language.
+#include <gtest/gtest.h>
+
+#include "blifmv/blifmv.hpp"
+#include "fsm/fsm.hpp"
+#include "pif/sigexpr.hpp"
+
+namespace hsis {
+namespace {
+
+struct SigFixture : ::testing::Test {
+  void SetUp() override {
+    auto design = blifmv::parse(R"(
+.model m
+.mv st, nst 3 idle busy done
+.table st nst
+idle busy
+busy done
+done idle
+.latch nst st
+.reset st
+idle
+.table st flag
+idle 0
+.default 1
+.end
+)");
+    flat = blifmv::flatten(design);
+    fsm = std::make_unique<Fsm>(mgr, flat);
+  }
+  BddManager mgr;
+  blifmv::Model flat;
+  std::unique_ptr<Fsm> fsm;
+};
+
+TEST_F(SigFixture, ParseAndPrint) {
+  SigExprRef e = parseSigExpr("!(st=idle | st=busy) & 1");
+  EXPECT_EQ(e->kind, SigExpr::Kind::And);
+  std::string s = e->toString();
+  EXPECT_NE(s.find("st=idle"), std::string::npos);
+  // reparsing the printed form is stable
+  SigExprRef e2 = parseSigExpr(e->toString());
+  EXPECT_EQ(evalSigExpr(e, *fsm), evalSigExpr(e2, *fsm));
+}
+
+TEST_F(SigFixture, Evaluation) {
+  const MvSpace& sp = fsm->space();
+  MvVarId st = *fsm->signalVar("st");
+  EXPECT_EQ(evalSigExpr(parseSigExpr("st=busy"), *fsm), sp.literal(st, 1));
+  EXPECT_EQ(evalSigExpr(parseSigExpr("st=1"), *fsm), sp.literal(st, 1));
+  EXPECT_EQ(evalSigExpr(parseSigExpr("st!=busy"), *fsm),
+            sp.validEncodings(st) & !sp.literal(st, 1));
+  EXPECT_EQ(evalSigExpr(parseSigExpr("st=idle | st=done"), *fsm),
+            sp.literal(st, 0) | sp.literal(st, 2));
+  EXPECT_TRUE(evalSigExpr(parseSigExpr("1"), *fsm).isOne());
+  EXPECT_TRUE(evalSigExpr(parseSigExpr("0"), *fsm).isZero());
+  EXPECT_EQ(evalSigExpr(parseSigExpr("!(st=idle)"), *fsm),
+            !sp.literal(st, 0));
+}
+
+TEST_F(SigFixture, DoubleOperators) {
+  // && and || and == are tolerated
+  EXPECT_EQ(evalSigExpr(parseSigExpr("st==busy && st==busy"), *fsm),
+            evalSigExpr(parseSigExpr("st=busy & st=busy"), *fsm));
+  EXPECT_EQ(evalSigExpr(parseSigExpr("st=idle || st=busy"), *fsm),
+            evalSigExpr(parseSigExpr("st=idle | st=busy"), *fsm));
+}
+
+TEST_F(SigFixture, Errors) {
+  EXPECT_THROW(parseSigExpr(""), std::runtime_error);
+  EXPECT_THROW(parseSigExpr("(st=1"), std::runtime_error);
+  EXPECT_THROW(parseSigExpr("st=1 trailing"), std::runtime_error);
+  EXPECT_THROW(evalSigExpr(parseSigExpr("bogus=1"), *fsm), std::runtime_error);
+  EXPECT_THROW(evalSigExpr(parseSigExpr("st=purple"), *fsm), std::runtime_error);
+  EXPECT_THROW(evalSigExpr(parseSigExpr("st=5"), *fsm), std::runtime_error);
+  // bare atom on a non-binary signal
+  EXPECT_THROW(evalSigExpr(parseSigExpr("st"), *fsm), std::runtime_error);
+  // combinational signal rejected for state predicates
+  EXPECT_THROW(evalSigExpr(parseSigExpr("flag=1"), *fsm), std::runtime_error);
+}
+
+TEST(SigExpr, Builders) {
+  SigExprRef e = sigAnd(sigNot(sigAtom("a")), sigOr(sigTrue(), sigFalse()));
+  EXPECT_EQ(e->kind, SigExpr::Kind::And);
+  EXPECT_EQ(e->toString(), "(!(a) & (1 | 0))");
+}
+
+}  // namespace
+}  // namespace hsis

@@ -1,0 +1,123 @@
+// Tests for the state-based simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blifmv/blifmv.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsis {
+namespace {
+
+struct SimFixture : ::testing::Test {
+  void SetUp() override {
+    auto design = blifmv::parse(R"(
+.model branchy
+.mv s, ns 4
+.table s ns
+0 (1,2)
+1 3
+2 3
+3 0
+.latch ns s
+.reset s
+0
+.end
+)");
+    flat = blifmv::flatten(design);
+    fsm = std::make_unique<Fsm>(mgr, flat);
+    tr = TransitionRelation::monolithic(*fsm);
+  }
+  BddManager mgr;
+  blifmv::Model flat;
+  std::unique_ptr<Fsm> fsm;
+  std::optional<TransitionRelation> tr;
+};
+
+TEST_F(SimFixture, ResetAndShow) {
+  Simulator sim(*fsm, *tr);
+  EXPECT_EQ(fsm->decodeState(sim.currentState())[0], 0u);
+  EXPECT_NE(sim.show().find("s=0"), std::string::npos);
+  EXPECT_EQ(sim.stepsTaken(), 0u);
+}
+
+TEST_F(SimFixture, SuccessorsEnumerated) {
+  Simulator sim(*fsm, *tr);
+  auto succ = sim.successors();
+  ASSERT_EQ(succ.size(), 2u);
+  std::set<uint32_t> vals;
+  for (const auto& s : succ) vals.insert(fsm->decodeState(s)[0]);
+  EXPECT_EQ(vals, (std::set<uint32_t>{1, 2}));
+  // limit respected
+  EXPECT_EQ(sim.successors(1).size(), 1u);
+}
+
+TEST_F(SimFixture, StepByChoice) {
+  Simulator sim(*fsm, *tr);
+  ASSERT_TRUE(sim.step(0));
+  uint32_t v = fsm->decodeState(sim.currentState())[0];
+  EXPECT_TRUE(v == 1 || v == 2);
+  EXPECT_EQ(sim.stepsTaken(), 1u);
+  EXPECT_FALSE(sim.step(7));  // out of range
+  sim.reset();
+  EXPECT_EQ(fsm->decodeState(sim.currentState())[0], 0u);
+}
+
+TEST_F(SimFixture, RandomWalkFollowsTransitions) {
+  Simulator sim(*fsm, *tr, 99);
+  uint32_t prev = fsm->decodeState(sim.currentState())[0];
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(sim.randomStep());
+    uint32_t cur = fsm->decodeState(sim.currentState())[0];
+    Bdd prevCube = fsm->stateFromValues({prev});
+    Bdd curCube = fsm->stateFromValues({cur});
+    EXPECT_FALSE((tr->image(prevCube) & curCube).isZero());
+    prev = cur;
+  }
+  EXPECT_EQ(sim.stepsTaken(), 20u);
+}
+
+TEST_F(SimFixture, RandomWalkHelper) {
+  Simulator sim(*fsm, *tr, 5);
+  EXPECT_EQ(sim.randomWalk(15), 15u);
+}
+
+TEST_F(SimFixture, EnumerateVisitsAllStates) {
+  Simulator sim(*fsm, *tr);
+  std::set<uint32_t> seen;
+  size_t n = sim.enumerate(100, [&](const std::vector<int8_t>& s) {
+    seen.insert(fsm->decodeState(s)[0]);
+  });
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(seen, (std::set<uint32_t>{0, 1, 2, 3}));
+  // bounded enumeration stops early
+  EXPECT_EQ(sim.enumerate(2, [](const std::vector<int8_t>&) {}), 2u);
+}
+
+TEST_F(SimFixture, ReachableCount) {
+  Simulator sim(*fsm, *tr);
+  EXPECT_DOUBLE_EQ(sim.reachableCount(), 4.0);
+}
+
+TEST(SimDeadlock, StopsAtDeadlock) {
+  BddManager mgr;
+  auto flat = blifmv::flatten(blifmv::parse(R"(
+.model dead
+.mv s, ns 2
+.table s ns
+0 1
+.latch ns s
+.reset s
+0
+.end
+)"));
+  Fsm fsm(mgr, flat);
+  auto tr = TransitionRelation::monolithic(fsm);
+  Simulator sim(fsm, tr);
+  EXPECT_TRUE(sim.randomStep());
+  EXPECT_FALSE(sim.randomStep());  // s=1 is a deadlock
+  EXPECT_EQ(sim.randomWalk(10), 0u);
+}
+
+}  // namespace
+}  // namespace hsis
