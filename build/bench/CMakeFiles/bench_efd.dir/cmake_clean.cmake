@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efd.dir/bench_efd.cpp.o"
+  "CMakeFiles/bench_efd.dir/bench_efd.cpp.o.d"
+  "bench_efd"
+  "bench_efd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

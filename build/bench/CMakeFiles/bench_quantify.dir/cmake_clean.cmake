@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantify.dir/bench_quantify.cpp.o"
+  "CMakeFiles/bench_quantify.dir/bench_quantify.cpp.o.d"
+  "bench_quantify"
+  "bench_quantify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gigamax_debug.cpp" "examples/CMakeFiles/gigamax_debug.dir/gigamax_debug.cpp.o" "gcc" "examples/CMakeFiles/gigamax_debug.dir/gigamax_debug.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsis/CMakeFiles/hsis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hsis_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/proplib/CMakeFiles/hsis_proplib.dir/DependInfo.cmake"
+  "/root/repo/build/src/vl2mv/CMakeFiles/hsis_vl2mv.dir/DependInfo.cmake"
+  "/root/repo/build/src/pif/CMakeFiles/hsis_piffile.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/hsis_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/lc/CMakeFiles/hsis_lc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/hsis_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pif/CMakeFiles/hsis_pif.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimize/CMakeFiles/hsis_minimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/hsis_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvf/CMakeFiles/hsis_mvf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hsis_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/blifmv/CMakeFiles/hsis_blifmv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

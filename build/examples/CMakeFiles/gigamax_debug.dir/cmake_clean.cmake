@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gigamax_debug.dir/gigamax_debug.cpp.o"
+  "CMakeFiles/gigamax_debug.dir/gigamax_debug.cpp.o.d"
+  "gigamax_debug"
+  "gigamax_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gigamax_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

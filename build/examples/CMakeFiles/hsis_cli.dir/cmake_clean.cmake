@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_cli.dir/hsis_cli.cpp.o"
+  "CMakeFiles/hsis_cli.dir/hsis_cli.cpp.o.d"
+  "hsis_cli"
+  "hsis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_automaton.dir/mutex_automaton.cpp.o"
+  "CMakeFiles/mutex_automaton.dir/mutex_automaton.cpp.o.d"
+  "mutex_automaton"
+  "mutex_automaton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proplib_demo.dir/proplib_demo.cpp.o"
+  "CMakeFiles/proplib_demo.dir/proplib_demo.cpp.o.d"
+  "proplib_demo"
+  "proplib_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proplib_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("bdd")
+subdirs("mvf")
+subdirs("blifmv")
+subdirs("vl2mv")
+subdirs("fsm")
+subdirs("pif")
+subdirs("ctl")
+subdirs("lc")
+subdirs("debug")
+subdirs("sim")
+subdirs("minimize")
+subdirs("proplib")
+subdirs("models")
+subdirs("hsis")

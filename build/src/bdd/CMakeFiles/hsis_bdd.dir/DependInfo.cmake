@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd_io.cpp" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_io.cpp.o" "gcc" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_io.cpp.o.d"
+  "/root/repo/src/bdd/bdd_manager.cpp" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_manager.cpp.o" "gcc" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_manager.cpp.o.d"
+  "/root/repo/src/bdd/bdd_ops.cpp" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_ops.cpp.o" "gcc" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_ops.cpp.o.d"
+  "/root/repo/src/bdd/bdd_reorder.cpp" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_reorder.cpp.o" "gcc" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_reorder.cpp.o.d"
+  "/root/repo/src/bdd/bdd_sat.cpp" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_sat.cpp.o" "gcc" "src/bdd/CMakeFiles/hsis_bdd.dir/bdd_sat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

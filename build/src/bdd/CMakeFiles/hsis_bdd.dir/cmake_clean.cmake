@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_bdd.dir/bdd_io.cpp.o"
+  "CMakeFiles/hsis_bdd.dir/bdd_io.cpp.o.d"
+  "CMakeFiles/hsis_bdd.dir/bdd_manager.cpp.o"
+  "CMakeFiles/hsis_bdd.dir/bdd_manager.cpp.o.d"
+  "CMakeFiles/hsis_bdd.dir/bdd_ops.cpp.o"
+  "CMakeFiles/hsis_bdd.dir/bdd_ops.cpp.o.d"
+  "CMakeFiles/hsis_bdd.dir/bdd_reorder.cpp.o"
+  "CMakeFiles/hsis_bdd.dir/bdd_reorder.cpp.o.d"
+  "CMakeFiles/hsis_bdd.dir/bdd_sat.cpp.o"
+  "CMakeFiles/hsis_bdd.dir/bdd_sat.cpp.o.d"
+  "libhsis_bdd.a"
+  "libhsis_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

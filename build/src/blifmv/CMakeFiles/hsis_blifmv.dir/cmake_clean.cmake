@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_blifmv.dir/flatten.cpp.o"
+  "CMakeFiles/hsis_blifmv.dir/flatten.cpp.o.d"
+  "CMakeFiles/hsis_blifmv.dir/parser.cpp.o"
+  "CMakeFiles/hsis_blifmv.dir/parser.cpp.o.d"
+  "CMakeFiles/hsis_blifmv.dir/writer.cpp.o"
+  "CMakeFiles/hsis_blifmv.dir/writer.cpp.o.d"
+  "libhsis_blifmv.a"
+  "libhsis_blifmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_blifmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

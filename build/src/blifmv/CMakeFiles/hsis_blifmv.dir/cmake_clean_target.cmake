@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsis_blifmv.a"
+)

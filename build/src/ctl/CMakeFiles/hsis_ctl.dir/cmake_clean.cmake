@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_ctl.dir/ctl.cpp.o"
+  "CMakeFiles/hsis_ctl.dir/ctl.cpp.o.d"
+  "CMakeFiles/hsis_ctl.dir/mc.cpp.o"
+  "CMakeFiles/hsis_ctl.dir/mc.cpp.o.d"
+  "libhsis_ctl.a"
+  "libhsis_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

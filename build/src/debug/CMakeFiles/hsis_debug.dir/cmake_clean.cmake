@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_debug.dir/mcdebug.cpp.o"
+  "CMakeFiles/hsis_debug.dir/mcdebug.cpp.o.d"
+  "CMakeFiles/hsis_debug.dir/report.cpp.o"
+  "CMakeFiles/hsis_debug.dir/report.cpp.o.d"
+  "libhsis_debug.a"
+  "libhsis_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

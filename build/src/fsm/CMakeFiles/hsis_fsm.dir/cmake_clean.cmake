@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_fsm.dir/fsm.cpp.o"
+  "CMakeFiles/hsis_fsm.dir/fsm.cpp.o.d"
+  "CMakeFiles/hsis_fsm.dir/image.cpp.o"
+  "CMakeFiles/hsis_fsm.dir/image.cpp.o.d"
+  "CMakeFiles/hsis_fsm.dir/quantify.cpp.o"
+  "CMakeFiles/hsis_fsm.dir/quantify.cpp.o.d"
+  "CMakeFiles/hsis_fsm.dir/trace.cpp.o"
+  "CMakeFiles/hsis_fsm.dir/trace.cpp.o.d"
+  "libhsis_fsm.a"
+  "libhsis_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

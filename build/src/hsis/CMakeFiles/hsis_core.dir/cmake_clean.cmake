@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_core.dir/environment.cpp.o"
+  "CMakeFiles/hsis_core.dir/environment.cpp.o.d"
+  "libhsis_core.a"
+  "libhsis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_lc.dir/automaton.cpp.o"
+  "CMakeFiles/hsis_lc.dir/automaton.cpp.o.d"
+  "CMakeFiles/hsis_lc.dir/lc.cpp.o"
+  "CMakeFiles/hsis_lc.dir/lc.cpp.o.d"
+  "libhsis_lc.a"
+  "libhsis_lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

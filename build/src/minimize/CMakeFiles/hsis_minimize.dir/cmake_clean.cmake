@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_minimize.dir/bisim.cpp.o"
+  "CMakeFiles/hsis_minimize.dir/bisim.cpp.o.d"
+  "CMakeFiles/hsis_minimize.dir/refine.cpp.o"
+  "CMakeFiles/hsis_minimize.dir/refine.cpp.o.d"
+  "libhsis_minimize.a"
+  "libhsis_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

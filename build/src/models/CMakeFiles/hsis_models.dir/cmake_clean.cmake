@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_models.dir/models.cpp.o"
+  "CMakeFiles/hsis_models.dir/models.cpp.o.d"
+  "libhsis_models.a"
+  "libhsis_models.pdb"
+  "models_data.inc"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

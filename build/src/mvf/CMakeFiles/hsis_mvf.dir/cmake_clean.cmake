@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_mvf.dir/mvf.cpp.o"
+  "CMakeFiles/hsis_mvf.dir/mvf.cpp.o.d"
+  "libhsis_mvf.a"
+  "libhsis_mvf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_mvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

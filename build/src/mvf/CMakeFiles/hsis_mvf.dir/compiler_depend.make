@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hsis_mvf.
+# This may be replaced when dependencies are built.

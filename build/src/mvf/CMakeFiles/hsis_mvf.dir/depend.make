@@ -1,0 +1,2 @@
+# Empty dependencies file for hsis_mvf.
+# This may be replaced when dependencies are built.

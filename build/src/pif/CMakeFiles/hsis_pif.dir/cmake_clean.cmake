@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_pif.dir/sigexpr.cpp.o"
+  "CMakeFiles/hsis_pif.dir/sigexpr.cpp.o.d"
+  "libhsis_pif.a"
+  "libhsis_pif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_piffile.dir/pif.cpp.o"
+  "CMakeFiles/hsis_piffile.dir/pif.cpp.o.d"
+  "libhsis_piffile.a"
+  "libhsis_piffile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_piffile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

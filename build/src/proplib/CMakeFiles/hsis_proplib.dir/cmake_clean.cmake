@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_proplib.dir/proplib.cpp.o"
+  "CMakeFiles/hsis_proplib.dir/proplib.cpp.o.d"
+  "libhsis_proplib.a"
+  "libhsis_proplib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_proplib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

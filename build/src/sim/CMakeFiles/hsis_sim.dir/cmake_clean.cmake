@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hsis_sim.dir/simulator.cpp.o.d"
+  "libhsis_sim.a"
+  "libhsis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

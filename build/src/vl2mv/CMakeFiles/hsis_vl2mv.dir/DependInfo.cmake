@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vl2mv/codegen.cpp" "src/vl2mv/CMakeFiles/hsis_vl2mv.dir/codegen.cpp.o" "gcc" "src/vl2mv/CMakeFiles/hsis_vl2mv.dir/codegen.cpp.o.d"
+  "/root/repo/src/vl2mv/lexer.cpp" "src/vl2mv/CMakeFiles/hsis_vl2mv.dir/lexer.cpp.o" "gcc" "src/vl2mv/CMakeFiles/hsis_vl2mv.dir/lexer.cpp.o.d"
+  "/root/repo/src/vl2mv/parser.cpp" "src/vl2mv/CMakeFiles/hsis_vl2mv.dir/parser.cpp.o" "gcc" "src/vl2mv/CMakeFiles/hsis_vl2mv.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blifmv/CMakeFiles/hsis_blifmv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

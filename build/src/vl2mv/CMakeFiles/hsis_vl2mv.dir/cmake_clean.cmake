@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsis_vl2mv.dir/codegen.cpp.o"
+  "CMakeFiles/hsis_vl2mv.dir/codegen.cpp.o.d"
+  "CMakeFiles/hsis_vl2mv.dir/lexer.cpp.o"
+  "CMakeFiles/hsis_vl2mv.dir/lexer.cpp.o.d"
+  "CMakeFiles/hsis_vl2mv.dir/parser.cpp.o"
+  "CMakeFiles/hsis_vl2mv.dir/parser.cpp.o.d"
+  "libhsis_vl2mv.a"
+  "libhsis_vl2mv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsis_vl2mv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

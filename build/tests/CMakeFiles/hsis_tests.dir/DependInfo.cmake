@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bdd.cpp" "tests/CMakeFiles/hsis_tests.dir/test_bdd.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_bdd.cpp.o.d"
+  "/root/repo/tests/test_bisim.cpp" "tests/CMakeFiles/hsis_tests.dir/test_bisim.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_bisim.cpp.o.d"
+  "/root/repo/tests/test_blifmv.cpp" "tests/CMakeFiles/hsis_tests.dir/test_blifmv.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_blifmv.cpp.o.d"
+  "/root/repo/tests/test_ctl.cpp" "tests/CMakeFiles/hsis_tests.dir/test_ctl.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_ctl.cpp.o.d"
+  "/root/repo/tests/test_debug.cpp" "tests/CMakeFiles/hsis_tests.dir/test_debug.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_debug.cpp.o.d"
+  "/root/repo/tests/test_environment.cpp" "tests/CMakeFiles/hsis_tests.dir/test_environment.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_environment.cpp.o.d"
+  "/root/repo/tests/test_fsm.cpp" "tests/CMakeFiles/hsis_tests.dir/test_fsm.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_fsm.cpp.o.d"
+  "/root/repo/tests/test_lc.cpp" "tests/CMakeFiles/hsis_tests.dir/test_lc.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_lc.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/hsis_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_mvf.cpp" "tests/CMakeFiles/hsis_tests.dir/test_mvf.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_mvf.cpp.o.d"
+  "/root/repo/tests/test_pif.cpp" "tests/CMakeFiles/hsis_tests.dir/test_pif.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_pif.cpp.o.d"
+  "/root/repo/tests/test_proplib.cpp" "tests/CMakeFiles/hsis_tests.dir/test_proplib.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_proplib.cpp.o.d"
+  "/root/repo/tests/test_refine.cpp" "tests/CMakeFiles/hsis_tests.dir/test_refine.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_refine.cpp.o.d"
+  "/root/repo/tests/test_sigexpr.cpp" "tests/CMakeFiles/hsis_tests.dir/test_sigexpr.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_sigexpr.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hsis_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_suite_consistency.cpp" "tests/CMakeFiles/hsis_tests.dir/test_suite_consistency.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_suite_consistency.cpp.o.d"
+  "/root/repo/tests/test_vl2mv.cpp" "tests/CMakeFiles/hsis_tests.dir/test_vl2mv.cpp.o" "gcc" "tests/CMakeFiles/hsis_tests.dir/test_vl2mv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsis/CMakeFiles/hsis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hsis_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/proplib/CMakeFiles/hsis_proplib.dir/DependInfo.cmake"
+  "/root/repo/build/src/vl2mv/CMakeFiles/hsis_vl2mv.dir/DependInfo.cmake"
+  "/root/repo/build/src/pif/CMakeFiles/hsis_piffile.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/hsis_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/lc/CMakeFiles/hsis_lc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/hsis_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pif/CMakeFiles/hsis_pif.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimize/CMakeFiles/hsis_minimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/hsis_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvf/CMakeFiles/hsis_mvf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hsis_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/blifmv/CMakeFiles/hsis_blifmv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
