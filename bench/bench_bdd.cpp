@@ -5,6 +5,7 @@
 #include <random>
 
 #include "bdd/bdd.hpp"
+#include "obs_dump.hpp"
 
 namespace {
 
@@ -124,4 +125,13 @@ BENCHMARK(BM_GarbageCollection);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so --stats-json is stripped before
+// google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  benchobs::install(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

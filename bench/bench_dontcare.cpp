@@ -18,9 +18,12 @@
 #include "models/models.hpp"
 #include "vl2mv/vl2mv.hpp"
 
+#include "obs_dump.hpp"
+
 using clock_type = std::chrono::steady_clock;
 
-int main() {
+int main(int argc, char** argv) {
+  benchobs::install(argc, argv);
   std::printf("Reachability don't cares: restrict-minimized transition relations\n");
   std::printf("%-10s %12s %12s %12s %12s\n", "design", "tr nodes",
               "minimized", "mc+dc(s)", "mc-dc(s)");

@@ -9,6 +9,8 @@
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 
+#include "obs_dump.hpp"
+
 using clock_type = std::chrono::steady_clock;
 
 namespace {
@@ -43,7 +45,8 @@ const Case kCases[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchobs::install(argc, argv);
   std::printf("Early failure detection on seeded bugs (invariants FAIL)\n");
   std::printf("%-10s %12s %12s %14s %14s\n", "design", "efd steps",
               "full steps", "efd time(s)", "full time(s)");

@@ -12,6 +12,8 @@
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 
+#include "obs_dump.hpp"
+
 using clock_type = std::chrono::steady_clock;
 
 namespace {
@@ -83,7 +85,8 @@ const Row kRows[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchobs::install(argc, argv);
   std::printf("LC vs MC on matched properties (seconds, verdicts agree)\n");
   std::printf("%-10s %-10s %10s %10s %8s\n", "design", "kind", "mc(s)",
               "lc(s)", "verdict");

@@ -14,13 +14,16 @@
 #include "models/models.hpp"
 #include "vl2mv/vl2mv.hpp"
 
+#include "obs_dump.hpp"
+
 using clock_type = std::chrono::steady_clock;
 
 static double seconds(clock_type::time_point t0) {
   return std::chrono::duration<double>(clock_type::now() - t0).count();
 }
 
-int main() {
+int main(int argc, char** argv) {
+  benchobs::install(argc, argv);
   std::printf("Early quantification: schedule + execute  T(x,y) = exists i . prod R_j\n");
   std::printf("%-10s %7s %7s | %-10s %10s %12s\n", "design", "rels", "vars",
               "method", "build(s)", "peak nodes");

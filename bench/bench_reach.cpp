@@ -10,13 +10,16 @@
 #include "models/models.hpp"
 #include "vl2mv/vl2mv.hpp"
 
+#include "obs_dump.hpp"
+
 using clock_type = std::chrono::steady_clock;
 
 static double seconds(clock_type::time_point t0) {
   return std::chrono::duration<double>(clock_type::now() - t0).count();
 }
 
-int main() {
+int main(int argc, char** argv) {
+  benchobs::install(argc, argv);
   std::printf("Reachability: monolithic vs partitioned transition relation\n");
   std::printf("%-10s %-12s %8s %10s %10s %10s %10s\n", "design", "form",
               "clusters", "tr nodes", "build(s)", "reach(s)", "pre(s)");
@@ -37,6 +40,8 @@ int main() {
         {"part-500", true, 500},
     };
     for (const Config& cfg : configs) {
+      hsis::obs::Span span(std::string("bench.reach/") +
+                           std::string(model.name) + "/" + cfg.label);
       hsis::BddManager mgr;
       hsis::Fsm fsm(mgr, flat);
       auto t0 = clock_type::now();

@@ -10,7 +10,10 @@
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 
-int main() {
+#include "obs_dump.hpp"
+
+int main(int argc, char** argv) {
+  benchobs::install(argc, argv);
   std::printf("Table 1: the HSIS example suite\n");
   std::printf(
       "%-10s %9s %9s %10s %15s %9s %9s %7s %9s\n", "example", "lines.v",

@@ -1,0 +1,58 @@
+// Shared --stats-json handling for the bench drivers: strip the flag from
+// argv and, at process exit, dump the full hsis_obs snapshot (metrics
+// registry + span tree) to the given file. A second file with a
+// `.trace.json` suffix gets the chrome://tracing event view.
+//
+//   bench_reach --stats-json out.json
+//
+// This is how BENCH_*.json trajectory entries are produced by the harness
+// instead of by hand.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace benchobs {
+
+inline std::string& statsPath() {
+  static std::string path;
+  return path;
+}
+
+inline void dumpAtExit() {
+  const std::string& path = statsPath();
+  if (path.empty()) return;
+  hsis::obs::Snapshot snap = hsis::obs::snapshot();
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << hsis::obs::toJson(snap);
+  }
+  std::ofstream trace(path + ".trace.json");
+  if (trace) trace << hsis::obs::toChromeTrace(snap);
+}
+
+/// Scan argv for `--stats-json FILE`, remove the pair, and register the
+/// exit-time dump. Call first thing in main, before other arg parsing.
+inline void install(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      statsPath() = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      argv[argc] = nullptr;
+      std::atexit(dumpAtExit);
+      return;
+    }
+  }
+}
+
+}  // namespace benchobs

@@ -5,6 +5,9 @@
 //   hsis_cli design.v properties.pif
 //   hsis_cli --blifmv design.mv properties.pif
 //   hsis_cli --model philos          # run a bundled Table-1 design
+//
+// Add --stats-json FILE to any form to dump the full observability
+// snapshot (metrics registry + phase span tree) after verification.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,17 +31,33 @@ std::string slurp(const char* path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hsis_cli [--blifmv] DESIGN PROPERTIES.pif\n"
-               "       hsis_cli --model NAME   (one of:");
+               "usage: hsis_cli [--stats-json FILE] [--blifmv] DESIGN "
+               "PROPERTIES.pif\n"
+               "       hsis_cli [--stats-json FILE] --model NAME   (one of:");
   for (const auto& m : hsis::models::all())
     std::fprintf(stderr, " %s", std::string(m.name).c_str());
   std::fprintf(stderr, ")\n");
   return 2;
 }
 
+/// Strip `--stats-json FILE` from argv; returns the FILE or "".
+std::string extractStatsPath(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      argv[argc] = nullptr;
+      return path;
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string statsPath = extractStatsPath(argc, argv);
   hsis::Environment env;
 
   if (argc == 3 && std::strcmp(argv[1], "--model") == 0) {
@@ -74,5 +93,14 @@ int main(int argc, char** argv) {
               "%d failing\n",
               m.numCtlFormulas, m.mcSeconds, m.numLcProps, m.lcSeconds,
               failures);
+  if (!statsPath.empty()) {
+    std::ofstream out(statsPath);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", statsPath.c_str());
+      return 2;
+    }
+    out << env.statsJson();
+    std::printf("observability snapshot written to %s\n", statsPath.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace hsis {
 
 class BddManager;
@@ -79,6 +81,9 @@ class Bdd {
   uint32_t idx_ = 0;
 };
 
+/// Per-manager statistics view. The counters are backed by the hsis_obs
+/// registry (which additionally aggregates them across all managers under
+/// the `bdd.*` metric names); this struct keeps the legacy accessor shape.
 struct BddStats {
   size_t liveNodes = 0;      ///< nodes currently in the unique table
   size_t allocatedNodes = 0; ///< arena size (live + freed slots)
@@ -174,7 +179,12 @@ class BddManager {
 
   size_t gc();
   [[nodiscard]] size_t liveNodeCount() const { return uniqueCount_; }
-  [[nodiscard]] const BddStats& stats() const { return stats_; }
+  /// Point-in-time statistics (live/allocated refreshed on each call).
+  [[nodiscard]] const BddStats& stats() const {
+    stats_.liveNodes = uniqueCount_;
+    stats_.allocatedNodes = nodes_.size();
+    return stats_;
+  }
   void clearCaches();
 
   // ---- io ----
@@ -255,7 +265,20 @@ class BddManager {
   double maxGrowth_ = 1.2;
   int opDepth_ = 0;  ///< >0 while a public op is active (GC unsafe)
 
-  BddStats stats_;
+  mutable BddStats stats_;
+
+  // Registry-backed observability (process-wide totals across managers).
+  // References are resolved once at construction; each bump is a single
+  // relaxed atomic RMW, cheap enough to stay on in release builds.
+  obs::Counter& obsCacheLookups_;
+  obs::Counter& obsCacheHits_;
+  obs::Counter& obsNodesCreated_;
+  obs::Counter& obsGcRuns_;
+  obs::Counter& obsGcReclaimed_;
+  obs::Counter& obsReorderings_;
+  obs::Gauge& obsUniqueSize_;
+  obs::Gauge& obsUniquePeak_;
+  obs::Gauge& obsUniqueBuckets_;
 };
 
 }  // namespace hsis

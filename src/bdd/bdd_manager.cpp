@@ -103,7 +103,16 @@ size_t Bdd::nodeCount() const {
 
 // ---------------------------------------------------------------- manager
 
-BddManager::BddManager(uint32_t numVars) {
+BddManager::BddManager(uint32_t numVars)
+    : obsCacheLookups_(obs::counter("bdd.cache.lookups")),
+      obsCacheHits_(obs::counter("bdd.cache.hits")),
+      obsNodesCreated_(obs::counter("bdd.nodes.created")),
+      obsGcRuns_(obs::counter("bdd.gc.runs")),
+      obsGcReclaimed_(obs::counter("bdd.gc.reclaimed")),
+      obsReorderings_(obs::counter("bdd.reorder.count")),
+      obsUniqueSize_(obs::gauge("bdd.unique.size")),
+      obsUniquePeak_(obs::gauge("bdd.unique.peak")),
+      obsUniqueBuckets_(obs::gauge("bdd.unique.buckets")) {
   nodes_.reserve(1 << 12);
   // Terminals occupy slots 0 (FALSE) and 1 (TRUE); they are never in the
   // unique table and carry permanent references.
@@ -112,6 +121,7 @@ BddManager::BddManager(uint32_t numVars) {
 
   uniqueTable_.assign(1 << 12, kNil);
   uniqueMask_ = static_cast<uint32_t>(uniqueTable_.size() - 1);
+  obsUniqueBuckets_.set(static_cast<int64_t>(uniqueTable_.size()));
   cache_.assign(1 << 14, CacheEntry{});
   cacheMask_ = static_cast<uint32_t>(cache_.size() - 1);
 
@@ -177,7 +187,12 @@ uint32_t BddManager::mkNode(BddVar var, uint32_t lo, uint32_t hi) {
   nodes_[idx].next = uniqueTable_[bucket];
   uniqueTable_[bucket] = idx;
   ++uniqueCount_;
-  stats_.peakLiveNodes = std::max(stats_.peakLiveNodes, uniqueCount_);
+  obsNodesCreated_.add();
+  obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
+  if (uniqueCount_ > stats_.peakLiveNodes) {
+    stats_.peakLiveNodes = uniqueCount_;
+    obsUniquePeak_.updateMax(static_cast<int64_t>(uniqueCount_));
+  }
   if (uniqueCount_ > uniqueTable_.size()) growUnique();
   // Keep the operation cache proportional to the node count, or deep
   // recursions degenerate into exponential recomputation.
@@ -224,6 +239,7 @@ void BddManager::growUnique() {
   std::vector<uint32_t> old = std::move(uniqueTable_);
   uniqueTable_.assign(old.size() * 2, kNil);
   uniqueMask_ = static_cast<uint32_t>(uniqueTable_.size() - 1);
+  obsUniqueBuckets_.set(static_cast<int64_t>(uniqueTable_.size()));
   for (uint32_t head : old) {
     for (uint32_t n = head; n != kNil;) {
       uint32_t next = nodes_[n].next;
@@ -295,6 +311,9 @@ size_t BddManager::gc() {
   ++stats_.gcRuns;
   stats_.liveNodes = uniqueCount_;
   stats_.allocatedNodes = nodes_.size();
+  obsGcRuns_.add();
+  obsGcReclaimed_.add(freed);
+  obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
   return freed;
 }
 
@@ -307,6 +326,7 @@ void BddManager::clearCaches() {
 bool BddManager::cacheLookup(Op op, uint32_t a, uint32_t b, uint32_t c,
                              uint32_t& out) {
   ++stats_.cacheLookups;
+  obsCacheLookups_.add();
   uint64_t k1 = (static_cast<uint64_t>(a) << 32) | b;
   uint64_t k2 = (static_cast<uint64_t>(static_cast<uint8_t>(op)) << 32) | c;
   uint32_t slot = static_cast<uint32_t>(mix64(k1 ^ mix64(k2))) & cacheMask_;
@@ -314,6 +334,7 @@ bool BddManager::cacheLookup(Op op, uint32_t a, uint32_t b, uint32_t c,
   if (e.k1 == k1 && e.k2 == k2) {
     out = e.result;
     ++stats_.cacheHits;
+    obsCacheHits_.add();
     return true;
   }
   return false;

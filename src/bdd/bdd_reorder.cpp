@@ -64,6 +64,7 @@ class ScopedOp {
 
 void BddManager::sift() {
   if (numVars() < 2) return;
+  obs::Span span("bdd.sift");
   gc();  // sweep dead nodes so sizes reflect live structure only
   ScopedOp guard(opDepth_);  // no GC while raw swaps run
 
@@ -110,6 +111,7 @@ void BddManager::sift() {
     while (perm_[v] > bestLevel) swapAdjacentLevels(perm_[v] - 1);
   }
   ++stats_.reorderings;
+  obsReorderings_.add();
 }
 
 void BddManager::setOrder(const std::vector<BddVar>& order) {
@@ -122,6 +124,7 @@ void BddManager::setOrder(const std::vector<BddVar>& order) {
     while (perm_[v] > target) swapAdjacentLevels(perm_[v] - 1);
   }
   ++stats_.reorderings;
+  obsReorderings_.add();
 }
 
 }  // namespace hsis

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace hsis {
 
 CtlChecker::CtlChecker(const Fsm& fsm, const TransitionRelation& tr,
@@ -13,6 +15,7 @@ CtlChecker::CtlChecker(const Fsm& fsm, const TransitionRelation& tr,
 
 const Bdd& CtlChecker::reached() {
   if (reached_.isNull()) {
+    obs::Span span("ctl.reach");
     ReachOptions ro;
     ro.keepOnionRings = opts_.wantTrace;
     ReachResult r = reachableStates(*tr_, fsm_->initialStates(), ro);
@@ -29,13 +32,17 @@ const Bdd& CtlChecker::reached() {
 
 Bdd CtlChecker::preimage(const Bdd& s) {
   ++stats_.preimageCalls;
+  static obs::Counter& calls = obs::counter("ctl.preimage.calls");
+  calls.add();
   return activeTr_->preimage(s);
 }
 
 Bdd CtlChecker::eu(const Bdd& p, const Bdd& q) {
+  static obs::Counter& iterations = obs::counter("ctl.eu.iterations");
   Bdd y = q;
   while (true) {
     ++stats_.fixpointIterations;
+    iterations.add();
     Bdd y2 = y | (p & preimage(y));
     if (y2 == y) return y;
     y = std::move(y2);
@@ -43,10 +50,12 @@ Bdd CtlChecker::eu(const Bdd& p, const Bdd& q) {
 }
 
 Bdd CtlChecker::egFair(const Bdd& p) {
+  static obs::Counter& iterations = obs::counter("ctl.eg.iterations");
   Bdd care = opts_.useReachedDontCares ? reached() : fsm_->mgr().bddOne();
   Bdd z = p & care;
   while (true) {
     ++stats_.fixpointIterations;
+    iterations.add();
     Bdd zOld = z;
     for (const Bdd& c : fair_) {
       // Z := Z ∧ EX E[p U (Z ∧ c)] — Emerson-Lei iteration step.
@@ -201,10 +210,14 @@ Bdd CtlChecker::evalPropositional(const CtlRef& f) {
 }
 
 McResult CtlChecker::check(const CtlRef& formula) {
+  obs::Span span("ctl.check");
+  static obs::Counter& checks = obs::counter("ctl.checks");
+  checks.add();
   auto start = std::chrono::steady_clock::now();
   McResult res;
   if (opts_.earlyFailureDetection && formula->isInvariant()) {
     res = checkInvariantEarly(formula);
+    if (res.stats.usedEarlyFailure) obs::counter("ctl.efd.failures").add();
   } else {
     Bdd sat = states(formula);
     Bdd init = fsm_->initialStates();

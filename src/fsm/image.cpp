@@ -4,21 +4,35 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
+
 namespace hsis {
+
+namespace {
+
+void noteTrBuilt(const TransitionRelation& tr) {
+  obs::gauge("fsm.tr.clusters").set(static_cast<int64_t>(tr.clusterCount()));
+  obs::gauge("fsm.tr.nodes").set(static_cast<int64_t>(tr.totalNodes()));
+}
+
+}  // namespace
 
 TransitionRelation TransitionRelation::monolithic(const Fsm& fsm,
                                                   QuantMethod method,
                                                   QuantExecStats* stats) {
+  obs::Span span("fsm.tr.build");
   TransitionRelation tr(fsm);
   Bdd t = productAndQuantify(fsm.mgr(), fsm.relations(), fsm.nonStateCube(),
                              method, stats);
   tr.clusters_.push_back(std::move(t));
   tr.computeStepCubes();
+  noteTrBuilt(tr);
   return tr;
 }
 
 TransitionRelation TransitionRelation::partitioned(const Fsm& fsm,
                                                    size_t clusterLimit) {
+  obs::Span span("fsm.tr.build");
   TransitionRelation tr(fsm);
   BddManager& mgr = fsm.mgr();
 
@@ -37,6 +51,9 @@ TransitionRelation TransitionRelation::partitioned(const Fsm& fsm,
   std::vector<bool> emittedSupport(mgr.numVars(), false);
   auto emitIfBig = [&](Bdd f) -> Bdd {
     if (f.nodeCount() <= clusterLimit) return f;
+    static obs::Histogram& clusterNodes =
+        obs::histogram("fsm.tr.cluster.nodes");
+    clusterNodes.record(f.nodeCount());
     for (BddVar v : mgr.support(f)) emittedSupport[v] = true;
     tr.clusters_.push_back(std::move(f));
     return mgr.bddOne();
@@ -65,6 +82,7 @@ TransitionRelation TransitionRelation::partitioned(const Fsm& fsm,
   if (!top.isOne() || tr.clusters_.empty()) tr.clusters_.push_back(std::move(top));
 
   tr.computeStepCubes();
+  noteTrBuilt(tr);
   return tr;
 }
 
@@ -105,15 +123,25 @@ void TransitionRelation::computeStepCubes() {
 }
 
 Bdd TransitionRelation::image(const Bdd& statesX) const {
+  static obs::Counter& calls = obs::counter("fsm.image.calls");
+  static obs::Histogram& micros = obs::histogram("fsm.image.micros");
+  calls.add();
+  obs::WallTimer timer;
   BddManager& mgr = fsm_->mgr();
   Bdd acc = statesX;
   for (size_t i = 0; i < clusters_.size(); ++i) {
     acc = mgr.andExists(acc, clusters_[i], imgCubes_[i]);
   }
-  return fsm_->nextToPresent(acc);
+  acc = fsm_->nextToPresent(acc);
+  micros.record(timer.micros());
+  return acc;
 }
 
 Bdd TransitionRelation::preimage(const Bdd& statesX) const {
+  static obs::Counter& calls = obs::counter("fsm.preimage.calls");
+  static obs::Histogram& micros = obs::histogram("fsm.preimage.micros");
+  calls.add();
+  obs::WallTimer timer;
   BddManager& mgr = fsm_->mgr();
   Bdd acc = fsm_->presentToNext(statesX);
   // Reverse cluster order: the greedy segmentation puts "early" (top of the
@@ -122,6 +150,7 @@ Bdd TransitionRelation::preimage(const Bdd& statesX) const {
   for (size_t i = clusters_.size(); i-- > 0;) {
     acc = mgr.andExists(acc, clusters_[i], preCubes_[i]);
   }
+  micros.record(timer.micros());
   return acc;
 }
 
@@ -146,6 +175,12 @@ size_t TransitionRelation::totalNodes() const {
 
 ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
                             const ReachOptions& opts) {
+  obs::Span span("fsm.reach");
+  static obs::Counter& iterations = obs::counter("fsm.reach.iterations");
+  static obs::Histogram& frontierNodes =
+      obs::histogram("fsm.reach.frontier.nodes");
+  static obs::Histogram& reachedNodes =
+      obs::histogram("fsm.reach.reached.nodes");
   ReachResult res;
   res.reached = init;
   Bdd frontier = init;
@@ -155,10 +190,13 @@ ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
     return res;
   }
   while (!frontier.isZero()) {
+    iterations.add();
+    frontierNodes.record(frontier.nodeCount());
     Bdd next = tr.image(frontier);
     frontier = next & !res.reached;
     if (frontier.isZero()) break;
     res.reached |= frontier;
+    reachedNodes.record(res.reached.nodeCount());
     ++res.depth;
     if (opts.keepOnionRings) res.onionRings.push_back(frontier);
     if (opts.watch && opts.watch(frontier, res.depth)) {
@@ -170,6 +208,7 @@ ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
       break;
     }
   }
+  obs::gauge("fsm.reach.depth").set(static_cast<int64_t>(res.depth));
   return res;
 }
 

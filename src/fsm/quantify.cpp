@@ -5,6 +5,8 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace hsis {
 
 std::string toString(QuantMethod m) {
@@ -251,10 +253,15 @@ Bdd execNode(BddManager& mgr, const QuantPlanNode* node,
       cube &= mgr.bddVar(*it);
     result = mgr.andExists(l, r, cube);
     if (stats != nullptr) ++stats->andExistsCalls;
+    static obs::Counter& andExistsCalls = obs::counter("fsm.quant.and_exists");
+    andExistsCalls.add();
   }
+  static obs::Histogram& intermediateNodes =
+      obs::histogram("fsm.quant.intermediate.nodes");
+  size_t nc = result.nodeCount();
+  intermediateNodes.record(nc);
   if (stats != nullptr) {
-    stats->peakIntermediateNodes =
-        std::max(stats->peakIntermediateNodes, result.nodeCount());
+    stats->peakIntermediateNodes = std::max(stats->peakIntermediateNodes, nc);
   }
   return result;
 }
@@ -263,6 +270,7 @@ Bdd execNode(BddManager& mgr, const QuantPlanNode* node,
 
 Bdd executePlan(BddManager& mgr, const QuantPlan& plan,
                 const std::vector<Bdd>& relations, QuantExecStats* stats) {
+  obs::Span span("fsm.quant.exec");
   return execNode(mgr, plan.root.get(), relations, stats);
 }
 

@@ -1,6 +1,6 @@
 #include "hsis/environment.hpp"
 
-#include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 #include "vl2mv/vl2mv.hpp"
@@ -9,9 +9,17 @@ namespace hsis {
 
 namespace {
 
-double secondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+/// Seconds -> whole microseconds, the resolution Metrics and the registry
+/// share so the two stay exactly equal.
+uint64_t toMicros(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<uint64_t>(std::llround(seconds * 1e6));
+}
+
+int64_t clampToGauge(double v) {
+  constexpr double kMax = 9.2e18;
+  if (v >= kMax) return static_cast<int64_t>(kMax);
+  if (v <= 0) return 0;
+  return static_cast<int64_t>(v);
 }
 
 }  // namespace
@@ -64,7 +72,8 @@ void Environment::addFairness(const FairnessSpec& fairness) {
 void Environment::build() {
   if (design_.models.empty())
     throw std::runtime_error("hsis: no design loaded");
-  auto t0 = std::chrono::steady_clock::now();
+  obs::Span span("env.build");
+  obs::WallTimer timer;
   flat_ = blifmv::flatten(design_);
   mgr_ = std::make_unique<BddManager>();
   fsm_ = std::make_unique<Fsm>(*mgr_, flat_);
@@ -74,7 +83,11 @@ void Environment::build() {
   } else {
     tr_ = TransitionRelation::monolithic(*fsm_, opts_.quantMethod);
   }
-  metrics_.readSeconds = secondsSince(t0);
+  // Metrics and the registry both read the same microsecond tick so the
+  // derived Metrics view matches the exported snapshot exactly.
+  uint64_t us = toMicros(timer.seconds());
+  obs::gauge("env.read.micros").set(static_cast<int64_t>(us));
+  metrics_.readSeconds = static_cast<double>(us) * 1e-6;
 }
 
 const Fsm& Environment::fsm() {
@@ -130,20 +143,27 @@ double Environment::reachedStates() {
   CtlChecker& mc = checker();
   Bdd reached = mc.reached();
   metrics_.reachedStates = fsm_->countStates(reached);
+  obs::gauge("env.reached.states").set(clampToGauge(metrics_.reachedStates));
   return metrics_.reachedStates;
 }
+
+std::string Environment::statsJson() const { return obs::snapshotJson(); }
 
 BugReport Environment::verifyCtl(const std::string& name, const CtlRef& formula) {
   BugReport report;
   report.paradigm = BugReport::Paradigm::ModelChecking;
   report.propertyName = name;
   report.propertyText = formula->toString();
+  obs::Span span("env.verify.ctl");
   McResult r = checker().check(formula);
   report.holds = r.holds;
   report.trace = r.counterexample;
   report.seconds = r.stats.seconds;
   report.usedEarlyFailure = r.stats.usedEarlyFailure;
-  metrics_.mcSeconds += r.stats.seconds;
+  uint64_t us = toMicros(r.stats.seconds);
+  obs::counter("env.mc.micros").add(us);
+  obs::counter("env.props.ctl").add();
+  metrics_.mcSeconds += static_cast<double>(us) * 1e-6;
   ++metrics_.numCtlFormulas;
   return report;
 }
@@ -164,6 +184,7 @@ BugReport Environment::verifyAutomaton(const std::string& name,
   lo.quantMethod = opts_.quantMethod;
   // Each containment check runs in its own manager: the product machine has
   // its own variable space.
+  obs::Span span("env.verify.lc");
   BddManager productMgr;
   LcChecker lc(productMgr, flat_, aut, fairness_, lo);
   LcResult r = lc.check();
@@ -177,7 +198,10 @@ BugReport Environment::verifyAutomaton(const std::string& name,
     report.notes.push_back("error trace (design + monitor):\n" +
                            lc.formatTrace(*r.trace));
   }
-  metrics_.lcSeconds += r.stats.seconds;
+  uint64_t us = toMicros(r.stats.seconds);
+  obs::counter("env.lc.micros").add(us);
+  obs::counter("env.props.lc").add();
+  metrics_.lcSeconds += static_cast<double>(us) * 1e-6;
   ++metrics_.numLcProps;
   return report;
 }

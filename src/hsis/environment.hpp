@@ -15,6 +15,7 @@
 #include "fsm/fsm.hpp"
 #include "fsm/image.hpp"
 #include "lc/lc.hpp"
+#include "obs/obs.hpp"
 #include "pif/pif.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,7 +32,10 @@ class Environment {
     bool wantTraces = true;
   };
 
-  /// Statistics in the shape of the paper's Table 1.
+  /// Statistics in the shape of the paper's Table 1. Timings come from
+  /// hsis_obs wall timers and are mirrored into the process-wide registry
+  /// under `env.*` names (env.read.micros, env.mc.micros, env.lc.micros,
+  /// env.props.ctl, env.props.lc, env.reached.states).
   struct Metrics {
     size_t linesVerilog = 0;
     size_t linesBlifMv = 0;
@@ -84,6 +88,10 @@ class Environment {
   /// Reachable state count (computed on demand).
   double reachedStates();
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  /// Full observability snapshot as JSON (hsis-obs-v1): the metrics
+  /// registry (bdd.*, fsm.*, ctl.*, lc.*, env.*) plus the nested span
+  /// tree with per-phase wall times. Valid (empty) under HSIS_OBS_DISABLE.
+  [[nodiscard]] std::string statsJson() const;
   [[nodiscard]] const std::vector<PifProperty>& properties() const {
     return properties_;
   }

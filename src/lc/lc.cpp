@@ -5,12 +5,28 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
+
 namespace hsis {
+
+namespace {
+
+/// Reachable-state counts overflow int64 on large designs; clamp for the
+/// gauge (exact counts stay in LcStats::reachedStates as double).
+int64_t clampToGauge(double v) {
+  constexpr double kMax = 9.2e18;
+  if (v >= kMax) return static_cast<int64_t>(kMax);
+  if (v <= 0) return 0;
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
 
 LcChecker::LcChecker(BddManager& mgr, const blifmv::Model& flatDesign,
                      const Automaton& property, const FairnessSpec& fairness,
                      LcOptions options)
     : opts_(options) {
+  obs::Span span("lc.build");
   // Compose the monitor into a copy of the design, picking a monitor
   // signal name that collides with nothing in the flat model.
   blifmv::Model product = flatDesign;
@@ -110,6 +126,7 @@ Bdd LcChecker::preVia(const Bdd& e, const Bdd& set) const {
 }
 
 std::optional<Trace> LcChecker::buildTrace(const Bdd& hull) {
+  obs::counter("lc.trace.attempts").add();
   const Fsm& fsm = *fsm_;
   std::optional<Trace> trace =
       fairLasso(*tr_, fsm.initialStates(), hull, buchiSets_, edgeSets_);
@@ -135,9 +152,12 @@ std::optional<Trace> LcChecker::buildTrace(const Bdd& hull) {
 }
 
 Bdd LcChecker::fairHull(const Bdd& within) {
+  obs::Span span("lc.hull");
+  static obs::Counter& iterations = obs::counter("lc.hull.iterations");
   Bdd z = within;
   while (true) {
     ++stats_.hullIterations;
+    iterations.add();
     Bdd zOld = z;
 
     // Emerson-Lei steps for Büchi state sets.
@@ -182,6 +202,8 @@ Bdd LcChecker::fairHull(const Bdd& within) {
 }
 
 LcResult LcChecker::check() {
+  obs::Span span("lc.check");
+  obs::counter("lc.checks").add();
   auto start = std::chrono::steady_clock::now();
   LcResult res;
   const Fsm& fsm = *fsm_;
@@ -232,6 +254,7 @@ LcResult LcChecker::check() {
     }
     if (!hull.isZero()) {
       stats_.usedEarlyFailure = true;
+      obs::counter("lc.efd.failures").add();
       res.contained = false;
       res.notes.push_back(
           "early failure: property automaton reached a dead state (step " +
@@ -251,6 +274,7 @@ LcResult LcChecker::check() {
         }
       }
       stats_.reachedStates = fsm.countStates(rr.reached);
+      obs::gauge("lc.product.states").set(clampToGauge(stats_.reachedStates));
       stats_.seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
@@ -261,6 +285,7 @@ LcResult LcChecker::check() {
   }
 
   stats_.reachedStates = fsm.countStates(rr.reached);
+  obs::gauge("lc.product.states").set(clampToGauge(stats_.reachedStates));
 
   // Reachability don't cares: restrict-minimize the clusters by the
   // reachable set before the (preimage-heavy) fair-cycle computation. All

@@ -1,0 +1,200 @@
+// Snapshot assembly and the three export formats. Compiled in both the
+// enabled and the HSIS_OBS_DISABLE build: a disabled build exports a valid
+// empty document so downstream tooling needs no special casing.
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+namespace hsis::obs {
+
+namespace {
+
+// Metric names are dotted identifiers and span names are chosen by this
+// codebase, but escape defensively so the output is always valid JSON.
+void appendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string formatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) * 1e-6);
+  return buf;
+}
+
+/// Earliest span start, used as the time origin for start_ms.
+uint64_t baseStartNs(const Snapshot& snap) {
+  uint64_t base = ~0ull;
+  for (const SpanSample& s : snap.spans) base = std::min(base, s.startNs);
+  return snap.spans.empty() ? 0 : base;
+}
+
+/// Children of each span, index into snap.spans; roots under key -1.
+/// A span whose parent was dropped from the ring (or is still open at
+/// snapshot time) is treated as a root.
+std::unordered_map<int64_t, std::vector<size_t>> buildTree(
+    const Snapshot& snap) {
+  std::unordered_map<uint64_t, size_t> byId;
+  for (size_t i = 0; i < snap.spans.size(); ++i) byId[snap.spans[i].id] = i;
+  std::unordered_map<int64_t, std::vector<size_t>> children;
+  for (size_t i = 0; i < snap.spans.size(); ++i) {
+    int64_t p = snap.spans[i].parent;
+    if (p >= 0 && !byId.contains(static_cast<uint64_t>(p))) p = -1;
+    children[p].push_back(i);
+  }
+  return children;
+}
+
+void appendSpanJson(std::string& out, const Snapshot& snap,
+                    const std::unordered_map<int64_t, std::vector<size_t>>& tree,
+                    size_t idx, int indent) {
+  const SpanSample& s = snap.spans[idx];
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out += pad + "{";
+  appendEscaped(out, "name");
+  out += ": ";
+  appendEscaped(out, s.name);
+  out += ", \"ms\": " + formatMs(s.durationNs);
+  out += ", \"start_ms\": " + formatMs(s.startNs - baseStartNs(snap));
+  out += ", \"children\": [";
+  auto it = tree.find(static_cast<int64_t>(s.id));
+  if (it != tree.end() && !it->second.empty()) {
+    out += '\n';
+    for (size_t k = 0; k < it->second.size(); ++k) {
+      appendSpanJson(out, snap, tree, it->second[k], indent + 1);
+      if (k + 1 < it->second.size()) out += ',';
+      out += '\n';
+    }
+    out += pad;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+Snapshot snapshot() {
+  Snapshot snap;
+  snap.metrics = Registry::instance().collect();
+  snap.spans = Tracer::instance().completed();
+  snap.droppedSpans = Tracer::instance().dropped();
+  return snap;
+}
+
+std::string toJson(const Snapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"hsis-obs-v1\",\n";
+  out += "  \"enabled\": ";
+  out += kEnabled ? "true" : "false";
+  out += ",\n  \"metrics\": {";
+  for (size_t i = 0; i < snap.metrics.size(); ++i) {
+    const MetricSample& m = snap.metrics[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    appendEscaped(out, m.name);
+    out += ": ";
+    if (m.kind == MetricSample::Kind::Histogram) {
+      out += "{\"count\": " + std::to_string(m.count) +
+             ", \"sum\": " + std::to_string(m.sum) + ", \"buckets\": {";
+      for (size_t b = 0; b < m.buckets.size(); ++b) {
+        if (b != 0) out += ", ";
+        appendEscaped(out, std::to_string(m.buckets[b].first));
+        out += ": " + std::to_string(m.buckets[b].second);
+      }
+      out += "}}";
+    } else {
+      out += std::to_string(m.value);
+    }
+  }
+  out += snap.metrics.empty() ? "},\n" : "\n  },\n";
+  out += "  \"dropped_spans\": " + std::to_string(snap.droppedSpans) + ",\n";
+  out += "  \"spans\": [";
+  auto tree = buildTree(snap);
+  auto roots = tree.find(-1);
+  if (roots != tree.end() && !roots->second.empty()) {
+    out += '\n';
+    for (size_t k = 0; k < roots->second.size(); ++k) {
+      appendSpanJson(out, snap, tree, roots->second[k], 2);
+      if (k + 1 < roots->second.size()) out += ',';
+      out += '\n';
+    }
+    out += "  ";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string toChromeTrace(const Snapshot& snap) {
+  std::string out = "[";
+  for (size_t i = 0; i < snap.spans.size(); ++i) {
+    const SpanSample& s = snap.spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += " {\"name\": ";
+    appendEscaped(out, s.name);
+    out += ", \"cat\": \"hsis\", \"ph\": \"X\", \"pid\": 1";
+    out += ", \"tid\": " + std::to_string(s.threadId % 1000000);
+    out += ", \"ts\": " + std::to_string(s.startNs / 1000);
+    out += ", \"dur\": " + std::to_string(s.durationNs / 1000) + "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string toTable(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "== metrics ==\n";
+  for (const MetricSample& m : snap.metrics) {
+    if (m.kind == MetricSample::Kind::Histogram) {
+      os << "  " << m.name << "  count=" << m.count << " sum=" << m.sum;
+      if (m.count != 0) os << " mean=" << (double)m.sum / (double)m.count;
+      os << "\n";
+      for (const auto& [low, cnt] : m.buckets) {
+        os << "    >= " << low << ": " << cnt << "\n";
+      }
+    } else {
+      os << "  " << m.name << " = " << m.value << "\n";
+    }
+  }
+  os << "== spans ==";
+  if (snap.droppedSpans != 0) os << " (" << snap.droppedSpans << " dropped)";
+  os << "\n";
+  auto tree = buildTree(snap);
+  // Depth-first through the reconstructed tree, indenting per level.
+  std::function<void(int64_t, int)> walk = [&](int64_t parent, int depth) {
+    auto it = tree.find(parent);
+    if (it == tree.end()) return;
+    for (size_t idx : it->second) {
+      const SpanSample& s = snap.spans[idx];
+      os << "  " << std::string(static_cast<size_t>(depth) * 2, ' ')
+         << s.name << "  " << formatMs(s.durationNs) << " ms\n";
+      walk(static_cast<int64_t>(s.id), depth + 1);
+    }
+  };
+  walk(-1, 0);
+  return os.str();
+}
+
+std::string snapshotJson() { return toJson(snapshot()); }
+
+}  // namespace hsis::obs

@@ -1,0 +1,56 @@
+# CTest script: prove that a build with -DHSIS_OBS_DISABLE=ON (all
+# instrumentation compiled to no-ops) still passes the full test suite.
+# Run by the `obs_disabled_build` test registered in tests/CMakeLists.txt:
+#
+#   cmake -DSOURCE_DIR=... -DBUILD_DIR=... -DGENERATOR=... -DBUILD_TYPE=...
+#         -P obs_disabled_check.cmake
+#
+# The nested build configures into BUILD_DIR (inside the primary build
+# tree, so it is covered by .gitignore and `clean` semantics) and runs the
+# hsis_tests binary directly rather than through ctest, avoiding recursive
+# test discovery.
+
+foreach(var SOURCE_DIR BUILD_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "obs_disabled_check: ${var} not set")
+  endif()
+endforeach()
+
+set(configure_args
+    -S ${SOURCE_DIR} -B ${BUILD_DIR} -DHSIS_OBS_DISABLE=ON)
+if(DEFINED GENERATOR AND NOT GENERATOR STREQUAL "")
+  list(APPEND configure_args -G ${GENERATOR})
+endif()
+if(DEFINED BUILD_TYPE AND NOT BUILD_TYPE STREQUAL "")
+  list(APPEND configure_args -DCMAKE_BUILD_TYPE=${BUILD_TYPE})
+endif()
+
+message(STATUS "obs_disabled_check: configuring ${BUILD_DIR}")
+execute_process(COMMAND ${CMAKE_COMMAND} ${configure_args}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_disabled_check: configure failed (${rc})")
+endif()
+
+include(ProcessorCount)
+ProcessorCount(ncpu)
+if(ncpu EQUAL 0)
+  set(ncpu 2)
+endif()
+
+message(STATUS "obs_disabled_check: building hsis_tests (-j${ncpu})")
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --target hsis_tests
+            --parallel ${ncpu}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_disabled_check: build failed (${rc})")
+endif()
+
+message(STATUS "obs_disabled_check: running full suite")
+execute_process(COMMAND ${BUILD_DIR}/tests/hsis_tests
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "obs_disabled_check: suite failed under HSIS_OBS_DISABLE (${rc})")
+endif()

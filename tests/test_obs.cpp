@@ -1,0 +1,532 @@
+// Tests for hsis::obs — metric semantics, span nesting, JSON export, and
+// thread safety. Every test passes in both build modes: assertions on live
+// values are gated on obs::kEnabled, while API-shape and export-validity
+// assertions run unconditionally (a disabled build must still produce a
+// valid, empty snapshot document).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "hsis/environment.hpp"
+#include "obs/obs.hpp"
+
+namespace hsis::obs {
+namespace {
+
+// ------------------------------------------------- tiny JSON reader
+//
+// Just enough recursive-descent JSON to round-trip our own exports in
+// tests without pulling in a dependency. Throws std::runtime_error on
+// malformed input, which gtest surfaces as a test failure.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  [[nodiscard]] bool isObject() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] bool boolean() const { return std::get<bool>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+
+  [[noreturn]] void fail(const char* why) const {
+    throw std::runtime_error(std::string("json: ") + why + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return objectValue();
+      case '[': return arrayValue();
+      case '"': return JsonValue{stringValue()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return numberValue();
+    }
+  }
+
+  void literal(std::string_view word) {
+    skipWs();
+    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+    pos_ += word.size();
+  }
+
+  std::string stringValue() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u':
+            // Exports only emit \u00XX control escapes.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            out.push_back(static_cast<char>(
+                std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16)));
+            pos_ += 4;
+            break;
+          default: out.push_back(e); break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue numberValue() {
+    skipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    return JsonValue{std::stod(std::string(text_.substr(start, pos_ - start)))};
+  }
+
+  JsonValue arrayValue() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{arr};
+    }
+    while (true) {
+      arr->push_back(value());
+      char c = peek();
+      ++pos_;
+      if (c == ']') return JsonValue{arr};
+      if (c != ',') fail("expected , or ]");
+    }
+  }
+
+  JsonValue objectValue() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{obj};
+    }
+    while (true) {
+      std::string key = stringValue();
+      expect(':');
+      (*obj)[key] = value();
+      char c = peek();
+      ++pos_;
+      if (c == '}') return JsonValue{obj};
+      if (c != ',') fail("expected , or }");
+    }
+  }
+};
+
+JsonValue parseJson(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+// ------------------------------------------------------- metric semantics
+
+TEST(ObsCounter, AddValueReset) {
+  Counter& c = counter("test.obs.counter");
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  if (kEnabled) {
+    EXPECT_EQ(c.value(), 42u);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+  }
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, SameNameSameObject) {
+  Counter& a = counter("test.obs.alias");
+  Counter& b = counter("test.obs.alias");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsGauge, SetAddUpdateMax) {
+  Gauge& g = gauge("test.obs.gauge");
+  g.reset();
+  g.set(10);
+  g.add(-3);
+  if (kEnabled) {
+    EXPECT_EQ(g.value(), 7);
+  }
+  g.updateMax(100);
+  if (kEnabled) {
+    EXPECT_EQ(g.value(), 100);
+  }
+  g.updateMax(5);  // below current level: no change
+  if (kEnabled) {
+    EXPECT_EQ(g.value(), 100);
+  }
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Static bucket math is live in both build modes.
+  EXPECT_EQ(Histogram::bucketOf(0), 0);
+  EXPECT_EQ(Histogram::bucketOf(1), 1);
+  EXPECT_EQ(Histogram::bucketOf(2), 2);
+  EXPECT_EQ(Histogram::bucketOf(3), 2);
+  EXPECT_EQ(Histogram::bucketOf(4), 3);
+  EXPECT_EQ(Histogram::bucketOf(1023), 10);
+  EXPECT_EQ(Histogram::bucketOf(1024), 11);
+  EXPECT_EQ(Histogram::bucketOf(~0ull), 64);
+  EXPECT_EQ(Histogram::bucketLow(0), 0u);
+  EXPECT_EQ(Histogram::bucketLow(1), 1u);
+  EXPECT_EQ(Histogram::bucketLow(11), 1024u);
+  // Every value lands in the bucket whose low bound it is >= to.
+  for (uint64_t v : {0ull, 1ull, 7ull, 255ull, 256ull, 1ull << 40}) {
+    int b = Histogram::bucketOf(v);
+    EXPECT_GE(v, Histogram::bucketLow(b));
+    if (b < Histogram::kBuckets - 1) {
+      EXPECT_LT(v, Histogram::bucketLow(b + 1));
+    }
+  }
+}
+
+TEST(ObsHistogram, RecordCountSum) {
+  Histogram& h = histogram("test.obs.hist");
+  h.reset();
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  if (kEnabled) {
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 11u);
+    EXPECT_EQ(h.bucketCount(0), 1u);  // value 0
+    EXPECT_EQ(h.bucketCount(1), 1u);  // value 1
+    EXPECT_EQ(h.bucketCount(3), 2u);  // 5 twice, bucket [4,8)
+  } else {
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+  }
+}
+
+TEST(ObsRegistry, CollectIsSortedAndTyped) {
+  counter("test.obs.sort.c").add(3);
+  gauge("test.obs.sort.g").set(-4);
+  histogram("test.obs.sort.h").record(9);
+  std::vector<MetricSample> samples = Registry::instance().collect();
+  if (!kEnabled) {
+    EXPECT_TRUE(samples.empty());
+    return;
+  }
+  for (size_t i = 1; i < samples.size(); ++i)
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  auto find = [&](const std::string& n) -> const MetricSample* {
+    for (const auto& s : samples)
+      if (s.name == n) return &s;
+    return nullptr;
+  };
+  const MetricSample* c = find("test.obs.sort.c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricSample::Kind::Counter);
+  EXPECT_GE(c->value, 3);
+  const MetricSample* g = find("test.obs.sort.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricSample::Kind::Gauge);
+  EXPECT_EQ(g->value, -4);
+  const MetricSample* h = find("test.obs.sort.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricSample::Kind::Histogram);
+  EXPECT_GE(h->count, 1u);
+  EXPECT_FALSE(h->buckets.empty());
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(ObsSpan, NestingAndTiming) {
+  Tracer::instance().clear();
+  {
+    Span outer("test.span.outer");
+    {
+      Span inner("test.span.inner");
+      // Do a sliver of work so durations are nonzero on coarse clocks.
+      volatile uint64_t sink = 0;
+      for (int i = 0; i < 10000; ++i) sink = sink + static_cast<uint64_t>(i);
+      EXPECT_GE(inner.seconds(), 0.0);
+    }
+  }
+  std::vector<SpanSample> spans = Tracer::instance().completed();
+  if (!kEnabled) {
+    EXPECT_TRUE(spans.empty());
+    return;
+  }
+  ASSERT_EQ(spans.size(), 2u);
+  // completed() sorts by start time: outer starts first.
+  const SpanSample& outer = spans[0];
+  const SpanSample& inner = spans[1];
+  EXPECT_EQ(outer.name, "test.span.outer");
+  EXPECT_EQ(inner.name, "test.span.inner");
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.parent, static_cast<int64_t>(outer.id));
+  EXPECT_EQ(inner.depth, 1u);
+  // Timing monotonicity: the child starts no earlier than the parent and
+  // fits entirely inside it.
+  EXPECT_GE(inner.startNs, outer.startNs);
+  EXPECT_LE(inner.startNs + inner.durationNs,
+            outer.startNs + outer.durationNs);
+}
+
+TEST(ObsSpan, RingBufferDropsOldest) {
+  Tracer& tracer = Tracer::instance();
+  tracer.setCapacity(4);
+  for (int i = 0; i < 10; ++i) Span s("test.span.ring");
+  std::vector<SpanSample> spans = tracer.completed();
+  if (kEnabled) {
+    EXPECT_EQ(spans.size(), 4u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+    // The survivors are the newest spans, still sorted by start time.
+    for (size_t i = 1; i < spans.size(); ++i)
+      EXPECT_LE(spans[i - 1].startNs, spans[i].startNs);
+  } else {
+    EXPECT_TRUE(spans.empty());
+    EXPECT_EQ(tracer.dropped(), 0u);
+  }
+  tracer.setCapacity(8192);  // restore default for later tests
+}
+
+// --------------------------------------------------------------- exports
+
+TEST(ObsExport, JsonRoundTrip) {
+  Tracer::instance().clear();
+  counter("test.json.counter").reset();
+  counter("test.json.counter").add(7);
+  gauge("test.json.gauge").set(-12);
+  histogram("test.json.hist").reset();
+  histogram("test.json.hist").record(3);
+  { Span s("test.json.span"); }
+
+  JsonValue doc = parseJson(toJson(snapshot()));
+  ASSERT_TRUE(doc.isObject());
+  const JsonObject& root = doc.object();
+  EXPECT_EQ(root.at("schema").str(), "hsis-obs-v1");
+  EXPECT_EQ(root.at("enabled").boolean(), kEnabled);
+  const JsonObject& metrics = root.at("metrics").object();
+  const JsonArray& spans = root.at("spans").array();
+  if (!kEnabled) {
+    // A disabled build still produces the full document shape, just empty.
+    EXPECT_TRUE(metrics.empty());
+    EXPECT_TRUE(spans.empty());
+    return;
+  }
+  EXPECT_EQ(metrics.at("test.json.counter").number(), 7.0);
+  EXPECT_EQ(metrics.at("test.json.gauge").number(), -12.0);
+  const JsonObject& hist = metrics.at("test.json.hist").object();
+  EXPECT_EQ(hist.at("count").number(), 1.0);
+  EXPECT_EQ(hist.at("sum").number(), 3.0);
+  ASSERT_EQ(spans.size(), 1u);
+  const JsonObject& span = spans[0].object();
+  EXPECT_EQ(span.at("name").str(), "test.json.span");
+  EXPECT_GE(span.at("ms").number(), 0.0);
+  EXPECT_TRUE(span.at("children").array().empty());
+}
+
+TEST(ObsExport, JsonNestsChildSpans) {
+  Tracer::instance().clear();
+  {
+    Span outer("test.tree.outer");
+    Span inner("test.tree.inner");
+  }
+  JsonValue doc = parseJson(toJson(snapshot()));
+  const JsonArray& spans = doc.object().at("spans").array();
+  if (!kEnabled) {
+    EXPECT_TRUE(spans.empty());
+    return;
+  }
+  ASSERT_EQ(spans.size(), 1u);
+  const JsonObject& outer = spans[0].object();
+  EXPECT_EQ(outer.at("name").str(), "test.tree.outer");
+  const JsonArray& children = outer.at("children").array();
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0].object().at("name").str(), "test.tree.inner");
+}
+
+TEST(ObsExport, ChromeTraceAndTableAreWellFormed) {
+  Tracer::instance().clear();
+  { Span s("test.chrome.span"); }
+  Snapshot snap = snapshot();
+  JsonValue trace = parseJson(toChromeTrace(snap));
+  const JsonArray& events = trace.array();
+  if (kEnabled) {
+    ASSERT_FALSE(events.empty());
+    const JsonObject& ev = events.back().object();
+    EXPECT_EQ(ev.at("ph").str(), "X");
+    EXPECT_EQ(ev.at("name").str(), "test.chrome.span");
+  } else {
+    EXPECT_TRUE(events.empty());
+  }
+  // The table export never throws and always carries its headline.
+  std::string table = toTable(snap);
+  EXPECT_NE(table.find("== metrics =="), std::string::npos);
+}
+
+TEST(ObsExport, JsonEscapesControlAndQuoteCharacters) {
+  Tracer::instance().clear();
+  { Span s("test.escape.\"quote\"\n"); }
+  std::string json = toJson(snapshot());
+  JsonValue doc = parseJson(json);  // must stay parseable
+  if (kEnabled) {
+    const JsonArray& spans = doc.object().at("spans").array();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].object().at("name").str(), "test.escape.\"quote\"\n");
+  }
+}
+
+// ---------------------------------------------------------- thread safety
+
+TEST(ObsThreads, ConcurrentCountsAreExact) {
+  Counter& c = counter("test.threads.counter");
+  Histogram& h = histogram("test.threads.hist");
+  c.reset();
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h] {
+      // Registration from several threads at once must also be safe.
+      Gauge& g = gauge("test.threads.gauge");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<uint64_t>(i));
+        g.updateMax(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  if (kEnabled) {
+    EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(gauge("test.threads.gauge").value(), kPerThread - 1);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+  }
+}
+
+// ------------------------------------- Environment metrics equivalence
+//
+// Environment::Metrics is now derived from the same microsecond readings
+// that feed the registry's env.* metrics; on a small model the two views
+// must agree (satellite requirement: registry-derived metrics match the
+// legacy hand-threaded timers).
+
+TEST(ObsEnvironment, MetricsMatchRegistry) {
+  const char* kToggleVerilog = R"(
+module top;
+  wire clk;
+  reg b;
+  always @(posedge clk) b <= !b;
+  initial b = 0;
+endmodule
+)";
+  const char* kTogglePif = R"PIF(ctl live "AG (AF b=1)";)PIF";
+
+  resetAll();
+  Environment env;
+  env.readVerilog(kToggleVerilog);
+  env.readPif(kTogglePif);
+  env.build();
+  std::vector<BugReport> reports = env.verifyAll();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].holds);
+
+  const Environment::Metrics& m = env.metrics();
+  if (kEnabled) {
+    // Both views derive from the same microsecond ticks, so the seconds
+    // figures agree to within one rounding of the shared integer.
+    EXPECT_DOUBLE_EQ(
+        m.readSeconds,
+        static_cast<double>(gauge("env.read.micros").value()) * 1e-6);
+    EXPECT_NEAR(m.mcSeconds,
+                static_cast<double>(counter("env.mc.micros").value()) * 1e-6,
+                1e-9);
+    EXPECT_EQ(counter("env.props.ctl").value(), m.numCtlFormulas);
+    EXPECT_EQ(counter("env.props.lc").value(), m.numLcProps);
+    EXPECT_EQ(static_cast<double>(gauge("env.reached.states").value()),
+              env.reachedStates());
+    // The verification phases left their marks in the shared registry.
+    EXPECT_GT(counter("bdd.nodes.created").value(), 0u);
+    EXPECT_GT(counter("fsm.reach.iterations").value(), 0u);
+  } else {
+    // Disabled instrumentation must not break the legacy metrics: they
+    // are computed from a real wall clock either way.
+    EXPECT_GE(m.readSeconds, 0.0);
+    EXPECT_EQ(counter("env.mc.micros").value(), 0u);
+    EXPECT_EQ(gauge("env.reached.states").value(), 0);
+  }
+  EXPECT_EQ(m.numCtlFormulas, 1u);
+
+  // statsJson() is valid JSON in both modes.
+  JsonValue doc = parseJson(env.statsJson());
+  EXPECT_EQ(doc.object().at("enabled").boolean(), kEnabled);
+}
+
+}  // namespace
+}  // namespace hsis::obs
