@@ -125,13 +125,15 @@ BENCHMARK(BM_GarbageCollection);
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN() so --stats-json is stripped before
-// google-benchmark sees (and rejects) it.
+// Expanded BENCHMARK_MAIN() so the shared obs flags are stripped before
+// google-benchmark sees (and rejects) them.
 int main(int argc, char** argv) {
   benchobs::install(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return benchobs::guard([] {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  });
 }

@@ -24,6 +24,7 @@ using clock_type = std::chrono::steady_clock;
 
 int main(int argc, char** argv) {
   benchobs::install(argc, argv);
+  return benchobs::guard([&] {
   std::printf("Reachability don't cares: restrict-minimized transition relations\n");
   std::printf("%-10s %12s %12s %12s %12s\n", "design", "tr nodes",
               "minimized", "mc+dc(s)", "mc-dc(s)");
@@ -81,4 +82,5 @@ int main(int argc, char** argv) {
                 set.nodeCount(), shrunk.nodeCount());
   }
   return 0;
+  });
 }

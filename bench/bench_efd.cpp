@@ -47,6 +47,7 @@ const Case kCases[] = {
 
 int main(int argc, char** argv) {
   benchobs::install(argc, argv);
+  return benchobs::guard([&] {
   std::printf("Early failure detection on seeded bugs (invariants FAIL)\n");
   std::printf("%-10s %12s %12s %14s %14s\n", "design", "efd steps",
               "full steps", "efd time(s)", "full time(s)");
@@ -84,4 +85,5 @@ int main(int argc, char** argv) {
       "\n(EFD stops reachability at the first frontier containing a\n"
       " violation; the full run explores the complete reachable set first)\n");
   return 0;
+  });
 }

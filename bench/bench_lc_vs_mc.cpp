@@ -87,6 +87,7 @@ const Row kRows[] = {
 
 int main(int argc, char** argv) {
   benchobs::install(argc, argv);
+  return benchobs::guard([&] {
   std::printf("LC vs MC on matched properties (seconds, verdicts agree)\n");
   std::printf("%-10s %-10s %10s %10s %8s\n", "design", "kind", "mc(s)",
               "lc(s)", "verdict");
@@ -118,4 +119,5 @@ int main(int argc, char** argv) {
       " re-reaches a product machine; invariance favours MC's optimized\n"
       " early-failure path, matching the paper's observation)\n");
   return 0;
+  });
 }

@@ -24,6 +24,7 @@ static double seconds(clock_type::time_point t0) {
 
 int main(int argc, char** argv) {
   benchobs::install(argc, argv);
+  return benchobs::guard([&] {
   std::printf("Early quantification: schedule + execute  T(x,y) = exists i . prod R_j\n");
   std::printf("%-10s %7s %7s | %-10s %10s %12s\n", "design", "rels", "vars",
               "method", "build(s)", "peak nodes");
@@ -126,4 +127,5 @@ int main(int argc, char** argv) {
       " ~1600 relations and ~1500 quantified variables are scheduled and\n"
       " executed in seconds)\n");
   return 0;
+  });
 }

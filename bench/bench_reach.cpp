@@ -20,6 +20,7 @@ static double seconds(clock_type::time_point t0) {
 
 int main(int argc, char** argv) {
   benchobs::install(argc, argv);
+  return benchobs::guard([&] {
   std::printf("Reachability: monolithic vs partitioned transition relation\n");
   std::printf("%-10s %-12s %8s %10s %10s %10s %10s\n", "design", "form",
               "clusters", "tr nodes", "build(s)", "reach(s)", "pre(s)");
@@ -65,4 +66,5 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+  });
 }

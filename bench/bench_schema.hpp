@@ -1,0 +1,376 @@
+// BENCH_<suite>.json: the on-disk baseline format written by hsis_bench
+// and diffed by perf_compare.
+//
+//   {
+//     "schema": "hsis-bench-v1",
+//     "suite": "table1",
+//     "git_sha": "f318b54",
+//     "obs_enabled": true,
+//     "config": {"repeat": 3, "warmup": 1},
+//     "cases": [
+//       {"name": "table1/philos",
+//        "runs": [{"wall_ms": 12.3, "user_ms": 11.9, "peak_rss_kb": 5120,
+//                  "aborted": null}, ...],
+//        "wall_ms_min": 12.3,
+//        "obs": { ...hsis-obs-v1 snapshot of the last run... }},
+//       ...
+//     ]
+//   }
+//
+// perf_compare treats the per-case MINIMUM wall time as the statistic (the
+// min is the least noisy estimator of the true cost under scheduler
+// interference); a case regresses when newMin > oldMin * (1 + threshold%).
+// Aborted or missing cases are reported but never counted as regressions.
+#pragma once
+
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/control.hpp"
+#include "obs/jsonlite.hpp"
+#include "obs/obs.hpp"
+
+namespace hsisbench {
+
+struct RunStats {
+  double wallMs = 0.0;
+  double userMs = 0.0;
+  uint64_t peakRssKb = 0;
+  bool aborted = false;
+  std::string abortReason;
+  std::string abortPhase;
+};
+
+struct CaseResult {
+  std::string name;
+  std::vector<RunStats> runs;
+  std::string obsJson;  ///< hsis-obs-v1 snapshot of the last measured run
+
+  [[nodiscard]] bool anyAborted() const {
+    for (const RunStats& r : runs)
+      if (r.aborted) return true;
+    return runs.empty();
+  }
+  [[nodiscard]] double wallMsMin() const {
+    double best = 0.0;
+    bool first = true;
+    for (const RunStats& r : runs) {
+      if (r.aborted) continue;
+      if (first || r.wallMs < best) best = r.wallMs;
+      first = false;
+    }
+    return best;
+  }
+};
+
+struct BenchDoc {
+  std::string suite;
+  std::string gitSha;
+  bool obsEnabled = hsis::obs::kEnabled;
+  int repeat = 0;
+  int warmup = 0;
+  std::vector<CaseResult> cases;
+
+  [[nodiscard]] const CaseResult* findCase(const std::string& name) const {
+    for (const CaseResult& c : cases)
+      if (c.name == name) return &c;
+    return nullptr;
+  }
+};
+
+// ------------------------------------------------------------- measurement
+
+inline double userSeconds() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_utime.tv_sec) +
+         static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+}
+
+/// Run `body` (warmup + repeat times) with a clean registry/tracer/abort
+/// state per measured run, recording wall/user/peak-RSS. A run that throws
+/// AbortedError is recorded as aborted; later repeats are skipped (the
+/// whole case would only abort again).
+inline CaseResult runCase(const std::string& name,
+                          const std::function<void()>& body, int repeat,
+                          int warmup) {
+  CaseResult result;
+  result.name = name;
+  for (int w = 0; w < warmup; ++w) {
+    try {
+      body();
+    } catch (const hsis::obs::AbortedError&) {
+      // fall through to the measured runs, which will record it
+      break;
+    }
+  }
+  for (int r = 0; r < repeat; ++r) {
+    hsis::obs::Registry::instance().resetAll();
+    hsis::obs::Tracer::instance().clear();
+    hsis::obs::clearAbort();
+    RunStats stats;
+    double user0 = userSeconds();
+    hsis::obs::WallTimer wall;
+    try {
+      body();
+      stats.wallMs = wall.seconds() * 1e3;
+      stats.userMs = (userSeconds() - user0) * 1e3;
+    } catch (const hsis::obs::AbortedError& e) {
+      stats.wallMs = wall.seconds() * 1e3;
+      stats.userMs = (userSeconds() - user0) * 1e3;
+      stats.aborted = true;
+      stats.abortReason = e.reason();
+      stats.abortPhase = e.phase();
+    }
+    stats.peakRssKb = hsis::obs::peakRssKb();
+    bool aborted = stats.aborted;
+    result.runs.push_back(std::move(stats));
+    if (aborted) break;
+  }
+  result.obsJson = hsis::obs::snapshotJson();
+  return result;
+}
+
+/// Best-effort commit id for the baseline header: HSIS_GIT_SHA env var
+/// (set by CI) or `git rev-parse --short HEAD`, else "unknown".
+inline std::string gitSha() {
+  if (const char* env = std::getenv("HSIS_GIT_SHA"); env && *env) return env;
+  std::string sha;
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p)) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+// -------------------------------------------------------------- JSON write
+
+namespace detail {
+
+inline void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// Indent a pre-rendered JSON document for splicing as a nested value.
+inline std::string indentBlock(const std::string& json, int spaces) {
+  std::string pad(static_cast<size_t>(spaces), ' ');
+  std::string out;
+  out.reserve(json.size());
+  for (size_t i = 0; i < json.size(); ++i) {
+    out += json[i];
+    if (json[i] == '\n' && i + 1 < json.size()) out += pad;
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+    out.pop_back();
+  return out;
+}
+
+}  // namespace detail
+
+inline std::string toJson(const BenchDoc& doc) {
+  using detail::appendEscaped;
+  std::string out;
+  out.reserve(8192);
+  out += "{\n  \"schema\": \"hsis-bench-v1\",\n  \"suite\": ";
+  appendEscaped(out, doc.suite);
+  out += ",\n  \"git_sha\": ";
+  appendEscaped(out, doc.gitSha);
+  out += ",\n  \"obs_enabled\": ";
+  out += doc.obsEnabled ? "true" : "false";
+  out += ",\n  \"config\": {\"repeat\": " + std::to_string(doc.repeat) +
+         ", \"warmup\": " + std::to_string(doc.warmup) + "},\n";
+  out += "  \"cases\": [";
+  for (size_t i = 0; i < doc.cases.size(); ++i) {
+    const CaseResult& c = doc.cases[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    appendEscaped(out, c.name);
+    out += ",\n     \"runs\": [";
+    for (size_t r = 0; r < c.runs.size(); ++r) {
+      const RunStats& run = c.runs[r];
+      if (r != 0) out += ", ";
+      out += "{\"wall_ms\": " + detail::fmt(run.wallMs) +
+             ", \"user_ms\": " + detail::fmt(run.userMs) +
+             ", \"peak_rss_kb\": " + std::to_string(run.peakRssKb) +
+             ", \"aborted\": ";
+      if (run.aborted) {
+        out += "{\"reason\": ";
+        appendEscaped(out, run.abortReason);
+        out += ", \"phase\": ";
+        appendEscaped(out, run.abortPhase);
+        out += "}";
+      } else {
+        out += "null";
+      }
+      out += "}";
+    }
+    out += "],\n     \"wall_ms_min\": " + detail::fmt(c.wallMsMin());
+    if (!c.obsJson.empty()) {
+      out += ",\n     \"obs\": " + detail::indentBlock(c.obsJson, 5);
+    }
+    out += "}";
+  }
+  out += doc.cases.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+// --------------------------------------------------------------- JSON read
+
+/// Parse a BENCH_*.json document (throws std::runtime_error on malformed
+/// input or a wrong schema tag). The nested obs snapshots are kept only as
+/// a presence check; compare works on the timing stats.
+inline BenchDoc parseBenchJson(const std::string& text) {
+  namespace jl = hsis::obs::jsonlite;
+  jl::Value root = jl::parse(text);
+  if (!root.isObject()) throw std::runtime_error("bench json: not an object");
+  const jl::Object& obj = root.object();
+  const jl::Value* schema = jl::find(obj, "schema");
+  if (!schema || !schema->isString() || schema->str() != "hsis-bench-v1")
+    throw std::runtime_error("bench json: schema is not hsis-bench-v1");
+  BenchDoc doc;
+  if (const jl::Value* v = jl::find(obj, "suite"); v && v->isString())
+    doc.suite = v->str();
+  if (const jl::Value* v = jl::find(obj, "git_sha"); v && v->isString())
+    doc.gitSha = v->str();
+  if (const jl::Value* v = jl::find(obj, "obs_enabled"); v)
+    doc.obsEnabled = v->isNull() ? false : v->boolean();
+  if (const jl::Value* v = jl::find(obj, "config"); v && v->isObject()) {
+    if (const jl::Value* r = jl::find(v->object(), "repeat");
+        r && r->isNumber())
+      doc.repeat = static_cast<int>(r->number());
+    if (const jl::Value* w = jl::find(v->object(), "warmup");
+        w && w->isNumber())
+      doc.warmup = static_cast<int>(w->number());
+  }
+  const jl::Value* cases = jl::find(obj, "cases");
+  if (!cases || !cases->isArray())
+    throw std::runtime_error("bench json: missing cases array");
+  for (const jl::Value& cv : cases->array()) {
+    if (!cv.isObject()) throw std::runtime_error("bench json: bad case");
+    const jl::Object& co = cv.object();
+    CaseResult c;
+    if (const jl::Value* v = jl::find(co, "name"); v && v->isString())
+      c.name = v->str();
+    if (const jl::Value* runs = jl::find(co, "runs"); runs && runs->isArray()) {
+      for (const jl::Value& rv : runs->array()) {
+        if (!rv.isObject()) continue;
+        const jl::Object& ro = rv.object();
+        RunStats run;
+        if (const jl::Value* v = jl::find(ro, "wall_ms"); v && v->isNumber())
+          run.wallMs = v->number();
+        if (const jl::Value* v = jl::find(ro, "user_ms"); v && v->isNumber())
+          run.userMs = v->number();
+        if (const jl::Value* v = jl::find(ro, "peak_rss_kb");
+            v && v->isNumber())
+          run.peakRssKb = static_cast<uint64_t>(v->number());
+        if (const jl::Value* v = jl::find(ro, "aborted");
+            v && v->isObject()) {
+          run.aborted = true;
+          if (const jl::Value* r2 = jl::find(v->object(), "reason");
+              r2 && r2->isString())
+            run.abortReason = r2->str();
+          if (const jl::Value* p2 = jl::find(v->object(), "phase");
+              p2 && p2->isString())
+            run.abortPhase = p2->str();
+        }
+        c.runs.push_back(std::move(run));
+      }
+    }
+    if (const jl::Value* v = jl::find(co, "obs"); v && v->isObject())
+      c.obsJson = "{}";  // presence marker; timings are what compare reads
+    doc.cases.push_back(std::move(c));
+  }
+  return doc;
+}
+
+// ----------------------------------------------------------------- compare
+
+struct CompareRow {
+  std::string name;
+  double oldMs = 0.0;
+  double newMs = 0.0;
+  double ratio = 0.0;    ///< newMs / oldMs (0 when either side is missing)
+  bool regression = false;
+  std::string note;      ///< "", "only in old", "only in new", "aborted"
+};
+
+struct CompareResult {
+  std::vector<CompareRow> rows;
+  int regressions = 0;
+};
+
+/// Case-by-case diff of two BENCH docs on min wall time. `thresholdPct` is
+/// the allowed slowdown: with 10, a new/old ratio above 1.10 is flagged.
+inline CompareResult compareBench(const BenchDoc& oldDoc,
+                                  const BenchDoc& newDoc,
+                                  double thresholdPct) {
+  CompareResult result;
+  double limit = 1.0 + thresholdPct / 100.0;
+  for (const CaseResult& oldCase : oldDoc.cases) {
+    CompareRow row;
+    row.name = oldCase.name;
+    const CaseResult* newCase = newDoc.findCase(oldCase.name);
+    if (!newCase) {
+      row.note = "only in old";
+      result.rows.push_back(std::move(row));
+      continue;
+    }
+    if (oldCase.anyAborted() || newCase->anyAborted()) {
+      row.note = "aborted";
+      result.rows.push_back(std::move(row));
+      continue;
+    }
+    row.oldMs = oldCase.wallMsMin();
+    row.newMs = newCase->wallMsMin();
+    if (row.oldMs > 0.0) {
+      row.ratio = row.newMs / row.oldMs;
+      row.regression = row.ratio > limit;
+    }
+    if (row.regression) ++result.regressions;
+    result.rows.push_back(std::move(row));
+  }
+  for (const CaseResult& newCase : newDoc.cases) {
+    if (oldDoc.findCase(newCase.name)) continue;
+    CompareRow row;
+    row.name = newCase.name;
+    row.newMs = newCase.wallMsMin();
+    row.note = "only in new";
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace hsisbench

@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   benchobs::install(argc, argv);
+  return benchobs::guard([&] {
   std::printf("Table 1: the HSIS example suite\n");
   std::printf(
       "%-10s %9s %9s %10s %15s %9s %9s %7s %9s\n", "example", "lines.v",
@@ -36,4 +37,5 @@ int main(int argc, char** argv) {
       "\n(read = parse + flatten + relation BDDs + transition relation;\n"
       " all properties produce their designed verdicts — see tests)\n");
   return 0;
+  });
 }

@@ -1,20 +1,23 @@
-// Shared --stats-json handling for the bench drivers: strip the flag from
-// argv and, at process exit, dump the full hsis_obs snapshot (metrics
-// registry + span tree) to the given file. A second file with a
-// `.trace.json` suffix gets the chrome://tracing event view.
+// Shared observability plumbing for the bench drivers: strip the common
+// obs flags from argv, start the heartbeat/watchdog as requested and, at
+// process exit, dump the full hsis_obs snapshot (metrics registry + span
+// tree) to the given file. A second file with a `.trace.json` suffix gets
+// the chrome://tracing event view.
 //
-//   bench_reach --stats-json out.json
+//   bench_reach --stats-json out.json --heartbeat 500 --timeout-s 60
 //
 // This is how BENCH_*.json trajectory entries are produced by the harness
-// instead of by hand.
+// instead of by hand. Wrap the driver body in `benchobs::guard` so a
+// watchdog abort unwinds cleanly (stats still written, exit code 3)
+// instead of crashing.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "obs/control.hpp"
 #include "obs/obs.hpp"
 
 namespace benchobs {
@@ -40,18 +43,34 @@ inline void dumpAtExit() {
   if (trace) trace << hsis::obs::toChromeTrace(snap);
 }
 
-/// Scan argv for `--stats-json FILE`, remove the pair, and register the
-/// exit-time dump. Call first thing in main, before other arg parsing.
+/// Strip the shared obs flags (--stats-json, --heartbeat, --heartbeat-file,
+/// --timeout-s, --mem-limit-mb) from argv, start the requested background
+/// threads, and register the exit-time dump. Call first thing in main,
+/// before other arg parsing.
+///
+/// atexit runs LIFO: dumpAtExit is registered BEFORE applyObsCliOptions
+/// registers stopObsThreads, so the threads are joined before the snapshot
+/// is taken.
 inline void install(int& argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
-      statsPath() = argv[i + 1];
-      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      argv[argc] = nullptr;
-      std::atexit(dumpAtExit);
-      return;
-    }
+  hsis::obs::ObsCliOptions opts = hsis::obs::stripObsCliFlags(argc, argv);
+  statsPath() = opts.statsJsonPath;
+  if (!statsPath().empty()) std::atexit(dumpAtExit);
+  hsis::obs::applyObsCliOptions(opts);
+}
+
+/// Run the driver body; on a watchdog/user abort print what happened and
+/// return exit code 3 (the atexit dump still writes a snapshot whose
+/// "aborted" field carries the reason and phase).
+template <typename Fn>
+int guard(Fn&& body) {
+  try {
+    return body();
+  } catch (const hsis::obs::AbortedError& e) {
+    std::fflush(stdout);
+    std::fprintf(stderr, "\naborted: %s", e.reason().c_str());
+    if (!e.phase().empty()) std::fprintf(stderr, " (in %s)", e.phase().c_str());
+    std::fprintf(stderr, "\n");
+    return 3;
   }
 }
 

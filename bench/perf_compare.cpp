@@ -1,0 +1,109 @@
+// perf_compare: diff two BENCH_*.json baselines (written by hsis_bench)
+// and fail past a regression threshold.
+//
+//   perf_compare BENCH_old.json BENCH_new.json --threshold 10
+//   perf_compare BENCH_old.json BENCH_new.json --report-only
+//
+// The statistic is the per-case MINIMUM wall time; a case regresses when
+// new/old exceeds 1 + threshold% (default 10). Aborted cases and cases
+// present on only one side are listed but never fail the comparison.
+//
+// Exit codes: 0 ok / 1 regression (suppressed by --report-only) / 2 usage
+// or I/O or parse error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_schema.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_compare OLD.json NEW.json [--threshold PCT] "
+               "[--report-only]\n");
+  return 2;
+}
+
+bool readFile(const char* path, std::string& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* oldPath = nullptr;
+  const char* newPath = nullptr;
+  double threshold = 10.0;
+  bool reportOnly = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (i + 1 >= argc) return usage();
+      threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--report-only") == 0) {
+      reportOnly = true;
+    } else if (!oldPath) {
+      oldPath = argv[i];
+    } else if (!newPath) {
+      newPath = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (!oldPath || !newPath) return usage();
+
+  std::string oldText, newText;
+  if (!readFile(oldPath, oldText)) {
+    std::fprintf(stderr, "perf_compare: cannot read %s\n", oldPath);
+    return 2;
+  }
+  if (!readFile(newPath, newText)) {
+    std::fprintf(stderr, "perf_compare: cannot read %s\n", newPath);
+    return 2;
+  }
+
+  hsisbench::BenchDoc oldDoc, newDoc;
+  try {
+    oldDoc = hsisbench::parseBenchJson(oldText);
+    newDoc = hsisbench::parseBenchJson(newText);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_compare: %s\n", e.what());
+    return 2;
+  }
+
+  if (oldDoc.obsEnabled != newDoc.obsEnabled) {
+    std::printf(
+        "note: comparing an obs-enabled build against an obs-disabled one; "
+        "absolute times are not like-for-like\n");
+  }
+  std::printf("old: suite=%s sha=%s   new: suite=%s sha=%s   threshold=%.1f%%\n",
+              oldDoc.suite.c_str(), oldDoc.gitSha.c_str(),
+              newDoc.suite.c_str(), newDoc.gitSha.c_str(), threshold);
+  std::printf("%-40s %12s %12s %8s\n", "case", "old(ms)", "new(ms)", "ratio");
+
+  hsisbench::CompareResult cmp =
+      hsisbench::compareBench(oldDoc, newDoc, threshold);
+  for (const hsisbench::CompareRow& row : cmp.rows) {
+    if (!row.note.empty()) {
+      std::printf("%-40s %34s\n", row.name.c_str(),
+                  ("(" + row.note + ")").c_str());
+      continue;
+    }
+    std::printf("%-40s %12.3f %12.3f %7.2fx%s\n", row.name.c_str(), row.oldMs,
+                row.newMs, row.ratio, row.regression ? "  REGRESSION" : "");
+  }
+  if (cmp.regressions > 0) {
+    std::printf("%d case(s) regressed past %.1f%%\n", cmp.regressions,
+                threshold);
+    return reportOnly ? 0 : 1;
+  }
+  std::printf("no regressions\n");
+  return 0;
+}

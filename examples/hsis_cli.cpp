@@ -6,8 +6,14 @@
 //   hsis_cli --blifmv design.mv properties.pif
 //   hsis_cli --model philos          # run a bundled Table-1 design
 //
-// Add --stats-json FILE to any form to dump the full observability
-// snapshot (metrics registry + phase span tree) after verification.
+// Every form also accepts the shared observability flags:
+//   --stats-json FILE    dump the full snapshot after verification
+//   --heartbeat MS       one-line progress records on stderr every MS ms
+//   --heartbeat-file F   ... as JSONL appended to F instead
+//   --timeout-s S        abort the run past S seconds of wall clock
+//   --mem-limit-mb M     abort the run past M MiB of peak RSS
+// A watchdog abort still writes the --stats-json snapshot (its "aborted"
+// field carries the reason and breaching phase) and exits with code 3.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -15,6 +21,7 @@
 
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
+#include "obs/control.hpp"
 
 namespace {
 
@@ -31,33 +38,33 @@ std::string slurp(const char* path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hsis_cli [--stats-json FILE] [--blifmv] DESIGN "
-               "PROPERTIES.pif\n"
-               "       hsis_cli [--stats-json FILE] --model NAME   (one of:");
+               "usage: hsis_cli [OBS-FLAGS] [--blifmv] DESIGN PROPERTIES.pif\n"
+               "       hsis_cli [OBS-FLAGS] --model NAME   (one of:");
   for (const auto& m : hsis::models::all())
     std::fprintf(stderr, " %s", std::string(m.name).c_str());
-  std::fprintf(stderr, ")\n");
+  std::fprintf(stderr,
+               ")\nOBS-FLAGS: --stats-json FILE | --heartbeat MS | "
+               "--heartbeat-file F |\n"
+               "           --timeout-s S | --mem-limit-mb M\n");
   return 2;
 }
 
-/// Strip `--stats-json FILE` from argv; returns the FILE or "".
-std::string extractStatsPath(int& argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
-      std::string path = argv[i + 1];
-      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      argv[argc] = nullptr;
-      return path;
-    }
+void writeStats(const hsis::Environment& env, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
   }
-  return "";
+  out << env.statsJson();
+  std::printf("observability snapshot written to %s\n", path.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string statsPath = extractStatsPath(argc, argv);
+  hsis::obs::ObsCliOptions obsOpts = hsis::obs::stripObsCliFlags(argc, argv);
+  hsis::obs::applyObsCliOptions(obsOpts);
   hsis::Environment env;
 
   if (argc == 3 && std::strcmp(argv[1], "--model") == 0) {
@@ -75,32 +82,38 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  env.build();
-  std::printf("read: %zu Verilog lines, %zu BLIF-MV lines (%.2fs)\n",
-              env.metrics().linesVerilog, env.metrics().linesBlifMv,
-              env.metrics().readSeconds);
-  for (const std::string& n : env.notes())
-    std::printf("note: %s\n", n.c_str());
-  std::printf("reachable states: %.0f\n\n", env.reachedStates());
-
   int failures = 0;
-  for (const hsis::BugReport& report : env.verifyAll()) {
-    std::printf("%s\n", renderBugReport(report, env.fsm()).c_str());
-    if (!report.holds) ++failures;
+  try {
+    env.build();
+    std::printf("read: %zu Verilog lines, %zu BLIF-MV lines (%.2fs)\n",
+                env.metrics().linesVerilog, env.metrics().linesBlifMv,
+                env.metrics().readSeconds);
+    for (const std::string& n : env.notes())
+      std::printf("note: %s\n", n.c_str());
+    std::printf("reachable states: %.0f\n\n", env.reachedStates());
+
+    for (const hsis::BugReport& report : env.verifyAll()) {
+      std::printf("%s\n", renderBugReport(report, env.fsm()).c_str());
+      if (!report.holds) ++failures;
+    }
+  } catch (const hsis::obs::AbortedError& e) {
+    // Cooperative unwind from a watchdog breach (or an external abort
+    // request): the snapshot below is still complete and carries the
+    // reason in its "aborted" field.
+    std::fflush(stdout);
+    std::fprintf(stderr, "\naborted: %s", e.reason().c_str());
+    if (!e.phase().empty()) std::fprintf(stderr, " (in %s)", e.phase().c_str());
+    std::fprintf(stderr, "\n");
+    writeStats(env, obsOpts.statsJsonPath);
+    hsis::obs::stopObsThreads();
+    return 3;
   }
+
   const auto& m = env.metrics();
   std::printf("summary: %zu CTL formulas (%.2fs), %zu LC properties (%.2fs), "
               "%d failing\n",
               m.numCtlFormulas, m.mcSeconds, m.numLcProps, m.lcSeconds,
               failures);
-  if (!statsPath.empty()) {
-    std::ofstream out(statsPath);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", statsPath.c_str());
-      return 2;
-    }
-    out << env.statsJson();
-    std::printf("observability snapshot written to %s\n", statsPath.c_str());
-  }
+  writeStats(env, obsOpts.statsJsonPath);
   return failures == 0 ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/control.hpp"
+
 namespace hsis {
 
 namespace {
@@ -266,6 +268,10 @@ void BddManager::decRef(uint32_t n) {
 
 void BddManager::maybeGcOrSift() {
   if (opDepth_ > 0) return;
+  // Cooperative cancellation point: we are at a public-op boundary with no
+  // raw node indices live on any recursion stack, so unwinding here cannot
+  // corrupt manager state.
+  obs::checkAbort();
   if (nodes_.size() - freeList_.size() > gcThreshold_) {
     size_t freed = gc();
     size_t live = nodes_.size() - freeList_.size();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/control.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis {
@@ -41,6 +42,7 @@ Bdd CtlChecker::eu(const Bdd& p, const Bdd& q) {
   static obs::Counter& iterations = obs::counter("ctl.eu.iterations");
   Bdd y = q;
   while (true) {
+    obs::checkAbort();
     ++stats_.fixpointIterations;
     iterations.add();
     Bdd y2 = y | (p & preimage(y));
@@ -54,6 +56,7 @@ Bdd CtlChecker::egFair(const Bdd& p) {
   Bdd care = opts_.useReachedDontCares ? reached() : fsm_->mgr().bddOne();
   Bdd z = p & care;
   while (true) {
+    obs::checkAbort();
     ++stats_.fixpointIterations;
     iterations.add();
     Bdd zOld = z;

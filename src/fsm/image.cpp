@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/control.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis {
@@ -189,9 +190,13 @@ ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
     res.stoppedEarly = true;
     return res;
   }
+  static obs::Gauge& frontierLast = obs::gauge("fsm.reach.frontier.last");
   while (!frontier.isZero()) {
+    obs::checkAbort();
     iterations.add();
-    frontierNodes.record(frontier.nodeCount());
+    size_t fsize = frontier.nodeCount();
+    frontierNodes.record(fsize);
+    frontierLast.set(static_cast<int64_t>(fsize));
     Bdd next = tr.image(frontier);
     frontier = next & !res.reached;
     if (frontier.isZero()) break;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/control.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis {
@@ -156,6 +157,7 @@ Bdd LcChecker::fairHull(const Bdd& within) {
   static obs::Counter& iterations = obs::counter("lc.hull.iterations");
   Bdd z = within;
   while (true) {
+    obs::checkAbort();
     ++stats_.hullIterations;
     iterations.add();
     Bdd zOld = z;

@@ -1,0 +1,457 @@
+// Abort flag, phase stack, RSS probes, heartbeat reporter, resource
+// watchdog, and the shared CLI flag handling. Compiled identically in
+// enabled and HSIS_OBS_DISABLE builds: cancelling a runaway run is control
+// flow, not measurement (see control.hpp).
+#include "obs/control.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace hsis::obs {
+
+// ------------------------------------------------------------ abort flag
+
+namespace detail {
+std::atomic<bool> g_abortRequested{false};
+}  // namespace detail
+
+namespace {
+
+std::mutex& abortMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+AbortInfo& abortStore() {
+  static AbortInfo* info = new AbortInfo;  // leaked, like the registry
+  return *info;
+}
+
+std::string formatMb(uint64_t kb) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fMB", static_cast<double>(kb) / 1024.0);
+  return buf;
+}
+
+}  // namespace
+
+AbortedError::AbortedError(std::string reason, std::string phase)
+    : std::runtime_error("aborted: " + reason +
+                         (phase.empty() ? "" : " (phase " + phase + ")")),
+      reason_(std::move(reason)),
+      phase_(std::move(phase)) {}
+
+void requestAbort(std::string_view reason, std::string_view phase) {
+  std::lock_guard<std::mutex> lock(abortMutex());
+  if (detail::g_abortRequested.load(std::memory_order_relaxed)) return;
+  AbortInfo& info = abortStore();
+  info.reason = std::string(reason);
+  info.phase = phase.empty() ? currentPhase() : std::string(phase);
+  detail::g_abortRequested.store(true, std::memory_order_release);
+}
+
+void clearAbort() {
+  std::lock_guard<std::mutex> lock(abortMutex());
+  detail::g_abortRequested.store(false, std::memory_order_release);
+  abortStore() = AbortInfo{};
+}
+
+std::optional<AbortInfo> abortInfo() {
+  std::lock_guard<std::mutex> lock(abortMutex());
+  if (!detail::g_abortRequested.load(std::memory_order_acquire))
+    return std::nullopt;
+  return abortStore();
+}
+
+void throwAborted() {
+  std::optional<AbortInfo> info = abortInfo();
+  if (!info.has_value()) info = AbortInfo{"abort requested", ""};
+  throw AbortedError(info->reason, info->phase);
+}
+
+// ----------------------------------------------------------- phase stack
+
+namespace {
+
+struct PhaseStack {
+  std::mutex mu;
+  // (span id, name), outermost first. Cross-thread spans interleave; the
+  // back entry is "the most recently started still-open phase", which is
+  // the right answer for watchdog/heartbeat reporting.
+  std::vector<std::pair<uint64_t, std::string>> active;
+};
+
+PhaseStack& phaseStack() {
+  static PhaseStack* ps = new PhaseStack;  // leaked, see registry.cpp
+  return *ps;
+}
+
+}  // namespace
+
+namespace detail {
+
+void notePhaseStart(uint64_t spanId, std::string_view name) {
+  PhaseStack& ps = phaseStack();
+  std::lock_guard<std::mutex> lock(ps.mu);
+  ps.active.emplace_back(spanId, std::string(name));
+}
+
+void notePhaseEnd(uint64_t spanId) {
+  PhaseStack& ps = phaseStack();
+  std::lock_guard<std::mutex> lock(ps.mu);
+  for (size_t i = ps.active.size(); i-- > 0;) {
+    if (ps.active[i].first == spanId) {
+      ps.active.erase(ps.active.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+std::string currentPhase() {
+  PhaseStack& ps = phaseStack();
+  std::lock_guard<std::mutex> lock(ps.mu);
+  return ps.active.empty() ? std::string() : ps.active.back().second;
+}
+
+// --------------------------------------------------------- process memory
+
+namespace {
+
+/// Parse a "Vm...: N kB" line from /proc/self/status.
+uint64_t procStatusKb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::string line;
+  size_t keyLen = std::strlen(key);
+  while (std::getline(in, line)) {
+    if (line.compare(0, keyLen, key) != 0) continue;
+    return static_cast<uint64_t>(
+        std::strtoull(line.c_str() + keyLen, nullptr, 10));
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t currentRssKb() { return procStatusKb("VmRSS:"); }
+uint64_t peakRssKb() { return procStatusKb("VmHWM:"); }
+
+// -------------------------------------------------------------- heartbeat
+
+HeartbeatSource::HeartbeatSource() : startNs_(WallTimer::nowNs()) {}
+
+HeartbeatRecord HeartbeatSource::next() {
+  HeartbeatRecord r;
+  r.seq = seq_++;
+  r.tSeconds = static_cast<double>(WallTimer::nowNs() - startNs_) * 1e-9;
+  r.phase = currentPhase();
+  r.rssKb = currentRssKb();
+  r.liveNodes = gauge("bdd.unique.size").value();
+  r.nodesCreated = counter("bdd.nodes.created").value();
+  r.cacheLookups = counter("bdd.cache.lookups").value();
+  r.cacheHits = counter("bdd.cache.hits").value();
+  r.reachIterations = counter("fsm.reach.iterations").value();
+  r.frontierNodes = gauge("fsm.reach.frontier.last").value();
+  r.hullIterations = counter("lc.hull.iterations").value();
+
+  r.dNodesCreated = r.nodesCreated - lastNodesCreated_;
+  r.dReachIterations = r.reachIterations - lastReach_;
+  r.dHullIterations = r.hullIterations - lastHull_;
+  uint64_t dLookups = r.cacheLookups - lastLookups_;
+  uint64_t dHits = r.cacheHits - lastHits_;
+  r.cacheHitRate =
+      dLookups == 0 ? 0.0
+                    : static_cast<double>(dHits) / static_cast<double>(dLookups);
+
+  lastNodesCreated_ = r.nodesCreated;
+  lastLookups_ = r.cacheLookups;
+  lastHits_ = r.cacheHits;
+  lastReach_ = r.reachIterations;
+  lastHull_ = r.hullIterations;
+  return r;
+}
+
+std::string HeartbeatRecord::toTableLine() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "[hsis-hb %llu] t=%.1fs phase=%s rss=%s live=%lld "
+                "+nodes=%llu hit=%.1f%% reach=%llu(+%llu) frontier=%lld "
+                "hull=%llu(+%llu)",
+                static_cast<unsigned long long>(seq), tSeconds,
+                phase.empty() ? "-" : phase.c_str(), formatMb(rssKb).c_str(),
+                static_cast<long long>(liveNodes),
+                static_cast<unsigned long long>(dNodesCreated),
+                cacheHitRate * 100.0,
+                static_cast<unsigned long long>(reachIterations),
+                static_cast<unsigned long long>(dReachIterations),
+                static_cast<long long>(frontierNodes),
+                static_cast<unsigned long long>(hullIterations),
+                static_cast<unsigned long long>(dHullIterations));
+  return buf;
+}
+
+std::string HeartbeatRecord::toJsonl() const {
+  // Phase names are dotted identifiers from this codebase; escape the two
+  // characters that could break the line anyway.
+  std::string p;
+  for (char c : phase) {
+    if (c == '"' || c == '\\') p += '\\';
+    p += c;
+  }
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"seq\": %llu, \"t_s\": %.3f, \"phase\": \"%s\", \"rss_kb\": %llu, "
+      "\"live_nodes\": %lld, \"nodes_created\": %llu, \"d_nodes\": %llu, "
+      "\"cache_hit_rate\": %.4f, \"reach_iterations\": %llu, "
+      "\"d_reach_iterations\": %llu, \"frontier_nodes\": %lld, "
+      "\"hull_iterations\": %llu, \"d_hull_iterations\": %llu}",
+      static_cast<unsigned long long>(seq), tSeconds, p.c_str(),
+      static_cast<unsigned long long>(rssKb), static_cast<long long>(liveNodes),
+      static_cast<unsigned long long>(nodesCreated),
+      static_cast<unsigned long long>(dNodesCreated), cacheHitRate,
+      static_cast<unsigned long long>(reachIterations),
+      static_cast<unsigned long long>(dReachIterations),
+      static_cast<long long>(frontierNodes),
+      static_cast<unsigned long long>(hullIterations),
+      static_cast<unsigned long long>(dHullIterations));
+  return buf;
+}
+
+struct Heartbeat::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stopRequested = false;
+  bool running = false;
+  std::thread worker;
+  HeartbeatOptions opts;
+};
+
+Heartbeat& Heartbeat::instance() {
+  static Heartbeat h;
+  return h;
+}
+
+Heartbeat::Impl& Heartbeat::impl() const {
+  static Impl* impl = new Impl;  // leaked, see registry.cpp
+  return *impl;
+}
+
+void Heartbeat::start(HeartbeatOptions options) {
+  stop();
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.opts = std::move(options);
+    if (im.opts.intervalMs == 0) im.opts.intervalMs = 1;
+    im.stopRequested = false;
+    im.running = true;
+  }
+  im.worker = std::thread([&im] {
+    setThreadName("obs.heartbeat");
+    HeartbeatSource source;
+    std::ofstream jsonl;
+    if (!im.opts.jsonlPath.empty())
+      jsonl.open(im.opts.jsonlPath, std::ios::app);
+    std::unique_lock<std::mutex> lock(im.mu);
+    while (!im.cv.wait_for(lock, std::chrono::milliseconds(im.opts.intervalMs),
+                           [&im] { return im.stopRequested; })) {
+      lock.unlock();
+      HeartbeatRecord rec = source.next();
+      if (jsonl.is_open()) {
+        jsonl << rec.toJsonl() << '\n';
+        jsonl.flush();
+      } else {
+        std::fprintf(stderr, "%s\n", rec.toTableLine().c_str());
+      }
+      lock.lock();
+    }
+  });
+}
+
+void Heartbeat::stop() {
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.running) return;
+    im.stopRequested = true;
+  }
+  im.cv.notify_all();
+  if (im.worker.joinable()) im.worker.join();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.running = false;
+}
+
+bool Heartbeat::running() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.running;
+}
+
+// --------------------------------------------------------------- watchdog
+
+struct Watchdog::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stopRequested = false;
+  bool running = false;
+  std::thread worker;
+  WatchdogOptions opts;
+};
+
+Watchdog& Watchdog::instance() {
+  static Watchdog w;
+  return w;
+}
+
+Watchdog::Impl& Watchdog::impl() const {
+  static Impl* impl = new Impl;  // leaked, see registry.cpp
+  return *impl;
+}
+
+void Watchdog::start(WatchdogOptions options) {
+  stop();
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.opts = options;
+    if (im.opts.pollMs == 0) im.opts.pollMs = 1;
+    im.stopRequested = false;
+    im.running = true;
+  }
+  im.worker = std::thread([&im] {
+    setThreadName("obs.watchdog");
+    WallTimer timer;
+    std::unique_lock<std::mutex> lock(im.mu);
+    while (!im.cv.wait_for(lock, std::chrono::milliseconds(im.opts.pollMs),
+                           [&im] { return im.stopRequested; })) {
+      const WatchdogOptions& o = im.opts;
+      lock.unlock();
+      double wall = timer.seconds();
+      if (o.wallLimitSeconds > 0 && wall > o.wallLimitSeconds) {
+        char msg[128];
+        std::snprintf(msg, sizeof msg,
+                      "wall-clock limit %gs exceeded (%.2fs elapsed)",
+                      o.wallLimitSeconds, wall);
+        requestAbort(msg);
+        return;
+      }
+      if (o.memLimitKb > 0) {
+        uint64_t peak = peakRssKb();
+        if (peak > o.memLimitKb) {
+          char msg[128];
+          std::snprintf(msg, sizeof msg,
+                        "memory limit %s exceeded (peak RSS %s)",
+                        formatMb(o.memLimitKb).c_str(),
+                        formatMb(peak).c_str());
+          requestAbort(msg);
+          return;
+        }
+      }
+      lock.lock();
+    }
+  });
+}
+
+void Watchdog::stop() {
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.running) return;
+    im.stopRequested = true;
+  }
+  im.cv.notify_all();
+  if (im.worker.joinable()) im.worker.join();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.running = false;
+}
+
+bool Watchdog::running() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.running;
+}
+
+// -------------------------------------------------------------- CLI flags
+
+namespace {
+
+/// Remove argv[i..i+n) and shift the rest down (argv stays NULL-terminated).
+void eraseArgs(int& argc, char** argv, int i, int n) {
+  for (int j = i; j + n <= argc; ++j) argv[j] = argv[j + n];
+  argc -= n;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
+ObsCliOptions stripObsCliFlags(int& argc, char** argv) {
+  ObsCliOptions opts;
+  for (int i = 1; i < argc;) {
+    const char* a = argv[i];
+    const bool hasValue = i + 1 < argc;
+    if (std::strcmp(a, "--stats-json") == 0 && hasValue) {
+      opts.statsJsonPath = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--heartbeat") == 0 && hasValue) {
+      opts.heartbeatMs =
+          static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr, 10));
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--heartbeat-file") == 0 && hasValue) {
+      opts.heartbeatFile = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--timeout-s") == 0 && hasValue) {
+      opts.timeoutSeconds = std::strtod(argv[i + 1], nullptr);
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--mem-limit-mb") == 0 && hasValue) {
+      opts.memLimitMb =
+          static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr, 10));
+      eraseArgs(argc, argv, i, 2);
+    } else {
+      ++i;
+    }
+  }
+  return opts;
+}
+
+void applyObsCliOptions(const ObsCliOptions& options) {
+  setThreadName("main");
+  if (options.heartbeatMs > 0 || !options.heartbeatFile.empty()) {
+    HeartbeatOptions ho;
+    ho.intervalMs = options.heartbeatMs > 0 ? options.heartbeatMs : 1000;
+    ho.jsonlPath = options.heartbeatFile;
+    Heartbeat::instance().start(ho);
+  }
+  if (options.timeoutSeconds > 0 || options.memLimitMb > 0) {
+    WatchdogOptions wo;
+    wo.wallLimitSeconds = options.timeoutSeconds;
+    wo.memLimitKb = options.memLimitMb * 1024;
+    Watchdog::instance().start(wo);
+  }
+  // Joined before exit handlers run the stats dump (atexit is LIFO, so
+  // register after the dump registration or rely on idempotent stop()).
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(stopObsThreads);
+  }
+}
+
+void stopObsThreads() {
+  Heartbeat::instance().stop();
+  Watchdog::instance().stop();
+}
+
+}  // namespace hsis::obs

@@ -1,0 +1,216 @@
+// hsis::obs control surfaces — the parts of the observability subsystem
+// that act on a run instead of merely recording it:
+//
+//  - a process-wide cooperative ABORT FLAG with a reason and phase. Long
+//    loops (BDD manager safe points, reachability, CTL fixpoints, the LC
+//    hull) poll `checkAbort()`; a breach unwinds via `AbortedError` so
+//    callers can still dump a valid stats snapshot with `"aborted"` set.
+//  - a RESOURCE WATCHDOG thread that trips the abort flag when a
+//    wall-clock or peak-RSS limit is exceeded.
+//  - a HEARTBEAT reporter thread that emits a compact one-line progress
+//    record (stderr table or JSONL) every N ms, with deltas, so a stuck
+//    `fsm.reach` or `lc.hull` is visible while it runs.
+//  - shared `--heartbeat/--timeout-s/--mem-limit-mb/--stats-json` flag
+//    handling for every driver (bench drivers, hsis_cli, hsis_bench).
+//
+// Unlike the metrics/span instrumentation, everything here stays LIVE
+// under HSIS_OBS_DISABLE: aborting a runaway run is control flow, not
+// measurement. In a disabled build the heartbeat still ticks (wall time
+// and RSS are real; registry-derived fields read zero) and the watchdog
+// still aborts — only the breach *phase* is empty, because phase tracking
+// rides on the compiled-out spans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hsis::obs {
+
+// ------------------------------------------------------------ abort flag
+
+struct AbortInfo {
+  std::string reason;  ///< e.g. "wall-clock limit 1.0s exceeded (1.05s)"
+  std::string phase;   ///< innermost active span when the flag was raised
+};
+
+/// Thrown by `checkAbort()` at a cooperative safe point after an abort was
+/// requested. Catch it at the driver level, dump stats, exit cleanly.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError(std::string reason, std::string phase);
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+  [[nodiscard]] const std::string& phase() const noexcept { return phase_; }
+
+ private:
+  std::string reason_;
+  std::string phase_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_abortRequested;
+}  // namespace detail
+
+/// Hot-path query: a single relaxed atomic load.
+inline bool abortRequested() noexcept {
+  return detail::g_abortRequested.load(std::memory_order_relaxed);
+}
+
+/// Raise the flag. First request wins; later ones are ignored. `phase`
+/// defaults to the currently active phase span.
+void requestAbort(std::string_view reason, std::string_view phase = {});
+/// Lower the flag and forget the stored reason (tests, per-case resets).
+void clearAbort();
+/// The stored reason/phase, or nullopt when no abort is pending.
+std::optional<AbortInfo> abortInfo();
+
+[[noreturn]] void throwAborted();  ///< cold path of checkAbort()
+
+/// Cooperative cancellation point: throws AbortedError iff an abort has
+/// been requested. Costs one relaxed load when it has not.
+inline void checkAbort() {
+  if (abortRequested()) throwAborted();
+}
+
+// ----------------------------------------------------------- phase stack
+//
+// A process-wide (cross-thread, innermost-latest) view of the active phase
+// spans, so the watchdog and heartbeat threads can say *what* was running.
+// Fed by Span construction/destruction; empty under HSIS_OBS_DISABLE.
+
+namespace detail {
+void notePhaseStart(uint64_t spanId, std::string_view name);
+void notePhaseEnd(uint64_t spanId);
+}  // namespace detail
+
+/// Name of the innermost active phase span, or "" if none.
+std::string currentPhase();
+
+// --------------------------------------------------------- process memory
+
+/// Current resident set size in KiB (Linux /proc/self/status VmRSS;
+/// 0 where unavailable).
+uint64_t currentRssKb();
+/// Peak resident set size in KiB (VmHWM; 0 where unavailable).
+uint64_t peakRssKb();
+
+// -------------------------------------------------------------- heartbeat
+
+/// One progress tick: registry totals plus deltas since the previous tick.
+/// Field selection follows what a stuck verification run needs first:
+/// where it is (phase, reach/hull iterations), how big the frontier is,
+/// and whether memory is still growing (live nodes, RSS).
+struct HeartbeatRecord {
+  uint64_t seq = 0;
+  double tSeconds = 0.0;  ///< since the source was created
+  std::string phase;
+  uint64_t rssKb = 0;
+  int64_t liveNodes = 0;         ///< bdd.unique.size
+  uint64_t nodesCreated = 0;     ///< bdd.nodes.created (total)
+  uint64_t dNodesCreated = 0;    ///< ... delta this window
+  uint64_t cacheLookups = 0;     ///< bdd.cache.lookups (total)
+  uint64_t cacheHits = 0;        ///< bdd.cache.hits (total)
+  double cacheHitRate = 0.0;     ///< hits/lookups over the delta window
+  uint64_t reachIterations = 0;  ///< fsm.reach.iterations (total)
+  uint64_t dReachIterations = 0;
+  int64_t frontierNodes = 0;     ///< fsm.reach.frontier.last
+  uint64_t hullIterations = 0;   ///< lc.hull.iterations (total)
+  uint64_t dHullIterations = 0;
+
+  /// `[hsis-hb 3] t=1.5s phase=fsm.reach rss=120MB live=45k ...`
+  [[nodiscard]] std::string toTableLine() const;
+  /// One JSON object, no trailing newline.
+  [[nodiscard]] std::string toJsonl() const;
+};
+
+/// Produces HeartbeatRecords with correct deltas between successive
+/// next() calls. Separate from the reporter thread so tests can drive
+/// ticks deterministically.
+class HeartbeatSource {
+ public:
+  HeartbeatSource();
+  HeartbeatRecord next();
+
+ private:
+  uint64_t startNs_;
+  uint64_t seq_ = 0;
+  uint64_t lastNodesCreated_ = 0;
+  uint64_t lastLookups_ = 0;
+  uint64_t lastHits_ = 0;
+  uint64_t lastReach_ = 0;
+  uint64_t lastHull_ = 0;
+};
+
+struct HeartbeatOptions {
+  uint64_t intervalMs = 1000;
+  /// Append JSONL records here; empty = one-line table records on stderr.
+  std::string jsonlPath;
+};
+
+/// The opt-in background reporter thread. start() is idempotent (restarts
+/// with the new options); stop() joins the thread.
+class Heartbeat {
+ public:
+  static Heartbeat& instance();
+  void start(HeartbeatOptions options);
+  void stop();
+  [[nodiscard]] bool running() const;
+
+ private:
+  Heartbeat() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// --------------------------------------------------------------- watchdog
+
+struct WatchdogOptions {
+  double wallLimitSeconds = 0.0;  ///< 0 = no wall-clock limit
+  uint64_t memLimitKb = 0;        ///< peak-RSS limit; 0 = none
+  uint64_t pollMs = 50;
+};
+
+/// Background thread that polls wall clock and peak RSS against the
+/// registered limits and raises the abort flag on breach (then exits).
+/// The wall clock starts at start().
+class Watchdog {
+ public:
+  static Watchdog& instance();
+  void start(WatchdogOptions options);
+  void stop();
+  [[nodiscard]] bool running() const;
+
+ private:
+  Watchdog() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// -------------------------------------------------------------- CLI flags
+
+/// The shared observability flag set every driver understands:
+///   --stats-json PATH   dump the hsis-obs-v1 snapshot at exit
+///   --heartbeat MS      start the heartbeat reporter (stderr)
+///   --heartbeat-file F  ... appending JSONL records to F instead
+///   --timeout-s S       watchdog wall-clock limit
+///   --mem-limit-mb M    watchdog peak-RSS limit
+struct ObsCliOptions {
+  std::string statsJsonPath;
+  uint64_t heartbeatMs = 0;
+  std::string heartbeatFile;
+  double timeoutSeconds = 0.0;
+  uint64_t memLimitMb = 0;
+};
+
+/// Scan argv, remove every recognized flag (and value), return the result.
+ObsCliOptions stripObsCliFlags(int& argc, char** argv);
+/// Start heartbeat/watchdog per the options (names the calling thread
+/// "main" for trace exports) and register an atexit stop.
+void applyObsCliOptions(const ObsCliOptions& options);
+/// Stop (join) the heartbeat and watchdog threads if running.
+void stopObsThreads();
+
+}  // namespace hsis::obs

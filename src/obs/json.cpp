@@ -9,6 +9,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/control.hpp"
+
 namespace hsis::obs {
 
 namespace {
@@ -98,6 +100,12 @@ Snapshot snapshot() {
   snap.metrics = Registry::instance().collect();
   snap.spans = Tracer::instance().completed();
   snap.droppedSpans = Tracer::instance().dropped();
+  snap.threadNames = threadNames();
+  if (auto abort = abortInfo()) {
+    snap.aborted = true;
+    snap.abortReason = abort->reason;
+    snap.abortPhase = abort->phase;
+  }
   return snap;
 }
 
@@ -116,7 +124,10 @@ std::string toJson(const Snapshot& snap) {
     out += ": ";
     if (m.kind == MetricSample::Kind::Histogram) {
       out += "{\"count\": " + std::to_string(m.count) +
-             ", \"sum\": " + std::to_string(m.sum) + ", \"buckets\": {";
+             ", \"sum\": " + std::to_string(m.sum) +
+             ", \"p50\": " + std::to_string(m.p50) +
+             ", \"p90\": " + std::to_string(m.p90) +
+             ", \"max\": " + std::to_string(m.max) + ", \"buckets\": {";
       for (size_t b = 0; b < m.buckets.size(); ++b) {
         if (b != 0) out += ", ";
         appendEscaped(out, std::to_string(m.buckets[b].first));
@@ -128,6 +139,16 @@ std::string toJson(const Snapshot& snap) {
     }
   }
   out += snap.metrics.empty() ? "},\n" : "\n  },\n";
+  out += "  \"aborted\": ";
+  if (snap.aborted) {
+    out += "{\"reason\": ";
+    appendEscaped(out, snap.abortReason);
+    out += ", \"phase\": ";
+    appendEscaped(out, snap.abortPhase);
+    out += "},\n";
+  } else {
+    out += "null,\n";
+  }
   out += "  \"dropped_spans\": " + std::to_string(snap.droppedSpans) + ",\n";
   out += "  \"spans\": [";
   auto tree = buildTree(snap);
@@ -147,9 +168,34 @@ std::string toJson(const Snapshot& snap) {
 
 std::string toChromeTrace(const Snapshot& snap) {
   std::string out = "[";
-  for (size_t i = 0; i < snap.spans.size(); ++i) {
-    const SpanSample& s = snap.spans[i];
-    out += i == 0 ? "\n" : ",\n";
+  bool first = true;
+  auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  // Metadata ("ph": "M") events first: name each thread the process called
+  // setThreadName() on, pin "main" to the top of the track list, and give
+  // the process itself a sort index so multi-process merges stay ordered.
+  sep();
+  out += " {\"name\": \"process_sort_index\", \"ph\": \"M\", \"pid\": 1"
+         ", \"args\": {\"sort_index\": 0}}";
+  for (const auto& [tid, name] : snap.threadNames) {
+    uint64_t shortTid = tid % 1000000;  // same transform as the X events
+    sep();
+    out += " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1";
+    out += ", \"tid\": " + std::to_string(shortTid);
+    out += ", \"args\": {\"name\": ";
+    appendEscaped(out, name);
+    out += "}}";
+    sep();
+    out += " {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1";
+    out += ", \"tid\": " + std::to_string(shortTid);
+    out += ", \"args\": {\"sort_index\": ";
+    out += name == "main" ? "0" : "1";
+    out += "}}";
+  }
+  for (const SpanSample& s : snap.spans) {
+    sep();
     out += " {\"name\": ";
     appendEscaped(out, s.name);
     out += ", \"cat\": \"hsis\", \"ph\": \"X\", \"pid\": 1";
@@ -167,7 +213,10 @@ std::string toTable(const Snapshot& snap) {
   for (const MetricSample& m : snap.metrics) {
     if (m.kind == MetricSample::Kind::Histogram) {
       os << "  " << m.name << "  count=" << m.count << " sum=" << m.sum;
-      if (m.count != 0) os << " mean=" << (double)m.sum / (double)m.count;
+      if (m.count != 0) {
+        os << " mean=" << (double)m.sum / (double)m.count << " p50=" << m.p50
+           << " p90=" << m.p90 << " max=" << m.max;
+      }
       os << "\n";
       for (const auto& [low, cnt] : m.buckets) {
         os << "    >= " << low << ": " << cnt << "\n";

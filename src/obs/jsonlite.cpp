@@ -1,0 +1,150 @@
+#include "obs/jsonlite.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace hsis::obs::jsonlite {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+
+  [[noreturn]] void fail(const char* why) const {
+    throw std::runtime_error(std::string("json: ") + why + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{': return objectValue();
+      case '[': return arrayValue();
+      case '"': return Value{stringValue()};
+      case 't': literal("true"); return Value{true};
+      case 'f': literal("false"); return Value{false};
+      case 'n': literal("null"); return Value{nullptr};
+      default: return numberValue();
+    }
+  }
+
+  void literal(std::string_view word) {
+    skipWs();
+    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+    pos_ += word.size();
+  }
+
+  std::string stringValue() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':
+            // Our exports only emit \u00XX control escapes.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            out.push_back(static_cast<char>(
+                std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16)));
+            pos_ += 4;
+            break;
+          default: out.push_back(e); break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  Value numberValue() {
+    skipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    return Value{std::stod(std::string(text_.substr(start, pos_ - start)))};
+  }
+
+  Value arrayValue() {
+    expect('[');
+    auto arr = std::make_shared<Array>();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{arr};
+    }
+    while (true) {
+      arr->push_back(value());
+      char c = peek();
+      ++pos_;
+      if (c == ']') return Value{arr};
+      if (c != ',') fail("expected , or ]");
+    }
+  }
+
+  Value objectValue() {
+    expect('{');
+    auto obj = std::make_shared<Object>();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{obj};
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = stringValue();
+      expect(':');
+      (*obj)[key] = value();
+      char c = peek();
+      ++pos_;
+      if (c == '}') return Value{obj};
+      if (c != ',') fail("expected , or }");
+    }
+  }
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse(); }
+
+const Value* find(const Object& obj, const std::string& key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+}  // namespace hsis::obs::jsonlite

@@ -1,0 +1,59 @@
+// Just enough recursive-descent JSON to read back this repo's own exports
+// (hsis-obs-v1 snapshots, BENCH_*.json, heartbeat JSONL) without pulling
+// in a dependency. Shared by perf_compare, hsis_bench, and the tests.
+// Throws std::runtime_error on malformed input.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hsis::obs::jsonlite {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Array>, std::shared_ptr<Object>>
+      v;
+
+  [[nodiscard]] bool isNull() const {
+    return std::holds_alternative<std::nullptr_t>(v);
+  }
+  [[nodiscard]] bool isObject() const {
+    return std::holds_alternative<std::shared_ptr<Object>>(v);
+  }
+  [[nodiscard]] bool isArray() const {
+    return std::holds_alternative<std::shared_ptr<Array>>(v);
+  }
+  [[nodiscard]] bool isNumber() const {
+    return std::holds_alternative<double>(v);
+  }
+  [[nodiscard]] bool isString() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] const Object& object() const {
+    return *std::get<std::shared_ptr<Object>>(v);
+  }
+  [[nodiscard]] const Array& array() const {
+    return *std::get<std::shared_ptr<Array>>(v);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] bool boolean() const { return std::get<bool>(v); }
+};
+
+/// Parse a complete JSON document (throws std::runtime_error on error).
+Value parse(std::string_view text);
+
+/// Object member lookup that returns nullptr instead of throwing.
+const Value* find(const Object& obj, const std::string& key);
+
+}  // namespace hsis::obs::jsonlite

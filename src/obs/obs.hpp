@@ -47,6 +47,13 @@ struct MetricSample {
   /// Histogram only: number of recorded samples and their sum.
   uint64_t count = 0;
   uint64_t sum = 0;
+  /// Histogram only: largest recorded value (exact) and approximate
+  /// quantiles (the inclusive lower bound of the bucket where the
+  /// cumulative count crosses the quantile), so bench reports need no
+  /// bucket math downstream.
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
   /// Histogram only: (inclusive lower bound, count) per non-empty bucket.
   std::vector<std::pair<uint64_t, uint64_t>> buckets;
 };
@@ -65,6 +72,15 @@ struct Snapshot {
   std::vector<MetricSample> metrics;  ///< sorted by name
   std::vector<SpanSample> spans;      ///< completed spans, in start order
   uint64_t droppedSpans = 0;          ///< ring-buffer overflow count
+  /// Threads that registered a name via setThreadName (tid as hashed by the
+  /// tracer -> name), sorted by name. Drives the Chrome-trace "M" metadata.
+  std::vector<std::pair<uint64_t, std::string>> threadNames;
+  /// Cooperative-abort state at snapshot time (see obs/control.hpp): when
+  /// a watchdog or caller requested an abort, the exported JSON carries
+  /// `"aborted": {reason, phase}` so a killed run still explains itself.
+  bool aborted = false;
+  std::string abortReason;
+  std::string abortPhase;
 };
 
 /// Capture the full registry plus the tracer's completed spans.
@@ -136,12 +152,20 @@ class Histogram {
     buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
   }
   [[nodiscard]] uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] uint64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
+  }
+  /// Largest value ever recorded (exact, unlike the bucketed quantiles).
+  [[nodiscard]] uint64_t maxValue() const noexcept {
+    return max_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] uint64_t bucketCount(int b) const noexcept {
     return buckets_[b].load(std::memory_order_relaxed);
@@ -166,6 +190,7 @@ class Histogram {
   std::atomic<uint64_t> buckets_[kBuckets]{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
 };
 
 /// The process-wide named-metric registry. Registration (the first lookup
@@ -226,6 +251,12 @@ class Tracer {
   Impl& impl() const;
 };
 
+/// Give the calling thread a human-readable name for trace exports
+/// (Perfetto `thread_name` metadata). First call per thread wins.
+void setThreadName(std::string_view name);
+/// All registered (tid, name) pairs, sorted by name.
+std::vector<std::pair<uint64_t, std::string>> threadNames();
+
 /// RAII timed span: `obs::Span reach{"fsm.reach"};`. Nesting is tracked
 /// per thread; the span records its parent and depth at construction and
 /// appends itself to the tracer when destroyed.
@@ -275,6 +306,7 @@ class Histogram {
   void record(uint64_t) noexcept {}
   [[nodiscard]] uint64_t count() const noexcept { return 0; }
   [[nodiscard]] uint64_t sum() const noexcept { return 0; }
+  [[nodiscard]] uint64_t maxValue() const noexcept { return 0; }
   [[nodiscard]] uint64_t bucketCount(int) const noexcept { return 0; }
   void reset() noexcept {}
   static int bucketOf(uint64_t v) noexcept {
@@ -324,6 +356,11 @@ class Tracer {
   [[nodiscard]] uint64_t dropped() const { return 0; }
   void clear() {}
 };
+
+inline void setThreadName(std::string_view) {}
+inline std::vector<std::pair<uint64_t, std::string>> threadNames() {
+  return {};
+}
 
 class Span {
  public:

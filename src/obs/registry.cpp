@@ -82,6 +82,7 @@ void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<MetricSample> Registry::collect() const {
@@ -112,9 +113,24 @@ std::vector<MetricSample> Registry::collect() const {
     s.count = h.count();
     s.sum = h.sum();
     s.value = static_cast<int64_t>(s.count);
+    s.max = h.maxValue();
     for (int b = 0; b < Histogram::kBuckets; ++b) {
       uint64_t c = h.bucketCount(b);
       if (c != 0) s.buckets.emplace_back(Histogram::bucketLow(b), c);
+    }
+    // Bucketed quantiles: the inclusive lower bound of the bucket where the
+    // cumulative count first crosses the quantile. Exact for max (tracked
+    // separately); a lower bound for p50/p90, good enough for a table.
+    if (s.count > 0) {
+      uint64_t n50 = (s.count + 1) / 2;          // ceil(count * 0.50)
+      uint64_t n90 = (s.count * 9 + 9) / 10;     // ceil(count * 0.90)
+      uint64_t cum = 0;
+      for (const auto& [low, c] : s.buckets) {
+        uint64_t prev = cum;
+        cum += c;
+        if (prev < n50 && n50 <= cum) s.p50 = low;
+        if (prev < n90 && n90 <= cum) s.p90 = low;
+      }
     }
     out.push_back(std::move(s));
   }

@@ -6,8 +6,11 @@
 #ifndef HSIS_OBS_DISABLE
 
 #include <algorithm>
+#include <map>
 #include <mutex>
 #include <thread>
+
+#include "obs/control.hpp"
 
 namespace hsis::obs {
 
@@ -29,7 +32,34 @@ uint64_t currentThreadId() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
+struct ThreadNameTable {
+  std::mutex mu;
+  std::map<uint64_t, std::string> names;
+};
+
+ThreadNameTable& threadNameTable() {
+  static ThreadNameTable* t = new ThreadNameTable;  // leaked, see Registry
+  return *t;
+}
+
 }  // namespace
+
+void setThreadName(std::string_view name) {
+  ThreadNameTable& t = threadNameTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.names.try_emplace(currentThreadId(), std::string(name));
+}
+
+std::vector<std::pair<uint64_t, std::string>> threadNames() {
+  ThreadNameTable& t = threadNameTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::vector<std::pair<uint64_t, std::string>> out(t.names.begin(),
+                                                    t.names.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  return out;
+}
 
 struct Tracer::Impl {
   mutable std::mutex mu;
@@ -119,10 +149,12 @@ Span::Span(std::string_view name)
   parent_ = ts.active.empty() ? -1 : static_cast<int64_t>(ts.active.back());
   depth_ = static_cast<uint32_t>(ts.active.size());
   ts.active.push_back(id_);
+  detail::notePhaseStart(id_, name_);
 }
 
 Span::~Span() {
   uint64_t end = WallTimer::nowNs();
+  detail::notePhaseEnd(id_);
   ThreadStack& ts = threadStack();
   // Spans are strictly scoped RAII objects, so ours is the innermost.
   if (!ts.active.empty() && ts.active.back() == id_) ts.active.pop_back();

@@ -1,0 +1,257 @@
+// Tests for the benchmark harness layer (bench/bench_schema.hpp) and for
+// the cooperative-abort unwinding contract the harness depends on: a
+// watchdog abort mid-reachability or mid-LC must unwind via AbortedError
+// without corrupting the BDD manager, and a subsequent run in the same
+// process must still produce correct results.
+//
+// Everything here is control flow, so every test also passes in the
+// HSIS_OBS_DISABLE build (live-value assertions are gated on obs::kEnabled).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_schema.hpp"
+#include "hsis/environment.hpp"
+#include "models/models.hpp"
+#include "obs/control.hpp"
+#include "obs/jsonlite.hpp"
+#include "obs/obs.hpp"
+
+namespace hsisbench {
+namespace {
+
+BenchDoc sampleDoc() {
+  BenchDoc doc;
+  doc.suite = "unit";
+  doc.gitSha = "abc1234";
+  doc.repeat = 2;
+  doc.warmup = 1;
+  CaseResult fast;
+  fast.name = "unit/fast";
+  fast.runs = {{10.0, 9.0, 4096, false, "", ""},
+               {12.0, 11.0, 4100, false, "", ""}};
+  CaseResult slow;
+  slow.name = "unit/slow";
+  slow.runs = {{100.0, 95.0, 8192, false, "", ""}};
+  CaseResult dead;
+  dead.name = "unit/aborted";
+  dead.runs = {{50.0, 48.0, 8192, true, "wall-clock limit 1s exceeded",
+                "fsm.reach"}};
+  doc.cases = {fast, slow, dead};
+  return doc;
+}
+
+// ------------------------------------------------------ schema round-trip
+
+TEST(BenchSchema, JsonRoundTrip) {
+  BenchDoc doc = sampleDoc();
+  std::string json = toJson(doc);
+  BenchDoc back = parseBenchJson(json);
+
+  EXPECT_EQ(back.suite, "unit");
+  EXPECT_EQ(back.gitSha, "abc1234");
+  EXPECT_EQ(back.repeat, 2);
+  EXPECT_EQ(back.warmup, 1);
+  ASSERT_EQ(back.cases.size(), 3u);
+
+  const CaseResult* fast = back.findCase("unit/fast");
+  ASSERT_NE(fast, nullptr);
+  ASSERT_EQ(fast->runs.size(), 2u);
+  EXPECT_DOUBLE_EQ(fast->runs[0].wallMs, 10.0);
+  EXPECT_DOUBLE_EQ(fast->runs[1].userMs, 11.0);
+  EXPECT_EQ(fast->runs[0].peakRssKb, 4096u);
+  EXPECT_FALSE(fast->anyAborted());
+  EXPECT_DOUBLE_EQ(fast->wallMsMin(), 10.0);
+
+  const CaseResult* dead = back.findCase("unit/aborted");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_TRUE(dead->anyAborted());
+  EXPECT_EQ(dead->runs[0].abortReason, "wall-clock limit 1s exceeded");
+  EXPECT_EQ(dead->runs[0].abortPhase, "fsm.reach");
+}
+
+TEST(BenchSchema, RejectsWrongSchemaTag) {
+  EXPECT_THROW(parseBenchJson(R"({"schema": "something-else", "cases": []})"),
+               std::runtime_error);
+  EXPECT_THROW(parseBenchJson("not json at all"), std::runtime_error);
+  EXPECT_THROW(parseBenchJson(R"({"schema": "hsis-bench-v1"})"),
+               std::runtime_error);  // missing cases
+}
+
+TEST(BenchSchema, EmbeddedObsSnapshotStaysParseable) {
+  // A real runCase result splices the hsis-obs-v1 snapshot into the case;
+  // the whole document must still be one valid JSON value.
+  hsis::obs::clearAbort();
+  CaseResult c = runCase("unit/obs", [] {
+    hsis::obs::counter("test.bench.counter").add(3);
+  }, 2, 0);
+  BenchDoc doc;
+  doc.suite = "unit";
+  doc.gitSha = "abc";
+  doc.repeat = 2;
+  doc.cases = {c};
+  std::string json = toJson(doc);
+  namespace jl = hsis::obs::jsonlite;
+  jl::Value root = jl::parse(json);  // throws on malformed splice
+  const jl::Value* cases = jl::find(root.object(), "cases");
+  ASSERT_NE(cases, nullptr);
+  const jl::Value* obs = jl::find(cases->array().at(0).object(), "obs");
+  ASSERT_NE(obs, nullptr);
+  const jl::Value* schema = jl::find(obs->object(), "schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->str(), "hsis-obs-v1");
+}
+
+// -------------------------------------------------------------- runCase
+
+TEST(BenchRunCase, RecordsTimingsPerRun) {
+  hsis::obs::clearAbort();
+  int calls = 0;
+  CaseResult result = runCase("unit/work", [&calls] {
+    ++calls;
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 200000; ++i) sink = sink + static_cast<uint64_t>(i);
+  }, 3, 1);
+  EXPECT_EQ(calls, 4);  // 1 warmup + 3 measured
+  ASSERT_EQ(result.runs.size(), 3u);
+  for (const RunStats& r : result.runs) {
+    EXPECT_FALSE(r.aborted);
+    EXPECT_GE(r.wallMs, 0.0);
+    EXPECT_GT(r.peakRssKb, 0u);
+  }
+  EXPECT_FALSE(result.anyAborted());
+  EXPECT_GT(result.wallMsMin(), 0.0);
+}
+
+TEST(BenchRunCase, MarksAbortedRunsAndStops) {
+  hsis::obs::clearAbort();
+  int calls = 0;
+  CaseResult result = runCase("unit/abort", [&calls] {
+    ++calls;
+    hsis::obs::requestAbort("test abort", "unit.phase");
+    hsis::obs::checkAbort();
+  }, 3, 0);
+  EXPECT_EQ(calls, 1);  // later repeats skipped: they would only re-abort
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_TRUE(result.runs[0].aborted);
+  EXPECT_EQ(result.runs[0].abortReason, "test abort");
+  EXPECT_TRUE(result.anyAborted());
+  hsis::obs::clearAbort();
+}
+
+// -------------------------------------------------------------- compare
+
+TEST(BenchCompare, IdenticalDocsPass) {
+  BenchDoc doc = sampleDoc();
+  CompareResult cmp = compareBench(doc, doc, 10.0);
+  EXPECT_EQ(cmp.regressions, 0);
+  // The aborted case is listed but never counted.
+  bool sawAborted = false;
+  for (const CompareRow& row : cmp.rows)
+    if (row.name == "unit/aborted") sawAborted = row.note == "aborted";
+  EXPECT_TRUE(sawAborted);
+}
+
+TEST(BenchCompare, FlagsInjectedSlowdown) {
+  BenchDoc oldDoc = sampleDoc();
+  BenchDoc newDoc = sampleDoc();
+  for (CaseResult& c : newDoc.cases)
+    for (RunStats& r : c.runs) r.wallMs *= 2.0;  // injected 2x slowdown
+  CompareResult cmp = compareBench(oldDoc, newDoc, 10.0);
+  EXPECT_EQ(cmp.regressions, 2);  // fast + slow; the aborted case is skipped
+  for (const CompareRow& row : cmp.rows) {
+    if (row.note.empty()) {
+      EXPECT_NEAR(row.ratio, 2.0, 1e-9);
+      EXPECT_TRUE(row.regression);
+    }
+  }
+  // A generous threshold lets the same slowdown through.
+  EXPECT_EQ(compareBench(oldDoc, newDoc, 150.0).regressions, 0);
+}
+
+TEST(BenchCompare, HandlesMissingCasesWithoutFailing) {
+  BenchDoc oldDoc = sampleDoc();
+  BenchDoc newDoc = sampleDoc();
+  newDoc.cases.pop_back();
+  CaseResult fresh;
+  fresh.name = "unit/new-case";
+  fresh.runs = {{1.0, 1.0, 100, false, "", ""}};
+  newDoc.cases.push_back(fresh);
+  CompareResult cmp = compareBench(oldDoc, newDoc, 10.0);
+  EXPECT_EQ(cmp.regressions, 0);
+  bool onlyOld = false, onlyNew = false;
+  for (const CompareRow& row : cmp.rows) {
+    if (row.name == "unit/aborted") onlyOld = row.note == "only in old";
+    if (row.name == "unit/new-case") onlyNew = row.note == "only in new";
+  }
+  EXPECT_TRUE(onlyOld);
+  EXPECT_TRUE(onlyNew);
+}
+
+// ------------------------------------------- abort unwinding (reach, LC)
+//
+// The contract hsis_bench and the watchdog rely on: an abort raised while
+// reachability or the LC hull is running unwinds cleanly, and after
+// clearAbort() the same Environment-level computation succeeds with the
+// correct answer — no BDD-manager state was corrupted by the unwind.
+
+TEST(BenchAbort, ReachabilityUnwindsAndRecovers) {
+  const auto* model = hsis::models::find("philos");
+  ASSERT_NE(model, nullptr);
+
+  hsis::obs::clearAbort();
+  double expected;
+  {
+    hsis::Environment env;
+    env.readVerilog(std::string(model->verilog), std::string(model->top));
+    env.build();
+    expected = env.reachedStates();
+    EXPECT_GT(expected, 0.0);
+  }
+
+  hsis::Environment env;
+  env.readVerilog(std::string(model->verilog), std::string(model->top));
+  hsis::obs::requestAbort("test: kill reach", "test.phase");
+  EXPECT_THROW(
+      {
+        env.build();  // TR build + reach both poll the abort flag
+        (void)env.reachedStates();
+      },
+      hsis::obs::AbortedError);
+
+  // Recovery: same process, fresh environment, correct fixpoint.
+  hsis::obs::clearAbort();
+  hsis::Environment env2;
+  env2.readVerilog(std::string(model->verilog), std::string(model->top));
+  env2.build();
+  EXPECT_DOUBLE_EQ(env2.reachedStates(), expected);
+}
+
+TEST(BenchAbort, LanguageContainmentUnwindsAndRecovers) {
+  const char* kAutomaton =
+      R"PIF(automaton p { state ok init; state bad;
+        edge ok -> ok on "!(ping_has & pong_has)";
+        edge ok -> bad on "ping_has & pong_has";
+        edge bad -> bad on "1"; accept stay ok; })PIF";
+  const auto* model = hsis::models::find("pingpong");
+  ASSERT_NE(model, nullptr);
+
+  hsis::obs::clearAbort();
+  hsis::Environment env;
+  env.readVerilog(std::string(model->verilog), std::string(model->top));
+  env.build();
+  hsis::PifFile pif = hsis::parsePif(kAutomaton);
+
+  hsis::obs::requestAbort("test: kill lc", "test.phase");
+  EXPECT_THROW((void)env.verify(pif.properties.at(0)),
+               hsis::obs::AbortedError);
+
+  // Recovery on the SAME environment: the unwind left its manager usable.
+  hsis::obs::clearAbort();
+  hsis::BugReport report = env.verify(pif.properties.at(0));
+  EXPECT_TRUE(report.holds);
+}
+
+}  // namespace
+}  // namespace hsisbench

@@ -5,181 +5,28 @@
 // valid, empty snapshot document).
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <map>
-#include <memory>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <thread>
-#include <variant>
 #include <vector>
 
 #include "hsis/environment.hpp"
+#include "obs/control.hpp"
+#include "obs/jsonlite.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis::obs {
 namespace {
 
-// ------------------------------------------------- tiny JSON reader
-//
-// Just enough recursive-descent JSON to round-trip our own exports in
-// tests without pulling in a dependency. Throws std::runtime_error on
-// malformed input, which gtest surfaces as a test failure.
+// The shared jsonlite reader (src/obs/jsonlite.hpp) round-trips our own
+// exports; it throws std::runtime_error on malformed input, which gtest
+// surfaces as a test failure.
+using JsonValue = jsonlite::Value;
+using JsonObject = jsonlite::Object;
+using JsonArray = jsonlite::Array;
 
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v;
-
-  [[nodiscard]] bool isObject() const {
-    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
-  }
-  [[nodiscard]] const JsonObject& object() const {
-    return *std::get<std::shared_ptr<JsonObject>>(v);
-  }
-  [[nodiscard]] const JsonArray& array() const {
-    return *std::get<std::shared_ptr<JsonArray>>(v);
-  }
-  [[nodiscard]] double number() const { return std::get<double>(v); }
-  [[nodiscard]] const std::string& str() const {
-    return std::get<std::string>(v);
-  }
-  [[nodiscard]] bool boolean() const { return std::get<bool>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skipWs();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  std::string_view text_;
-  size_t pos_ = 0;
-
-  [[noreturn]] void fail(const char* why) const {
-    throw std::runtime_error(std::string("json: ") + why + " at offset " +
-                             std::to_string(pos_));
-  }
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-  char peek() {
-    skipWs();
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail("unexpected character");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return objectValue();
-      case '[': return arrayValue();
-      case '"': return JsonValue{stringValue()};
-      case 't': literal("true"); return JsonValue{true};
-      case 'f': literal("false"); return JsonValue{false};
-      case 'n': literal("null"); return JsonValue{nullptr};
-      default: return numberValue();
-    }
-  }
-
-  void literal(std::string_view word) {
-    skipWs();
-    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
-    pos_ += word.size();
-  }
-
-  std::string stringValue() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        char e = text_[pos_++];
-        switch (e) {
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'u':
-            // Exports only emit \u00XX control escapes.
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            out.push_back(static_cast<char>(
-                std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16)));
-            pos_ += 4;
-            break;
-          default: out.push_back(e); break;
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  JsonValue numberValue() {
-    skipWs();
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected number");
-    return JsonValue{std::stod(std::string(text_.substr(start, pos_ - start)))};
-  }
-
-  JsonValue arrayValue() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{arr};
-    }
-    while (true) {
-      arr->push_back(value());
-      char c = peek();
-      ++pos_;
-      if (c == ']') return JsonValue{arr};
-      if (c != ',') fail("expected , or ]");
-    }
-  }
-
-  JsonValue objectValue() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{obj};
-    }
-    while (true) {
-      std::string key = stringValue();
-      expect(':');
-      (*obj)[key] = value();
-      char c = peek();
-      ++pos_;
-      if (c == '}') return JsonValue{obj};
-      if (c != ',') fail("expected , or }");
-    }
-  }
-};
-
-JsonValue parseJson(const std::string& text) {
-  return JsonParser(text).parse();
-}
+JsonValue parseJson(const std::string& text) { return jsonlite::parse(text); }
 
 // ------------------------------------------------------- metric semantics
 
@@ -419,7 +266,9 @@ TEST(ObsExport, ChromeTraceAndTableAreWellFormed) {
     EXPECT_EQ(ev.at("ph").str(), "X");
     EXPECT_EQ(ev.at("name").str(), "test.chrome.span");
   } else {
-    EXPECT_TRUE(events.empty());
+    // A disabled build emits only the process metadata event — no spans.
+    for (const JsonValue& ev : events)
+      EXPECT_EQ(ev.object().at("ph").str(), "M");
   }
   // The table export never throws and always carries its headline.
   std::string table = toTable(snap);
@@ -526,6 +375,260 @@ endmodule
   // statsJson() is valid JSON in both modes.
   JsonValue doc = parseJson(env.statsJson());
   EXPECT_EQ(doc.object().at("enabled").boolean(), kEnabled);
+}
+
+// ----------------------------------------------- histogram p50/p90/max
+
+TEST(ObsHistogram, TracksMaxAndBucketedQuantiles) {
+  Histogram& h = histogram("test.obs.quant");
+  h.reset();
+  EXPECT_EQ(h.maxValue(), 0u);
+  // Nine small values and one huge outlier: p50 must sit in a low bucket,
+  // p90 at the outlier's bucket only when it is the crossing point, and
+  // max is exact (not a bucket bound).
+  for (uint64_t v : {3ull, 3ull, 3ull, 3ull, 3ull, 5ull, 5ull, 5ull, 5ull})
+    h.record(v);
+  h.record(1000);
+  if (!kEnabled) {
+    EXPECT_EQ(h.maxValue(), 0u);
+    return;
+  }
+  EXPECT_EQ(h.maxValue(), 1000u);
+
+  std::vector<MetricSample> samples = Registry::instance().collect();
+  const MetricSample* s = nullptr;
+  for (const auto& m : samples)
+    if (m.name == "test.obs.quant") s = &m;
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->max, 1000u);
+  // count=10: the 5th value (3) lies in bucket [2,4) -> p50 lower bound 2;
+  // the 9th value (5) lies in bucket [4,8) -> p90 lower bound 4.
+  EXPECT_EQ(s->p50, 2u);
+  EXPECT_EQ(s->p90, 4u);
+
+  // The JSON export carries the same summary fields.
+  JsonValue doc = parseJson(toJson(snapshot()));
+  const JsonObject& hist =
+      doc.object().at("metrics").object().at("test.obs.quant").object();
+  EXPECT_EQ(hist.at("p50").number(), 2.0);
+  EXPECT_EQ(hist.at("p90").number(), 4.0);
+  EXPECT_EQ(hist.at("max").number(), 1000.0);
+
+  // And the table mentions them.
+  std::string table = toTable(snapshot());
+  EXPECT_NE(table.find("p50="), std::string::npos);
+  EXPECT_NE(table.find("max=1000"), std::string::npos);
+}
+
+// -------------------------------------------- chrome trace thread names
+
+TEST(ObsExport, ChromeTraceCarriesThreadNameMetadata) {
+  setThreadName("test-main");
+  Tracer::instance().clear();
+  { Span s("test.chrome.named"); }
+  JsonValue trace = parseJson(toChromeTrace(snapshot()));
+  const JsonArray& events = trace.array();
+  // process_sort_index metadata is emitted even with no spans recorded.
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].object().at("ph").str(), "M");
+  EXPECT_EQ(events[0].object().at("name").str(), "process_sort_index");
+  if (!kEnabled) return;  // thread names ride on the compiled-out store
+  bool sawName = false;
+  for (const JsonValue& ev : events) {
+    const JsonObject& o = ev.object();
+    if (o.at("ph").str() != "M" || o.at("name").str() != "thread_name")
+      continue;
+    if (o.at("args").object().at("name").str() == "test-main") sawName = true;
+  }
+  EXPECT_TRUE(sawName);
+}
+
+// ------------------------------------------------------- abort plumbing
+//
+// The abort flag is control flow, not measurement: every assertion here
+// runs identically in the HSIS_OBS_DISABLE build.
+
+TEST(ObsAbort, RequestCheckClearRoundTrip) {
+  clearAbort();
+  EXPECT_FALSE(abortRequested());
+  EXPECT_FALSE(abortInfo().has_value());
+  EXPECT_NO_THROW(checkAbort());
+
+  requestAbort("test reason", "test.phase");
+  EXPECT_TRUE(abortRequested());
+  ASSERT_TRUE(abortInfo().has_value());
+  EXPECT_EQ(abortInfo()->reason, "test reason");
+  EXPECT_EQ(abortInfo()->phase, "test.phase");
+  try {
+    checkAbort();
+    FAIL() << "checkAbort did not throw";
+  } catch (const AbortedError& e) {
+    EXPECT_EQ(e.reason(), "test reason");
+    EXPECT_EQ(e.phase(), "test.phase");
+  }
+  // First request wins; a second is ignored.
+  requestAbort("other reason");
+  EXPECT_EQ(abortInfo()->reason, "test reason");
+
+  clearAbort();
+  EXPECT_FALSE(abortRequested());
+  EXPECT_NO_THROW(checkAbort());
+}
+
+TEST(ObsAbort, SnapshotCarriesAbortState) {
+  clearAbort();
+  requestAbort("snapshot reason", "snap.phase");
+  JsonValue doc = parseJson(toJson(snapshot()));
+  const JsonObject& aborted = doc.object().at("aborted").object();
+  EXPECT_EQ(aborted.at("reason").str(), "snapshot reason");
+  EXPECT_EQ(aborted.at("phase").str(), "snap.phase");
+  clearAbort();
+  JsonValue clean = parseJson(toJson(snapshot()));
+  EXPECT_TRUE(clean.object().at("aborted").isNull());
+}
+
+TEST(ObsAbort, PhaseDefaultsToActiveSpan) {
+  clearAbort();
+  {
+    Span s("test.abort.phase");
+    EXPECT_EQ(currentPhase(), kEnabled ? "test.abort.phase" : "");
+    requestAbort("from inside");
+  }
+  ASSERT_TRUE(abortInfo().has_value());
+  EXPECT_EQ(abortInfo()->phase, kEnabled ? "test.abort.phase" : "");
+  clearAbort();
+  EXPECT_EQ(currentPhase(), "");
+}
+
+// ------------------------------------------------------------ heartbeat
+
+TEST(ObsHeartbeat, SourceComputesDeltasBetweenTicks) {
+  resetAll();
+  HeartbeatSource source;
+
+  counter("bdd.nodes.created").add(100);
+  counter("bdd.cache.lookups").add(50);
+  counter("bdd.cache.hits").add(25);
+  counter("fsm.reach.iterations").add(3);
+  gauge("fsm.reach.frontier.last").set(42);
+  HeartbeatRecord first = source.next();
+  EXPECT_EQ(first.seq, 0u);
+  if (kEnabled) {
+    EXPECT_EQ(first.nodesCreated, 100u);
+    EXPECT_EQ(first.dNodesCreated, 100u);  // first window starts at zero
+    EXPECT_EQ(first.reachIterations, 3u);
+    EXPECT_EQ(first.dReachIterations, 3u);
+    EXPECT_EQ(first.frontierNodes, 42);
+    EXPECT_DOUBLE_EQ(first.cacheHitRate, 0.5);
+  }
+
+  counter("bdd.nodes.created").add(10);
+  counter("fsm.reach.iterations").add(1);
+  counter("bdd.cache.lookups").add(100);
+  counter("bdd.cache.hits").add(100);
+  HeartbeatRecord second = source.next();
+  EXPECT_EQ(second.seq, 1u);
+  EXPECT_GE(second.tSeconds, first.tSeconds);
+  if (kEnabled) {
+    EXPECT_EQ(second.nodesCreated, 110u);
+    EXPECT_EQ(second.dNodesCreated, 10u);  // delta, not total
+    EXPECT_EQ(second.dReachIterations, 1u);
+    // Hit rate is over the delta window: 100/100, not 125/150.
+    EXPECT_DOUBLE_EQ(second.cacheHitRate, 1.0);
+  }
+
+  // Idle window: totals hold, deltas drop to zero.
+  HeartbeatRecord third = source.next();
+  if (kEnabled) {
+    EXPECT_EQ(third.nodesCreated, 110u);
+    EXPECT_EQ(third.dNodesCreated, 0u);
+    EXPECT_EQ(third.dReachIterations, 0u);
+  }
+
+  // Both render formats always produce something sane.
+  EXPECT_NE(third.toTableLine().find("hsis-hb"), std::string::npos);
+  JsonValue line = parseJson(third.toJsonl());
+  EXPECT_EQ(line.object().at("seq").number(), 2.0);
+  resetAll();
+}
+
+TEST(ObsHeartbeat, ReporterThreadStartsAndStops) {
+  Heartbeat& hb = Heartbeat::instance();
+  EXPECT_FALSE(hb.running());
+  HeartbeatOptions opts;
+  opts.intervalMs = 5;
+  opts.jsonlPath = ::testing::TempDir() + "hsis_hb_test.jsonl";
+  hb.start(opts);
+  EXPECT_TRUE(hb.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  hb.stop();
+  EXPECT_FALSE(hb.running());
+  // Each emitted line is one valid JSON object with increasing seq.
+  std::ifstream in(opts.jsonlPath);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  double prevSeq = -1.0;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue record = parseJson(line);
+    double seq = record.object().at("seq").number();
+    EXPECT_GT(seq, prevSeq);
+    prevSeq = seq;
+    ++lines;
+  }
+  EXPECT_GE(lines, 1u);
+  in.close();
+  std::remove(opts.jsonlPath.c_str());
+}
+
+// ------------------------------------------------------------- watchdog
+
+TEST(ObsWatchdog, TripsAbortOnTinyWallLimit) {
+  clearAbort();
+  Watchdog& wd = Watchdog::instance();
+  WatchdogOptions opts;
+  opts.wallLimitSeconds = 0.005;
+  opts.pollMs = 2;
+  wd.start(opts);
+  // The watchdog raises the cooperative flag; a polling loop then throws.
+  bool threw = false;
+  for (int i = 0; i < 2000 && !threw; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    try {
+      checkAbort();
+    } catch (const AbortedError& e) {
+      threw = true;
+      EXPECT_NE(e.reason().find("wall-clock limit"), std::string::npos);
+    }
+  }
+  wd.stop();
+  EXPECT_TRUE(threw);
+  clearAbort();
+}
+
+TEST(ObsWatchdog, MemLimitUsesPeakRss) {
+  // /proc/self/status probes are live in both build modes on Linux.
+  uint64_t rss = currentRssKb();
+  uint64_t peak = peakRssKb();
+  EXPECT_GT(rss, 0u);
+  EXPECT_GE(peak, rss / 2);  // peak can lag current only by page noise
+  clearAbort();
+  Watchdog& wd = Watchdog::instance();
+  WatchdogOptions opts;
+  opts.memLimitKb = 1;  // any real process exceeds 1 KiB instantly
+  opts.pollMs = 2;
+  wd.start(opts);
+  bool tripped = false;
+  for (int i = 0; i < 2000 && !tripped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    tripped = abortRequested();
+  }
+  wd.stop();
+  EXPECT_TRUE(tripped);
+  ASSERT_TRUE(abortInfo().has_value());
+  EXPECT_NE(abortInfo()->reason.find("memory limit"), std::string::npos);
+  clearAbort();
 }
 
 }  // namespace
