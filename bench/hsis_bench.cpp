@@ -9,10 +9,14 @@
 //   hsis_bench --suite reach --filter gigamax --heartbeat 500 --timeout-s 60
 //
 // --stats-json takes either a directory (gets BENCH_<suite>.json inside)
-// or an explicit .json path. The shared obs flags (--heartbeat,
-// --timeout-s, --mem-limit-mb) work like in every other driver; a watchdog
-// abort stops the suite but the baseline written so far is still valid,
-// with the aborted case marked, and the exit code is 3.
+// or an explicit .json path. --trace-out DIR writes one Chrome trace
+// (phase spans plus profiler counter tracks) per case as
+// TRACE_<case>.json, mirroring how --stats-json names baselines. The
+// shared obs flags (--heartbeat, --timeout-s, --mem-limit-mb, --profile)
+// work like in every other driver; a watchdog abort stops the suite but
+// the baseline written so far is still valid, with the aborted case
+// marked, and the exit code is 3.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -251,9 +255,10 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--suite NAME] [--repeat N] [--warmup N] [--filter SUBSTR]\n"
-      "          [--stats-json DIR-or-FILE.json] [--list]\n"
+      "          [--stats-json DIR-or-FILE.json] [--trace-out DIR] [--list]\n"
       "          [--heartbeat MS] [--heartbeat-file F] [--timeout-s S]\n"
-      "          [--mem-limit-mb M]\n"
+      "          [--mem-limit-mb M] [--profile] [--profile-out BASE]\n"
+      "          [--profile-interval-ms N]\n"
       "suites: smoke table1 reach quantify efd dontcare lc_vs_mc bdd\n",
       argv0);
   return 2;
@@ -270,6 +275,7 @@ int main(int argc, char** argv) {
 
   std::string suite = "smoke";
   std::string filter;
+  std::string traceOut;
   int repeat = 3;
   int warmup = 1;
   bool list = false;
@@ -286,6 +292,7 @@ int main(int argc, char** argv) {
     else if (arg == "--repeat") repeat = std::atoi(value());
     else if (arg == "--warmup") warmup = std::atoi(value());
     else if (arg == "--filter") filter = value();
+    else if (arg == "--trace-out") traceOut = value();
     else if (arg == "--list") list = true;
     else return usage(argv[0]);
   }
@@ -342,6 +349,21 @@ int main(int argc, char** argv) {
                   result.runs.size());
     }
     doc.cases.push_back(std::move(result));
+    if (!traceOut.empty()) {
+      // runCase resets the tracer before each measured run, so the
+      // snapshot here holds exactly the last run of this case.
+      namespace fs = std::filesystem;
+      fs::create_directories(traceOut);
+      std::string fname = c.name;
+      std::replace(fname.begin(), fname.end(), '/', '_');
+      fs::path file = fs::path(traceOut) / ("TRACE_" + fname + ".json");
+      std::ofstream f(file);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", file.c_str());
+        return 2;
+      }
+      f << hsis::obs::toChromeTrace(hsis::obs::snapshot());
+    }
     // A watchdog breach is a whole-process condition: running the
     // remaining cases would only re-trip it, so stop here. The baseline
     // written below is still schema-valid with this case marked aborted.

@@ -12,8 +12,12 @@
 //   --heartbeat-file F   ... as JSONL appended to F instead
 //   --timeout-s S        abort the run past S seconds of wall clock
 //   --mem-limit-mb M     abort the run past M MiB of peak RSS
+//   --profile            sampling profiler: hsis-prof.folded + .census.jsonl
+//   --profile-out BASE   ... writing BASE.folded + BASE.census.jsonl
+//   --profile-interval-ms N  sampler tick (default 10 ms)
 // A watchdog abort still writes the --stats-json snapshot (its "aborted"
-// field carries the reason and breaching phase) and exits with code 3.
+// field carries the reason and breaching phase) and the --profile files,
+// and exits with code 3.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,7 +49,8 @@ int usage() {
   std::fprintf(stderr,
                ")\nOBS-FLAGS: --stats-json FILE | --heartbeat MS | "
                "--heartbeat-file F |\n"
-               "           --timeout-s S | --mem-limit-mb M\n");
+               "           --timeout-s S | --mem-limit-mb M | --profile |\n"
+               "           --profile-out BASE | --profile-interval-ms N\n");
   return 2;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/prof.hpp"
 
 namespace hsis {
 
@@ -185,6 +186,13 @@ class BddManager {
     stats_.allocatedNodes = nodes_.size();
     return stats_;
   }
+  /// Exact population census: live nodes per level, unique-table and
+  /// cache occupancy, lifetime event totals, and the dead-node count a
+  /// mark-and-sweep would reclaim right now. O(arena + cache) scan — meant
+  /// for the sampling profiler's rendezvous (at most one per tick) and for
+  /// tests, not for hot paths. Must be called from the owning thread at a
+  /// point where no operation is mid-recursion (any public-API boundary).
+  [[nodiscard]] obs::prof::BddCensus census() const;
   void clearCaches();
 
   // ---- io ----

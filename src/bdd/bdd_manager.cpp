@@ -219,6 +219,12 @@ void BddManager::uniqueInsert(uint32_t n) {
   nodes_[n].next = uniqueTable_[bucket];
   uniqueTable_[bucket] = n;
   ++uniqueCount_;
+  // Re-inserts during level swaps grow the table too; without this the
+  // peak could read below the live count right after a reordering.
+  if (uniqueCount_ > stats_.peakLiveNodes) {
+    stats_.peakLiveNodes = uniqueCount_;
+    obsUniquePeak_.updateMax(static_cast<int64_t>(uniqueCount_));
+  }
 }
 
 void BddManager::uniqueRemove(uint32_t n) {
@@ -272,6 +278,11 @@ void BddManager::maybeGcOrSift() {
   // raw node indices live on any recursion stack, so unwinding here cannot
   // corrupt manager state.
   obs::checkAbort();
+  // Census rendezvous with the sampling profiler: it raised a flag from
+  // its own thread; we answer here, where nothing is mid-mutation, so the
+  // sampler never reads manager structures concurrently. One relaxed load
+  // when no profiler is running.
+  if (obs::prof::censusRequested()) obs::prof::publishCensus(census());
   if (nodes_.size() - freeList_.size() > gcThreshold_) {
     size_t freed = gc();
     size_t live = nodes_.size() - freeList_.size();
@@ -325,6 +336,57 @@ size_t BddManager::gc() {
 
 void BddManager::clearCaches() {
   for (auto& e : cache_) e = CacheEntry{};
+}
+
+obs::prof::BddCensus BddManager::census() const {
+  obs::prof::BddCensus c;
+  c.liveNodes = uniqueCount_;
+  c.allocatedNodes = nodes_.size() - 2;  // terminals excluded
+  c.freeNodes = freeList_.size();
+  c.uniqueBuckets = uniqueTable_.size();
+  c.cacheEntries = cache_.size();
+  for (const CacheEntry& e : cache_) {
+    if (e.k1 != ~0ull || e.k2 != ~0ull) ++c.cacheUsed;
+  }
+  c.cacheLookups = stats_.cacheLookups;
+  c.cacheHits = stats_.cacheHits;
+  c.gcRuns = stats_.gcRuns;
+  c.reorderings = stats_.reorderings;
+  c.peakLiveNodes = stats_.peakLiveNodes;
+
+  std::vector<bool> freeSlot(nodes_.size(), false);
+  for (uint32_t f : freeList_) freeSlot[f] = true;
+
+  c.levelNodes.assign(perm_.size(), 0);
+  for (uint32_t i = 2; i < nodes_.size(); ++i) {
+    if (!freeSlot[i]) ++c.levelNodes[perm_[nodes_[i].var]];
+  }
+
+  // Dead = in the unique table but unreachable from any externally
+  // referenced node: the same mark pass gc() runs, so deadNodes is exactly
+  // what the next sweep would reclaim (and 0 right after one).
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[0] = marked[1] = true;
+  std::vector<uint32_t> stack;
+  for (uint32_t i = 2; i < nodes_.size(); ++i) {
+    if (!freeSlot[i] && nodes_[i].ref > 0 && !marked[i]) {
+      stack.assign(1, i);
+      while (!stack.empty()) {
+        uint32_t n = stack.back();
+        stack.pop_back();
+        if (marked[n]) continue;
+        marked[n] = true;
+        if (!isTerm(nodes_[n].lo) && !marked[nodes_[n].lo])
+          stack.push_back(nodes_[n].lo);
+        if (!isTerm(nodes_[n].hi) && !marked[nodes_[n].hi])
+          stack.push_back(nodes_[n].hi);
+      }
+    }
+  }
+  for (uint32_t i = 2; i < nodes_.size(); ++i) {
+    if (!freeSlot[i] && !marked[i]) ++c.deadNodes;
+  }
+  return c;
 }
 
 // ------------------------------------------------------------ cache layer

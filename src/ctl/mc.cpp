@@ -40,6 +40,7 @@ Bdd CtlChecker::preimage(const Bdd& s) {
 
 Bdd CtlChecker::eu(const Bdd& p, const Bdd& q) {
   static obs::Counter& iterations = obs::counter("ctl.eu.iterations");
+  obs::Span span("ctl.eu");
   Bdd y = q;
   while (true) {
     obs::checkAbort();
@@ -53,6 +54,7 @@ Bdd CtlChecker::eu(const Bdd& p, const Bdd& q) {
 
 Bdd CtlChecker::egFair(const Bdd& p) {
   static obs::Counter& iterations = obs::counter("ctl.eg.iterations");
+  obs::Span span("ctl.eg");
   Bdd care = opts_.useReachedDontCares ? reached() : fsm_->mgr().bddOne();
   Bdd z = p & care;
   while (true) {

@@ -127,6 +127,7 @@ Bdd TransitionRelation::image(const Bdd& statesX) const {
   static obs::Counter& calls = obs::counter("fsm.image.calls");
   static obs::Histogram& micros = obs::histogram("fsm.image.micros");
   calls.add();
+  obs::Span span("fsm.image");
   obs::WallTimer timer;
   BddManager& mgr = fsm_->mgr();
   Bdd acc = statesX;
@@ -142,6 +143,7 @@ Bdd TransitionRelation::preimage(const Bdd& statesX) const {
   static obs::Counter& calls = obs::counter("fsm.preimage.calls");
   static obs::Histogram& micros = obs::histogram("fsm.preimage.micros");
   calls.add();
+  obs::Span span("fsm.preimage");
   obs::WallTimer timer;
   BddManager& mgr = fsm_->mgr();
   Bdd acc = fsm_->presentToNext(statesX);

@@ -4,6 +4,7 @@
 // flow, not measurement (see control.hpp).
 #include "obs/control.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/prof.hpp"
 
 namespace hsis::obs {
 
@@ -83,12 +85,19 @@ void throwAborted() {
 
 namespace {
 
+struct PhaseEntry {
+  uint64_t threadId;
+  uint64_t spanId;
+  std::string name;
+};
+
 struct PhaseStack {
   std::mutex mu;
-  // (span id, name), outermost first. Cross-thread spans interleave; the
-  // back entry is "the most recently started still-open phase", which is
-  // the right answer for watchdog/heartbeat reporting.
-  std::vector<std::pair<uint64_t, std::string>> active;
+  // All open spans process-wide in start order (so per-thread frames fall
+  // out in nesting order). The back entry is "the most recently started
+  // still-open phase", which is the right answer for watchdog/heartbeat
+  // reporting; the per-thread grouping is what the sampling profiler folds.
+  std::vector<PhaseEntry> active;
 };
 
 PhaseStack& phaseStack() {
@@ -100,17 +109,17 @@ PhaseStack& phaseStack() {
 
 namespace detail {
 
-void notePhaseStart(uint64_t spanId, std::string_view name) {
+void notePhaseStart(uint64_t threadId, uint64_t spanId, std::string_view name) {
   PhaseStack& ps = phaseStack();
   std::lock_guard<std::mutex> lock(ps.mu);
-  ps.active.emplace_back(spanId, std::string(name));
+  ps.active.push_back(PhaseEntry{threadId, spanId, std::string(name)});
 }
 
-void notePhaseEnd(uint64_t spanId) {
+void notePhaseEnd(uint64_t threadId, uint64_t spanId) {
   PhaseStack& ps = phaseStack();
   std::lock_guard<std::mutex> lock(ps.mu);
   for (size_t i = ps.active.size(); i-- > 0;) {
-    if (ps.active[i].first == spanId) {
+    if (ps.active[i].threadId == threadId && ps.active[i].spanId == spanId) {
       ps.active.erase(ps.active.begin() + static_cast<long>(i));
       return;
     }
@@ -122,7 +131,43 @@ void notePhaseEnd(uint64_t spanId) {
 std::string currentPhase() {
   PhaseStack& ps = phaseStack();
   std::lock_guard<std::mutex> lock(ps.mu);
-  return ps.active.empty() ? std::string() : ps.active.back().second;
+  return ps.active.empty() ? std::string() : ps.active.back().name;
+}
+
+std::string PhaseStackSnapshot::folded() const {
+  std::string out;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    if (i != 0) out += ';';
+    out += frames[i];
+  }
+  return out;
+}
+
+std::vector<PhaseStackSnapshot> phaseStacks() {
+  PhaseStack& ps = phaseStack();
+  std::lock_guard<std::mutex> lock(ps.mu);
+  // Group by thread, preserving the start order within each thread (spans
+  // are strictly scoped per thread, so start order == nesting order).
+  std::vector<PhaseStackSnapshot> out;
+  for (const PhaseEntry& e : ps.active) {
+    PhaseStackSnapshot* snap = nullptr;
+    for (PhaseStackSnapshot& s : out) {
+      if (s.threadId == e.threadId) {
+        snap = &s;
+        break;
+      }
+    }
+    if (snap == nullptr) {
+      out.push_back(PhaseStackSnapshot{e.threadId, {}});
+      snap = &out.back();
+    }
+    snap->frames.push_back(e.name);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhaseStackSnapshot& a, const PhaseStackSnapshot& b) {
+              return a.threadId < b.threadId;
+            });
+  return out;
 }
 
 // --------------------------------------------------------- process memory
@@ -211,17 +256,21 @@ std::string HeartbeatRecord::toJsonl() const {
     p += c;
   }
   char buf[512];
+  // Doubles go through jsonDouble so a pathological rate (NaN/Inf) can
+  // never produce an invalid JSONL record.
   std::snprintf(
       buf, sizeof buf,
-      "{\"seq\": %llu, \"t_s\": %.3f, \"phase\": \"%s\", \"rss_kb\": %llu, "
+      "{\"seq\": %llu, \"t_s\": %s, \"phase\": \"%s\", \"rss_kb\": %llu, "
       "\"live_nodes\": %lld, \"nodes_created\": %llu, \"d_nodes\": %llu, "
-      "\"cache_hit_rate\": %.4f, \"reach_iterations\": %llu, "
+      "\"cache_hit_rate\": %s, \"reach_iterations\": %llu, "
       "\"d_reach_iterations\": %llu, \"frontier_nodes\": %lld, "
       "\"hull_iterations\": %llu, \"d_hull_iterations\": %llu}",
-      static_cast<unsigned long long>(seq), tSeconds, p.c_str(),
-      static_cast<unsigned long long>(rssKb), static_cast<long long>(liveNodes),
+      static_cast<unsigned long long>(seq), jsonDouble(tSeconds).c_str(),
+      p.c_str(), static_cast<unsigned long long>(rssKb),
+      static_cast<long long>(liveNodes),
       static_cast<unsigned long long>(nodesCreated),
-      static_cast<unsigned long long>(dNodesCreated), cacheHitRate,
+      static_cast<unsigned long long>(dNodesCreated),
+      jsonDouble(cacheHitRate).c_str(),
       static_cast<unsigned long long>(reachIterations),
       static_cast<unsigned long long>(dReachIterations),
       static_cast<long long>(frontierNodes),
@@ -419,12 +468,35 @@ ObsCliOptions stripObsCliFlags(int& argc, char** argv) {
       opts.memLimitMb =
           static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr, 10));
       eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--profile") == 0) {
+      opts.profile = true;
+      eraseArgs(argc, argv, i, 1);
+    } else if (std::strcmp(a, "--profile-out") == 0 && hasValue) {
+      opts.profile = true;
+      opts.profileBasePath = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--profile-interval-ms") == 0 && hasValue) {
+      opts.profile = true;
+      opts.profileIntervalMs =
+          static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr, 10));
+      eraseArgs(argc, argv, i, 2);
     } else {
       ++i;
     }
   }
   return opts;
 }
+
+namespace {
+
+std::string& profileBasePath() {
+  static std::string* base = new std::string;  // leaked, see registry.cpp
+  return *base;
+}
+
+void profileDumpAtExit() { prof::writeProfileFiles(profileBasePath()); }
+
+}  // namespace
 
 void applyObsCliOptions(const ObsCliOptions& options) {
   setThreadName("main");
@@ -440,6 +512,25 @@ void applyObsCliOptions(const ObsCliOptions& options) {
     wo.memLimitKb = options.memLimitMb * 1024;
     Watchdog::instance().start(wo);
   }
+  if (options.profile) {
+    const std::string base = options.profileBasePath.empty()
+                                 ? std::string("hsis-prof")
+                                 : options.profileBasePath;
+    profileBasePath() = base;
+    prof::ProfOptions po;
+    if (options.profileIntervalMs > 0) po.intervalMs = options.profileIntervalMs;
+    // Write-through spill: even a SIGKILLed run leaves the census series.
+    po.jsonlPath = base + ".census.jsonl";
+    prof::Profiler::instance().start(po);
+    // Registered before stopObsThreads below, so (atexit is LIFO) the
+    // reporter threads are joined first, then the profile files land, and
+    // only then any earlier-registered stats dump reads the final state.
+    static bool profRegistered = false;
+    if (!profRegistered) {
+      profRegistered = true;
+      std::atexit(profileDumpAtExit);
+    }
+  }
   // Joined before exit handlers run the stats dump (atexit is LIFO, so
   // register after the dump registration or rely on idempotent stop()).
   static bool registered = false;
@@ -452,6 +543,7 @@ void applyObsCliOptions(const ObsCliOptions& options) {
 void stopObsThreads() {
   Heartbeat::instance().stop();
   Watchdog::instance().stop();
+  prof::Profiler::instance().stop();
 }
 
 }  // namespace hsis::obs

@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace hsis::obs {
 
@@ -77,17 +78,33 @@ inline void checkAbort() {
 
 // ----------------------------------------------------------- phase stack
 //
-// A process-wide (cross-thread, innermost-latest) view of the active phase
-// spans, so the watchdog and heartbeat threads can say *what* was running.
+// A live view of the active phase spans, kept per thread so the watchdog,
+// heartbeat, and sampling profiler can say *what* each thread was running.
 // Fed by Span construction/destruction; empty under HSIS_OBS_DISABLE.
 
 namespace detail {
-void notePhaseStart(uint64_t spanId, std::string_view name);
-void notePhaseEnd(uint64_t spanId);
+void notePhaseStart(uint64_t threadId, uint64_t spanId, std::string_view name);
+void notePhaseEnd(uint64_t threadId, uint64_t spanId);
 }  // namespace detail
 
-/// Name of the innermost active phase span, or "" if none.
+/// Name of the innermost active phase span across all threads (the most
+/// recently started still-open one), or "" if none.
 std::string currentPhase();
+
+/// One thread's open phase spans at a point in time, outermost first.
+/// `threadId` matches SpanSample::threadId (the tracer's hashed tid).
+struct PhaseStackSnapshot {
+  uint64_t threadId = 0;
+  std::vector<std::string> frames;
+
+  /// The flamegraph folded form: `outer;middle;inner`.
+  [[nodiscard]] std::string folded() const;
+};
+
+/// Snapshot every thread's live phase stack (threads with no open span are
+/// omitted), ordered by thread id. This is what the sampling profiler
+/// (obs/prof) records every tick.
+std::vector<PhaseStackSnapshot> phaseStacks();
 
 // --------------------------------------------------------- process memory
 
@@ -192,17 +209,24 @@ class Watchdog {
 // -------------------------------------------------------------- CLI flags
 
 /// The shared observability flag set every driver understands:
-///   --stats-json PATH   dump the hsis-obs-v1 snapshot at exit
-///   --heartbeat MS      start the heartbeat reporter (stderr)
-///   --heartbeat-file F  ... appending JSONL records to F instead
-///   --timeout-s S       watchdog wall-clock limit
-///   --mem-limit-mb M    watchdog peak-RSS limit
+///   --stats-json PATH        dump the hsis-obs-v1 snapshot at exit
+///   --heartbeat MS           start the heartbeat reporter (stderr)
+///   --heartbeat-file F       ... appending JSONL records to F instead
+///   --timeout-s S            watchdog wall-clock limit
+///   --mem-limit-mb M         watchdog peak-RSS limit
+///   --profile                start the sampling profiler (obs/prof);
+///                            writes hsis-prof.folded + hsis-prof.census.jsonl
+///   --profile-out BASE       ... writing BASE.folded + BASE.census.jsonl
+///   --profile-interval-ms N  sampler interval (default 10 ms)
 struct ObsCliOptions {
   std::string statsJsonPath;
   uint64_t heartbeatMs = 0;
   std::string heartbeatFile;
   double timeoutSeconds = 0.0;
   uint64_t memLimitMb = 0;
+  bool profile = false;            ///< --profile or --profile-out seen
+  std::string profileBasePath;     ///< empty = default "hsis-prof"
+  uint64_t profileIntervalMs = 0;  ///< 0 = profiler default (10 ms)
 };
 
 /// Scan argv, remove every recognized flag (and value), return the result.

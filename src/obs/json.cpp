@@ -4,12 +4,14 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <sstream>
 #include <unordered_map>
 
 #include "obs/control.hpp"
+#include "obs/prof.hpp"
 
 namespace hsis::obs {
 
@@ -40,9 +42,7 @@ void appendEscaped(std::string& out, std::string_view s) {
 }
 
 std::string formatMs(uint64_t ns) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) * 1e-6);
-  return buf;
+  return jsonDouble(static_cast<double>(ns) * 1e-6);
 }
 
 /// Earliest span start, used as the time origin for start_ms.
@@ -95,12 +95,33 @@ void appendSpanJson(std::string& out, const Snapshot& snap,
 
 }  // namespace
 
+std::string jsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
 Snapshot snapshot() {
   Snapshot snap;
   snap.metrics = Registry::instance().collect();
   snap.spans = Tracer::instance().completed();
   snap.droppedSpans = Tracer::instance().dropped();
   snap.threadNames = threadNames();
+  for (const prof::ProfSample& s : prof::Profiler::instance().samples()) {
+    if (!s.census.has_value()) continue;
+    CounterPoint p;
+    p.tNs = s.tNs;
+    p.liveNodes = s.census->liveNodes;
+    p.allocatedNodes = s.census->allocatedNodes;
+    p.rssKb = s.rssKb;
+    p.cacheHitRate = s.dCacheLookups == 0
+                         ? 0.0
+                         : static_cast<double>(s.dCacheHits) /
+                               static_cast<double>(s.dCacheLookups);
+    p.deadFraction = s.census->deadFraction();
+    snap.counterPoints.push_back(std::move(p));
+  }
   if (auto abort = abortInfo()) {
     snap.aborted = true;
     snap.abortReason = abort->reason;
@@ -202,6 +223,29 @@ std::string toChromeTrace(const Snapshot& snap) {
     out += ", \"tid\": " + std::to_string(s.threadId % 1000000);
     out += ", \"ts\": " + std::to_string(s.startNs / 1000);
     out += ", \"dur\": " + std::to_string(s.durationNs / 1000) + "}";
+  }
+  // Counter ("C") events from the profiler census series, so node
+  // population, RSS, and cache-hit dynamics render as area tracks on the
+  // same timeline as the phase spans.
+  auto counter = [&](const char* name, uint64_t ts, const char* key,
+                     const std::string& value) {
+    sep();
+    out += " {\"name\": \"";
+    out += name;
+    out += "\", \"cat\": \"hsis\", \"ph\": \"C\", \"pid\": 1";
+    out += ", \"ts\": " + std::to_string(ts);
+    out += ", \"args\": {\"";
+    out += key;
+    out += "\": " + value + "}}";
+  };
+  for (const CounterPoint& p : snap.counterPoints) {
+    uint64_t ts = p.tNs / 1000;
+    counter("bdd.live_nodes", ts, "nodes", std::to_string(p.liveNodes));
+    counter("bdd.allocated_nodes", ts, "nodes",
+            std::to_string(p.allocatedNodes));
+    counter("process.rss_kb", ts, "kb", std::to_string(p.rssKb));
+    counter("bdd.cache.hit_rate", ts, "rate", jsonDouble(p.cacheHitRate));
+    counter("bdd.dead_fraction", ts, "fraction", jsonDouble(p.deadFraction));
   }
   out += "\n]\n";
   return out;

@@ -1,6 +1,7 @@
 #include "obs/jsonlite.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <stdexcept>
 
 namespace hsis::obs::jsonlite {
@@ -59,6 +60,39 @@ class Parser {
     pos_ += word.size();
   }
 
+  /// Four hex digits after a \u, or fail.
+  uint32_t hex4() {
+    if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return v;
+  }
+
+  void appendUtf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   std::string stringValue() {
     expect('"');
     std::string out;
@@ -73,15 +107,29 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 'b': out.push_back('\b'); break;
           case 'f': out.push_back('\f'); break;
-          case 'u':
-            // Our exports only emit \u00XX control escapes.
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            out.push_back(static_cast<char>(
-                std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16)));
-            pos_ += 4;
+          case 'u': {
+            uint32_t cp = hex4();
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u')
+                fail("lone high surrogate");
+              pos_ += 2;
+              uint32_t lo = hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("lone low surrogate");
+            }
+            appendUtf8(out, cp);
             break;
+          }
           default: out.push_back(e); break;
         }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259: control characters must be escaped inside strings.
+        --pos_;
+        fail("unescaped control character in string");
       } else {
         out.push_back(c);
       }

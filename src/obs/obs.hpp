@@ -68,10 +68,24 @@ struct SpanSample {
   uint64_t durationNs = 0;
 };
 
+/// One profiler census tick, reduced to the scalar series the Chrome-trace
+/// export renders as counter ("C") tracks alongside the phase spans.
+struct CounterPoint {
+  uint64_t tNs = 0;  ///< monotonic clock, same epoch as SpanSample::startNs
+  uint64_t liveNodes = 0;
+  uint64_t allocatedNodes = 0;
+  uint64_t rssKb = 0;
+  double cacheHitRate = 0.0;  ///< over the sample window
+  double deadFraction = 0.0;
+};
+
 struct Snapshot {
   std::vector<MetricSample> metrics;  ///< sorted by name
   std::vector<SpanSample> spans;      ///< completed spans, in start order
   uint64_t droppedSpans = 0;          ///< ring-buffer overflow count
+  /// Census time series from the sampling profiler (obs/prof), empty when
+  /// the profiler never ran. Rendered as Chrome-trace counter events.
+  std::vector<CounterPoint> counterPoints;
   /// Threads that registered a name via setThreadName (tid as hashed by the
   /// tracer -> name), sorted by name. Drives the Chrome-trace "M" metadata.
   std::vector<std::pair<uint64_t, std::string>> threadNames;
@@ -99,6 +113,12 @@ std::string toTable(const Snapshot& snap);
 
 /// Convenience: toJson(snapshot()).
 std::string snapshotJson();
+
+/// Render a double as a JSON number token. Non-finite values (NaN, ±Inf)
+/// come out as `null` — whatever pathological rate a metric produces, the
+/// exported document stays valid JSON. Every exporter in this subsystem
+/// routes doubles through here.
+std::string jsonDouble(double v);
 
 // ------------------------------------------------------------ primitives
 

@@ -1,0 +1,454 @@
+// The sampling profiler: census rendezvous, the Sampler thread, folded
+// stack aggregation, and the hsis-prof-v1 JSONL export. See prof.hpp for
+// the design; the thread/ring mechanics mirror the heartbeat and tracer.
+#include "obs/prof.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/control.hpp"
+#include "obs/obs.hpp"
+
+namespace hsis::obs::prof {
+
+// -------------------------------------------------------- census rendezvous
+
+namespace detail {
+std::atomic_bool g_censusRequested{false};
+}  // namespace detail
+
+namespace {
+
+struct CensusBoard {
+  std::mutex mu;
+  std::optional<BddCensus> latest;
+  uint64_t nextSeq = 1;
+};
+
+CensusBoard& censusBoard() {
+  static CensusBoard* b = new CensusBoard;  // leaked, see registry.cpp
+  return *b;
+}
+
+}  // namespace
+
+bool censusRequested() noexcept {
+  return detail::g_censusRequested.load(std::memory_order_relaxed);
+}
+
+void requestCensus() noexcept {
+  detail::g_censusRequested.store(true, std::memory_order_relaxed);
+}
+
+void publishCensus(BddCensus c) {
+  CensusBoard& b = censusBoard();
+  std::lock_guard<std::mutex> lock(b.mu);
+  c.seq = b.nextSeq++;
+  c.tNs = WallTimer::nowNs();
+  b.latest = std::move(c);
+  detail::g_censusRequested.store(false, std::memory_order_relaxed);
+}
+
+std::optional<BddCensus> latestCensus() {
+  CensusBoard& b = censusBoard();
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.latest;
+}
+
+void clearCensus() {
+  CensusBoard& b = censusBoard();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.latest.reset();
+  b.nextSeq = 1;
+  detail::g_censusRequested.store(false, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ JSONL export
+
+namespace {
+
+void appendEscapedJson(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string ProfSample::toJsonl() const {
+  std::string out;
+  out.reserve(512);
+  out += "{\"kind\": \"sample\", \"seq\": " + std::to_string(seq);
+  out += ", \"t_s\": " + jsonDouble(tSeconds);
+  out += ", \"rss_kb\": " + std::to_string(rssKb);
+  out += ", \"stacks\": [";
+  for (size_t i = 0; i < folded.size(); ++i) {
+    if (i != 0) out += ", ";
+    appendEscapedJson(out, folded[i]);
+  }
+  out += "]";
+  if (census.has_value()) {
+    const BddCensus& c = *census;
+    out += ", \"census_seq\": " + std::to_string(c.seq);
+    out += ", \"live_nodes\": " + std::to_string(c.liveNodes);
+    out += ", \"allocated_nodes\": " + std::to_string(c.allocatedNodes);
+    out += ", \"free_nodes\": " + std::to_string(c.freeNodes);
+    out += ", \"dead_nodes\": " + std::to_string(c.deadNodes);
+    out += ", \"dead_fraction\": " + jsonDouble(c.deadFraction());
+    out += ", \"unique_buckets\": " + std::to_string(c.uniqueBuckets);
+    out += ", \"unique_load\": " + jsonDouble(c.uniqueLoad());
+    out += ", \"cache_entries\": " + std::to_string(c.cacheEntries);
+    out += ", \"cache_used\": " + std::to_string(c.cacheUsed);
+    out += ", \"cache_lookups\": " + std::to_string(c.cacheLookups);
+    out += ", \"cache_hits\": " + std::to_string(c.cacheHits);
+    out += ", \"d_cache_lookups\": " + std::to_string(dCacheLookups);
+    out += ", \"d_cache_hits\": " + std::to_string(dCacheHits);
+    out += ", \"gc_runs\": " + std::to_string(c.gcRuns);
+    out += ", \"d_gc_runs\": " + std::to_string(dGcRuns);
+    out += ", \"reorder_count\": " + std::to_string(c.reorderings);
+    out += ", \"d_reorder_count\": " + std::to_string(dReorderings);
+    out += ", \"peak_live_nodes\": " + std::to_string(c.peakLiveNodes);
+    out += ", \"level_nodes\": [";
+    for (size_t i = 0; i < c.levelNodes.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(c.levelNodes[i]);
+    }
+    out += "]";
+  } else {
+    out += ", \"census_seq\": null";
+  }
+  out += "}";
+  return out;
+}
+
+// ----------------------------------------------------------------- sampler
+
+struct Profiler::Impl {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool stopRequested = false;
+  bool running = false;
+  std::thread worker;
+  ProfOptions opts;
+
+  // Sample ring (oldest dropped past capacity) + folded-stack aggregate.
+  std::vector<ProfSample> ring;
+  size_t head = 0;
+  bool wrapped = false;
+  uint64_t taken = 0;
+  uint64_t dropped = 0;
+  std::map<std::string, uint64_t> foldedCounts;
+
+  // Per-tick state.
+  uint64_t startNs = WallTimer::nowNs();
+  uint64_t lastCensusSeq = 0;
+  uint64_t lastCacheLookups = 0;
+  uint64_t lastCacheHits = 0;
+  uint64_t lastGcRuns = 0;
+  uint64_t lastReorderings = 0;
+
+  std::ofstream spill;
+  bool spillHeaderWritten = false;
+};
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+Profiler::Impl& Profiler::impl() const {
+  static Impl* impl = new Impl;  // leaked, see registry.cpp
+  return *impl;
+}
+
+std::string Profiler::headerJson() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out = "{\"schema\": \"hsis-prof-v1\", \"kind\": \"header\"";
+  out += ", \"enabled\": ";
+  out += kEnabled ? "true" : "false";
+  out += ", \"interval_ms\": " + std::to_string(im.opts.intervalMs);
+  out += ", \"ring_capacity\": " + std::to_string(im.opts.ringCapacity);
+  out += "}";
+  return out;
+}
+
+void Profiler::sampleOnce() {
+  if constexpr (!kEnabled) return;
+  Impl& im = impl();
+
+  // Gather outside the lock: phaseStacks/latestCensus take their own.
+  std::vector<PhaseStackSnapshot> stacks = phaseStacks();
+  std::optional<BddCensus> census = latestCensus();
+  // Ask for a fresh census for the *next* tick; the engine answers at its
+  // next safe point, so each sample carries the latest one available.
+  requestCensus();
+
+  ProfSample s;
+  s.tNs = WallTimer::nowNs();
+  s.rssKb = currentRssKb();
+  for (const PhaseStackSnapshot& st : stacks) {
+    if (!st.frames.empty()) s.folded.push_back(st.folded());
+  }
+  s.census = std::move(census);
+
+  std::lock_guard<std::mutex> lock(im.mu);
+  s.seq = im.taken++;
+  s.tSeconds = static_cast<double>(s.tNs - im.startNs) * 1e-9;
+  if (s.census.has_value()) {
+    // Deltas vs the previously sampled census. A manager restart (new
+    // manager with smaller totals) would underflow; clamp to zero.
+    auto delta = [](uint64_t now, uint64_t before) {
+      return now >= before ? now - before : 0;
+    };
+    s.dCacheLookups = delta(s.census->cacheLookups, im.lastCacheLookups);
+    s.dCacheHits = delta(s.census->cacheHits, im.lastCacheHits);
+    s.dGcRuns = delta(s.census->gcRuns, im.lastGcRuns);
+    s.dReorderings = delta(s.census->reorderings, im.lastReorderings);
+    if (s.census->seq == im.lastCensusSeq) {
+      // Same census as last tick (engine between safe points): totals
+      // unchanged, deltas are zero by construction.
+      s.dCacheLookups = s.dCacheHits = s.dGcRuns = s.dReorderings = 0;
+    }
+    im.lastCensusSeq = s.census->seq;
+    im.lastCacheLookups = s.census->cacheLookups;
+    im.lastCacheHits = s.census->cacheHits;
+    im.lastGcRuns = s.census->gcRuns;
+    im.lastReorderings = s.census->reorderings;
+  }
+  for (const std::string& f : s.folded) im.foldedCounts[f]++;
+
+  if (im.spill.is_open()) {
+    if (!im.spillHeaderWritten) {
+      im.spillHeaderWritten = true;
+      std::string header = "{\"schema\": \"hsis-prof-v1\", \"kind\": \"header\"";
+      header += ", \"enabled\": ";
+      header += kEnabled ? "true" : "false";
+      header += ", \"interval_ms\": " + std::to_string(im.opts.intervalMs);
+      header +=
+          ", \"ring_capacity\": " + std::to_string(im.opts.ringCapacity);
+      header += "}";
+      im.spill << header << '\n';
+    }
+    im.spill << s.toJsonl() << '\n';
+    im.spill.flush();
+  }
+
+  if (im.ring.size() < im.opts.ringCapacity) {
+    im.ring.push_back(std::move(s));
+  } else {
+    im.ring[im.head] = std::move(s);
+    im.head = (im.head + 1) % im.opts.ringCapacity;
+    im.wrapped = true;
+    ++im.dropped;
+  }
+}
+
+void Profiler::start(ProfOptions options) {
+  if constexpr (!kEnabled) {
+    // Keep the options (header/export reflect them) but never sample.
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.opts = std::move(options);
+    return;
+  }
+  stop();
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.opts = std::move(options);
+    if (im.opts.intervalMs == 0) im.opts.intervalMs = 1;
+    if (im.opts.ringCapacity == 0) im.opts.ringCapacity = 1;
+    im.stopRequested = false;
+    im.running = true;
+    im.ring.clear();
+    im.head = 0;
+    im.wrapped = false;
+    im.taken = 0;
+    im.dropped = 0;
+    im.foldedCounts.clear();
+    im.startNs = WallTimer::nowNs();
+    im.lastCensusSeq = 0;
+    im.lastCacheLookups = im.lastCacheHits = 0;
+    im.lastGcRuns = im.lastReorderings = 0;
+    im.spill = std::ofstream();
+    im.spillHeaderWritten = false;
+    if (!im.opts.jsonlPath.empty()) {
+      std::error_code ec;
+      std::filesystem::path p(im.opts.jsonlPath);
+      if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+      im.spill.open(im.opts.jsonlPath, std::ios::trunc);
+      if (!im.spill) {
+        std::fprintf(stderr, "prof: cannot write %s\n",
+                     im.opts.jsonlPath.c_str());
+        // Forget the path so the exit-time export falls back to writing
+        // the ring view instead of trusting a spill that never opened.
+        im.opts.jsonlPath.clear();
+      }
+    }
+  }
+  im.worker = std::thread([this, &im] {
+    setThreadName("obs.prof");
+    std::unique_lock<std::mutex> lock(im.mu);
+    while (!im.cv.wait_for(lock, std::chrono::milliseconds(im.opts.intervalMs),
+                           [&im] { return im.stopRequested; })) {
+      lock.unlock();
+      sampleOnce();
+      lock.lock();
+    }
+  });
+}
+
+void Profiler::stop() {
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.running) return;
+    im.stopRequested = true;
+  }
+  im.cv.notify_all();
+  if (im.worker.joinable()) im.worker.join();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.running = false;
+  if (im.spill.is_open()) im.spill.close();
+}
+
+bool Profiler::running() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.running;
+}
+
+void Profiler::clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.ring.clear();
+  im.head = 0;
+  im.wrapped = false;
+  im.taken = 0;
+  im.dropped = 0;
+  im.foldedCounts.clear();
+  im.startNs = WallTimer::nowNs();
+  im.lastCensusSeq = 0;
+  im.lastCacheLookups = im.lastCacheHits = 0;
+  im.lastGcRuns = im.lastReorderings = 0;
+}
+
+uint64_t Profiler::sampleCount() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.taken;
+}
+
+uint64_t Profiler::droppedSamples() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.dropped;
+}
+
+std::vector<ProfSample> Profiler::samples() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<ProfSample> out;
+  out.reserve(im.ring.size());
+  if (im.wrapped) {
+    out.insert(out.end(), im.ring.begin() + static_cast<long>(im.head),
+               im.ring.end());
+    out.insert(out.end(), im.ring.begin(),
+               im.ring.begin() + static_cast<long>(im.head));
+  } else {
+    out = im.ring;
+  }
+  return out;
+}
+
+std::string Profiler::foldedStacks() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out;
+  for (const auto& [stack, count] : im.foldedCounts) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::censusJsonl() const {
+  std::string out = headerJson() + "\n";
+  for (const ProfSample& s : samples()) out += s.toJsonl() + "\n";
+  return out;
+}
+
+bool Profiler::writeFolded(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "prof: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << foldedStacks();
+  return true;
+}
+
+bool Profiler::writeCensusJsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "prof: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << censusJsonl();
+  return true;
+}
+
+std::string Profiler::spillPath() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.opts.jsonlPath;
+}
+
+void writeProfileFiles(const std::string& basePath) {
+  if (basePath.empty()) return;
+  Profiler& p = Profiler::instance();
+  const std::string spill = p.spillPath();
+  p.stop();
+  std::error_code ec;
+  std::filesystem::path base(basePath);
+  if (base.has_parent_path())
+    std::filesystem::create_directories(base.parent_path(), ec);
+  p.writeFolded(basePath + ".folded");
+  const std::string censusPath = basePath + ".census.jsonl";
+  // When the run spilled write-through to this same file it already holds
+  // the complete series (possibly longer than the ring); rewriting from
+  // the ring would truncate history. A spill that never took a sample
+  // (disabled build, aborted before the first tick) is rewritten so the
+  // file at least carries a parseable header line.
+  const bool spillHoldsSeries = spill == censusPath && p.sampleCount() > 0;
+  if (!spillHoldsSeries) p.writeCensusJsonl(censusPath);
+}
+
+}  // namespace hsis::obs::prof

@@ -149,12 +149,12 @@ Span::Span(std::string_view name)
   parent_ = ts.active.empty() ? -1 : static_cast<int64_t>(ts.active.back());
   depth_ = static_cast<uint32_t>(ts.active.size());
   ts.active.push_back(id_);
-  detail::notePhaseStart(id_, name_);
+  detail::notePhaseStart(currentThreadId(), id_, name_);
 }
 
 Span::~Span() {
   uint64_t end = WallTimer::nowNs();
-  detail::notePhaseEnd(id_);
+  detail::notePhaseEnd(currentThreadId(), id_);
   ThreadStack& ts = threadStack();
   // Spans are strictly scoped RAII objects, so ours is the innermost.
   if (!ts.active.empty() && ts.active.back() == id_) ts.active.pop_back();

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -629,6 +631,64 @@ TEST(ObsWatchdog, MemLimitUsesPeakRss) {
   ASSERT_TRUE(abortInfo().has_value());
   EXPECT_NE(abortInfo()->reason.find("memory limit"), std::string::npos);
   clearAbort();
+}
+
+// --------------------------------------------------- non-finite doubles
+
+TEST(ObsExport, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(jsonDouble(std::nan("")), "null");
+  EXPECT_EQ(jsonDouble(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonDouble(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonDouble(1.5), "1.5");
+  EXPECT_EQ(jsonDouble(0.0), "0");
+}
+
+TEST(ObsExport, TraceWithNonFiniteCountersRoundTrips) {
+  // A hand-built snapshot with poisoned counter values: the export must
+  // stay parseable (null instead of bare nan/inf, which JSON forbids).
+  Snapshot snap;
+  CounterPoint p;
+  p.tNs = 1000;
+  p.liveNodes = 42;
+  p.cacheHitRate = std::nan("");
+  p.deadFraction = std::numeric_limits<double>::infinity();
+  snap.counterPoints.push_back(p);
+
+  JsonValue doc = parseJson(toChromeTrace(snap));
+  ASSERT_TRUE(doc.isArray());
+  bool sawNullRate = false;
+  for (const JsonValue& ev : doc.array()) {
+    const JsonObject& o = ev.object();
+    const JsonValue* name = jsonlite::find(o, "name");
+    if (name != nullptr && name->str() == "bdd.cache.hit_rate") {
+      sawNullRate = jsonlite::find(o, "args")->object().at("rate").isNull();
+    }
+  }
+  EXPECT_TRUE(sawNullRate);
+}
+
+// ----------------------------------------------------- jsonlite strings
+
+TEST(ObsJsonlite, DecodesUnicodeEscapes) {
+  // BMP escapes become UTF-8; a surrogate pair combines to one code point.
+  JsonValue v = parseJson("\"A\\u0041 \\u00e9 \\u20ac \\ud83d\\ude00\"");
+  EXPECT_EQ(v.str(), "AA \xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80");
+}
+
+TEST(ObsJsonlite, RejectsMalformedUnicodeEscapes) {
+  EXPECT_THROW(parseJson("\"\\u12\""), std::runtime_error);      // short
+  EXPECT_THROW(parseJson("\"\\u12zq\""), std::runtime_error);    // not hex
+  EXPECT_THROW(parseJson("\"\\ud800\""), std::runtime_error);    // lone high
+  EXPECT_THROW(parseJson("\"\\ude00\""), std::runtime_error);    // lone low
+  EXPECT_THROW(parseJson("\"\\ud83d\\u0041\""), std::runtime_error);
+}
+
+TEST(ObsJsonlite, RejectsUnescapedControlCharacters) {
+  EXPECT_THROW(parseJson("\"a\nb\""), std::runtime_error);
+  EXPECT_THROW(parseJson(std::string("\"a\0b\"", 5)), std::runtime_error);
+  // The escaped forms remain fine.
+  EXPECT_EQ(parseJson("\"a\\nb\"").str(), "a\nb");
+  EXPECT_EQ(parseJson("\"a\\u0001b\"").str(), std::string("a\x01") + "b");
 }
 
 }  // namespace
