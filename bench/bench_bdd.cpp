@@ -5,7 +5,7 @@
 #include <random>
 
 #include "bdd/bdd.hpp"
-#include "obs_dump.hpp"
+#include "obs/control.hpp"
 
 namespace {
 
@@ -128,10 +128,10 @@ BENCHMARK(BM_GarbageCollection);
 // Expanded BENCHMARK_MAIN() so the shared obs flags are stripped before
 // google-benchmark sees (and rejects) them.
 int main(int argc, char** argv) {
-  benchobs::install(argc, argv);
+  hsis::obs::initDriverObs(argc, argv, {.driverName = "bench_bdd"});
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  return benchobs::guard([] {
+  return hsis::obs::driverGuard([] {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

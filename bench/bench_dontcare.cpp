@@ -18,13 +18,13 @@
 #include "models/models.hpp"
 #include "vl2mv/vl2mv.hpp"
 
-#include "obs_dump.hpp"
+#include "obs/control.hpp"
 
 using clock_type = std::chrono::steady_clock;
 
 int main(int argc, char** argv) {
-  benchobs::install(argc, argv);
-  return benchobs::guard([&] {
+  hsis::obs::initDriverObs(argc, argv, {.driverName = "bench_dontcare"});
+  return hsis::obs::driverGuard([&] {
   std::printf("Reachability don't cares: restrict-minimized transition relations\n");
   std::printf("%-10s %12s %12s %12s %12s\n", "design", "tr nodes",
               "minimized", "mc+dc(s)", "mc-dc(s)");

@@ -9,7 +9,7 @@
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 
-#include "obs_dump.hpp"
+#include "obs/control.hpp"
 
 using clock_type = std::chrono::steady_clock;
 
@@ -46,8 +46,8 @@ const Case kCases[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchobs::install(argc, argv);
-  return benchobs::guard([&] {
+  hsis::obs::initDriverObs(argc, argv, {.driverName = "bench_efd"});
+  return hsis::obs::driverGuard([&] {
   std::printf("Early failure detection on seeded bugs (invariants FAIL)\n");
   std::printf("%-10s %12s %12s %14s %14s\n", "design", "efd steps",
               "full steps", "efd time(s)", "full time(s)");

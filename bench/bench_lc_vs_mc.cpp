@@ -12,7 +12,7 @@
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 
-#include "obs_dump.hpp"
+#include "obs/control.hpp"
 
 using clock_type = std::chrono::steady_clock;
 
@@ -86,8 +86,8 @@ const Row kRows[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchobs::install(argc, argv);
-  return benchobs::guard([&] {
+  hsis::obs::initDriverObs(argc, argv, {.driverName = "bench_lc_vs_mc"});
+  return hsis::obs::driverGuard([&] {
   std::printf("LC vs MC on matched properties (seconds, verdicts agree)\n");
   std::printf("%-10s %-10s %10s %10s %8s\n", "design", "kind", "mc(s)",
               "lc(s)", "verdict");

@@ -14,7 +14,7 @@
 #include "models/models.hpp"
 #include "vl2mv/vl2mv.hpp"
 
-#include "obs_dump.hpp"
+#include "obs/control.hpp"
 
 using clock_type = std::chrono::steady_clock;
 
@@ -23,8 +23,8 @@ static double seconds(clock_type::time_point t0) {
 }
 
 int main(int argc, char** argv) {
-  benchobs::install(argc, argv);
-  return benchobs::guard([&] {
+  hsis::obs::initDriverObs(argc, argv, {.driverName = "bench_quantify"});
+  return hsis::obs::driverGuard([&] {
   std::printf("Early quantification: schedule + execute  T(x,y) = exists i . prod R_j\n");
   std::printf("%-10s %7s %7s | %-10s %10s %12s\n", "design", "rels", "vars",
               "method", "build(s)", "peak nodes");

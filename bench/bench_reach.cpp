@@ -10,7 +10,7 @@
 #include "models/models.hpp"
 #include "vl2mv/vl2mv.hpp"
 
-#include "obs_dump.hpp"
+#include "obs/control.hpp"
 
 using clock_type = std::chrono::steady_clock;
 
@@ -19,8 +19,8 @@ static double seconds(clock_type::time_point t0) {
 }
 
 int main(int argc, char** argv) {
-  benchobs::install(argc, argv);
-  return benchobs::guard([&] {
+  hsis::obs::initDriverObs(argc, argv, {.driverName = "bench_reach"});
+  return hsis::obs::driverGuard([&] {
   std::printf("Reachability: monolithic vs partitioned transition relation\n");
   std::printf("%-10s %-12s %8s %10s %10s %10s %10s\n", "design", "form",
               "clusters", "tr nodes", "build(s)", "reach(s)", "pre(s)");

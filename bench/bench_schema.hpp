@@ -67,6 +67,19 @@ struct CaseResult {
     }
     return best;
   }
+  /// Minimum peak RSS over the non-aborted runs — the same least-noise
+  /// statistic as wallMsMin (peak RSS only over-reports under interference,
+  /// e.g. when an earlier repeat's allocator high-water mark lingers).
+  [[nodiscard]] uint64_t peakRssKbMin() const {
+    uint64_t best = 0;
+    bool first = true;
+    for (const RunStats& r : runs) {
+      if (r.aborted) continue;
+      if (first || r.peakRssKb < best) best = r.peakRssKb;
+      first = false;
+    }
+    return best;
+  }
 };
 
 struct BenchDoc {
@@ -324,21 +337,30 @@ struct CompareRow {
   double newMs = 0.0;
   double ratio = 0.0;    ///< newMs / oldMs (0 when either side is missing)
   bool regression = false;
+  uint64_t oldRssKb = 0;
+  uint64_t newRssKb = 0;
+  double rssRatio = 0.0;  ///< newRss / oldRss (0 when either side missing)
+  bool memRegression = false;
   std::string note;      ///< "", "only in old", "only in new", "aborted"
 };
 
 struct CompareResult {
   std::vector<CompareRow> rows;
-  int regressions = 0;
+  int regressions = 0;     ///< wall-time regressions
+  int memRegressions = 0;  ///< peak-RSS regressions
 };
 
-/// Case-by-case diff of two BENCH docs on min wall time. `thresholdPct` is
-/// the allowed slowdown: with 10, a new/old ratio above 1.10 is flagged.
+/// Case-by-case diff of two BENCH docs on min wall time and min peak RSS.
+/// `thresholdPct` is the allowed slowdown (10 flags a wall ratio above
+/// 1.10); `memThresholdPct` the allowed RSS growth (<= 0 disables the
+/// memory dimension).
 inline CompareResult compareBench(const BenchDoc& oldDoc,
                                   const BenchDoc& newDoc,
-                                  double thresholdPct) {
+                                  double thresholdPct,
+                                  double memThresholdPct = 0.0) {
   CompareResult result;
   double limit = 1.0 + thresholdPct / 100.0;
+  double memLimit = 1.0 + memThresholdPct / 100.0;
   for (const CaseResult& oldCase : oldDoc.cases) {
     CompareRow row;
     row.name = oldCase.name;
@@ -359,7 +381,15 @@ inline CompareResult compareBench(const BenchDoc& oldDoc,
       row.ratio = row.newMs / row.oldMs;
       row.regression = row.ratio > limit;
     }
+    row.oldRssKb = oldCase.peakRssKbMin();
+    row.newRssKb = newCase->peakRssKbMin();
+    if (row.oldRssKb > 0) {
+      row.rssRatio =
+          static_cast<double>(row.newRssKb) / static_cast<double>(row.oldRssKb);
+      row.memRegression = memThresholdPct > 0.0 && row.rssRatio > memLimit;
+    }
     if (row.regression) ++result.regressions;
+    if (row.memRegression) ++result.memRegressions;
     result.rows.push_back(std::move(row));
   }
   for (const CaseResult& newCase : newDoc.cases) {
@@ -367,6 +397,7 @@ inline CompareResult compareBench(const BenchDoc& oldDoc,
     CompareRow row;
     row.name = newCase.name;
     row.newMs = newCase.wallMsMin();
+    row.newRssKb = newCase.peakRssKbMin();
     row.note = "only in new";
     result.rows.push_back(std::move(row));
   }

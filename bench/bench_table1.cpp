@@ -10,11 +10,11 @@
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 
-#include "obs_dump.hpp"
+#include "obs/control.hpp"
 
 int main(int argc, char** argv) {
-  benchobs::install(argc, argv);
-  return benchobs::guard([&] {
+  hsis::obs::initDriverObs(argc, argv, {.driverName = "bench_table1"});
+  return hsis::obs::driverGuard([&] {
   std::printf("Table 1: the HSIS example suite\n");
   std::printf(
       "%-10s %9s %9s %10s %15s %9s %9s %7s %9s\n", "example", "lines.v",

@@ -258,7 +258,8 @@ int usage(const char* argv0) {
       "          [--stats-json DIR-or-FILE.json] [--trace-out DIR] [--list]\n"
       "          [--heartbeat MS] [--heartbeat-file F] [--timeout-s S]\n"
       "          [--mem-limit-mb M] [--profile] [--profile-out BASE]\n"
-      "          [--profile-interval-ms N]\n"
+      "          [--profile-interval-ms N] [--log-level LVL] [--log-file F]\n"
+      "          [--ledger PATH] [--flight-dir DIR]\n"
       "suites: smoke table1 reach quantify efd dontcare lc_vs_mc bdd\n",
       argv0);
   return 2;
@@ -267,11 +268,12 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // hsis_bench owns --stats-json itself (it means the BENCH baseline, not a
-  // bare obs snapshot), so strip the shared flags directly instead of going
-  // through benchobs::install.
-  hsis::obs::ObsCliOptions obsOpts = hsis::obs::stripObsCliFlags(argc, argv);
-  hsis::obs::applyObsCliOptions(obsOpts);
+  // hsis_bench owns --stats-json (it means the BENCH baseline, not a bare
+  // obs snapshot) and its own ledger records (one per case, not one per
+  // process).
+  hsis::obs::ObsCliOptions obsOpts = hsis::obs::initDriverObs(
+      argc, argv,
+      {.driverName = "hsis_bench", .ownStatsJson = true, .ownLedger = true});
 
   std::string suite = "smoke";
   std::string filter;
@@ -335,6 +337,7 @@ int main(int argc, char** argv) {
   std::printf("suite %s: %zu cases, repeat=%d warmup=%d%s\n", suite.c_str(),
               cases.size(), repeat, warmup,
               hsis::obs::kEnabled ? "" : " (obs disabled)");
+  const std::string ledgerPath = hsis::obs::activeLedgerPath();
   for (const Case& c : cases) {
     std::printf("%-40s ", c.name.c_str());
     std::fflush(stdout);
@@ -347,6 +350,22 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%10.3f ms (min of %zu)\n", result.wallMsMin(),
                   result.runs.size());
+    }
+    if (!ledgerPath.empty()) {
+      // One ledger record per case: the per-case min wall time and peak RSS
+      // are what hsis_report diffs across runs/commits.
+      hsis::obs::ledger::Record rec = hsis::obs::baseLedgerRecord();
+      rec.subject = c.name;
+      if (result.anyAborted()) {
+        rec.result = "aborted";
+        rec.detail = result.runs.empty() ? std::string("no runs")
+                                         : result.runs.back().abortReason;
+      } else {
+        rec.result = "completed";
+      }
+      rec.wallSeconds = result.wallMsMin() * 1e-3;
+      rec.peakRssKb = result.peakRssKbMin();
+      hsis::obs::ledger::append(ledgerPath, rec);
     }
     doc.cases.push_back(std::move(result));
     if (!traceOut.empty()) {

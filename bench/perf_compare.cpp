@@ -2,11 +2,17 @@
 // and fail past a regression threshold.
 //
 //   perf_compare BENCH_old.json BENCH_new.json --threshold 10
+//   perf_compare BENCH_old.json BENCH_new.json --mem-threshold 20
 //   perf_compare BENCH_old.json BENCH_new.json --report-only
 //
-// The statistic is the per-case MINIMUM wall time; a case regresses when
-// new/old exceeds 1 + threshold% (default 10). Aborted cases and cases
-// present on only one side are listed but never fail the comparison.
+// The wall statistic is the per-case MINIMUM wall time; a case regresses
+// when new/old exceeds 1 + threshold% (default 10). With --mem-threshold
+// the per-case minimum peak RSS is diffed the same way (off by default:
+// RSS is a process-wide high-water mark, so only the first case of a
+// process carries a clean signal — hsis_bench runs cases in-process in
+// suite order, which keeps the comparison like-for-like across runs).
+// Aborted cases and cases present on only one side are listed but never
+// fail the comparison.
 //
 // Exit codes: 0 ok / 1 regression (suppressed by --report-only) / 2 usage
 // or I/O or parse error.
@@ -23,7 +29,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: perf_compare OLD.json NEW.json [--threshold PCT] "
-               "[--report-only]\n");
+               "[--mem-threshold PCT] [--report-only]\n");
   return 2;
 }
 
@@ -42,11 +48,15 @@ int main(int argc, char** argv) {
   const char* oldPath = nullptr;
   const char* newPath = nullptr;
   double threshold = 10.0;
+  double memThreshold = 0.0;
   bool reportOnly = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0) {
       if (i + 1 >= argc) return usage();
       threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mem-threshold") == 0) {
+      if (i + 1 >= argc) return usage();
+      memThreshold = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--report-only") == 0) {
       reportOnly = true;
     } else if (!oldPath) {
@@ -83,25 +93,36 @@ int main(int argc, char** argv) {
         "note: comparing an obs-enabled build against an obs-disabled one; "
         "absolute times are not like-for-like\n");
   }
-  std::printf("old: suite=%s sha=%s   new: suite=%s sha=%s   threshold=%.1f%%\n",
+  std::printf("old: suite=%s sha=%s   new: suite=%s sha=%s   "
+              "threshold=%.1f%% mem-threshold=%s\n",
               oldDoc.suite.c_str(), oldDoc.gitSha.c_str(),
-              newDoc.suite.c_str(), newDoc.gitSha.c_str(), threshold);
-  std::printf("%-40s %12s %12s %8s\n", "case", "old(ms)", "new(ms)", "ratio");
+              newDoc.suite.c_str(), newDoc.gitSha.c_str(), threshold,
+              memThreshold > 0.0
+                  ? (std::to_string(memThreshold) + "%").c_str()
+                  : "off");
+  std::printf("%-40s %11s %11s %7s %11s %11s %7s\n", "case", "old(ms)",
+              "new(ms)", "wall", "old-rss(K)", "new-rss(K)", "rss");
 
   hsisbench::CompareResult cmp =
-      hsisbench::compareBench(oldDoc, newDoc, threshold);
+      hsisbench::compareBench(oldDoc, newDoc, threshold, memThreshold);
   for (const hsisbench::CompareRow& row : cmp.rows) {
     if (!row.note.empty()) {
       std::printf("%-40s %34s\n", row.name.c_str(),
                   ("(" + row.note + ")").c_str());
       continue;
     }
-    std::printf("%-40s %12.3f %12.3f %7.2fx%s\n", row.name.c_str(), row.oldMs,
-                row.newMs, row.ratio, row.regression ? "  REGRESSION" : "");
+    std::string flags;
+    if (row.regression) flags += "  WALL-REGRESSION";
+    if (row.memRegression) flags += "  RSS-REGRESSION";
+    std::printf("%-40s %11.3f %11.3f %6.2fx %11llu %11llu %6.2fx%s\n",
+                row.name.c_str(), row.oldMs, row.newMs, row.ratio,
+                static_cast<unsigned long long>(row.oldRssKb),
+                static_cast<unsigned long long>(row.newRssKb), row.rssRatio,
+                flags.c_str());
   }
-  if (cmp.regressions > 0) {
-    std::printf("%d case(s) regressed past %.1f%%\n", cmp.regressions,
-                threshold);
+  if (cmp.regressions + cmp.memRegressions > 0) {
+    std::printf("%d wall regression(s) past %.1f%%, %d rss regression(s)\n",
+                cmp.regressions, threshold, cmp.memRegressions);
     return reportOnly ? 0 : 1;
   }
   std::printf("no regressions\n");

@@ -15,9 +15,16 @@
 //   --profile            sampling profiler: hsis-prof.folded + .census.jsonl
 //   --profile-out BASE   ... writing BASE.folded + BASE.census.jsonl
 //   --profile-interval-ms N  sampler tick (default 10 ms)
+//   --log-level LVL      leveled event log, human lines on stderr
+//   --log-file F         ... as hsis-log-v1 JSONL appended to F
+//   --ledger PATH        run-ledger file (default $HSIS_LEDGER or
+//                        ~/.hsis/ledger.jsonl; "none" disables)
+//   --flight-dir DIR     crash flight recorder dumps into DIR
 // A watchdog abort still writes the --stats-json snapshot (its "aborted"
 // field carries the reason and breaching phase) and the --profile files,
-// and exits with code 3.
+// and exits with code 3. Every invocation appends one hsis-ledger-v1
+// record (pass/fail/aborted/crashed, wall, peak RSS) that hsis_report
+// queries.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -50,7 +57,9 @@ int usage() {
                ")\nOBS-FLAGS: --stats-json FILE | --heartbeat MS | "
                "--heartbeat-file F |\n"
                "           --timeout-s S | --mem-limit-mb M | --profile |\n"
-               "           --profile-out BASE | --profile-interval-ms N\n");
+               "           --profile-out BASE | --profile-interval-ms N |\n"
+               "           --log-level LVL | --log-file F | --ledger PATH |\n"
+               "           --flight-dir DIR\n");
   return 2;
 }
 
@@ -68,19 +77,25 @@ void writeStats(const hsis::Environment& env, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  hsis::obs::ObsCliOptions obsOpts = hsis::obs::stripObsCliFlags(argc, argv);
-  hsis::obs::applyObsCliOptions(obsOpts);
+  // hsis_cli owns --stats-json (the Environment adds derived metrics to the
+  // snapshot); the process-level ledger record is written by the exit
+  // exporters, with the verdict set via noteRunResult below.
+  hsis::obs::ObsCliOptions obsOpts = hsis::obs::initDriverObs(
+      argc, argv, {.driverName = "hsis_cli", .ownStatsJson = true});
   hsis::Environment env;
 
   if (argc == 3 && std::strcmp(argv[1], "--model") == 0) {
     const hsis::models::ModelDef* m = hsis::models::find(argv[2]);
     if (m == nullptr) return usage();
+    hsis::obs::noteRunSubject(argv[2]);
     env.readVerilog(std::string(m->verilog), std::string(m->top));
     env.readPif(std::string(m->pif));
   } else if (argc == 4 && std::strcmp(argv[1], "--blifmv") == 0) {
+    hsis::obs::noteRunSubject(argv[2]);
     env.readBlifMv(slurp(argv[2]));
     env.readPif(slurp(argv[3]));
   } else if (argc == 3) {
+    hsis::obs::noteRunSubject(argv[1]);
     env.readVerilog(slurp(argv[1]));
     env.readPif(slurp(argv[2]));
   } else {
@@ -88,7 +103,8 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
-  try {
+  std::string failing;  // comma-joined failing property names
+  return hsis::obs::driverGuard([&] {
     env.build();
     std::printf("read: %zu Verilog lines, %zu BLIF-MV lines (%.2fs)\n",
                 env.metrics().linesVerilog, env.metrics().linesBlifMv,
@@ -99,26 +115,25 @@ int main(int argc, char** argv) {
 
     for (const hsis::BugReport& report : env.verifyAll()) {
       std::printf("%s\n", renderBugReport(report, env.fsm()).c_str());
-      if (!report.holds) ++failures;
+      if (!report.holds) {
+        ++failures;
+        if (!failing.empty()) failing += ", ";
+        failing += report.propertyName;
+      }
     }
-  } catch (const hsis::obs::AbortedError& e) {
-    // Cooperative unwind from a watchdog breach (or an external abort
-    // request): the snapshot below is still complete and carries the
-    // reason in its "aborted" field.
-    std::fflush(stdout);
-    std::fprintf(stderr, "\naborted: %s", e.reason().c_str());
-    if (!e.phase().empty()) std::fprintf(stderr, " (in %s)", e.phase().c_str());
-    std::fprintf(stderr, "\n");
-    writeStats(env, obsOpts.statsJsonPath);
-    hsis::obs::stopObsThreads();
-    return 3;
-  }
 
-  const auto& m = env.metrics();
-  std::printf("summary: %zu CTL formulas (%.2fs), %zu LC properties (%.2fs), "
-              "%d failing\n",
-              m.numCtlFormulas, m.mcSeconds, m.numLcProps, m.lcSeconds,
-              failures);
-  writeStats(env, obsOpts.statsJsonPath);
-  return failures == 0 ? 0 : 1;
+    const auto& m = env.metrics();
+    std::printf("summary: %zu CTL formulas (%.2fs), %zu LC properties "
+                "(%.2fs), %d failing\n",
+                m.numCtlFormulas, m.mcSeconds, m.numLcProps, m.lcSeconds,
+                failures);
+    writeStats(env, obsOpts.statsJsonPath);
+    if (failures == 0) {
+      hsis::obs::noteRunResult("pass", "");
+      return 0;
+    }
+    hsis::obs::noteRunResult("fail", failing,
+                             hsis::obs::ledger::digestOf(failing));
+    return 1;
+  });
 }

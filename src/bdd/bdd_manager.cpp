@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/control.hpp"
+#include "obs/log.hpp"
 
 namespace hsis {
 
@@ -286,7 +287,16 @@ void BddManager::maybeGcOrSift() {
   if (nodes_.size() - freeList_.size() > gcThreshold_) {
     size_t freed = gc();
     size_t live = nodes_.size() - freeList_.size();
-    if (freed < live / 3) gcThreshold_ = live * 2;
+    if (freed < live / 3) {
+      gcThreshold_ = live * 2;
+      HSIS_LOG_DEBUG("bdd.gc", "sweep reclaimed little, threshold raised",
+                     {{"freed", freed},
+                      {"live", live},
+                      {"threshold", gcThreshold_}});
+    } else {
+      HSIS_LOG_DEBUG("bdd.gc", "sweep complete",
+                     {{"freed", freed}, {"live", live}});
+    }
   }
 }
 

@@ -8,6 +8,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/log.hpp"
+
 namespace hsis {
 
 size_t BddManager::swapAdjacentLevels(uint32_t l) {
@@ -66,6 +68,7 @@ void BddManager::sift() {
   if (numVars() < 2) return;
   obs::Span span("bdd.sift");
   gc();  // sweep dead nodes so sizes reflect live structure only
+  const size_t nodesBefore = uniqueCount_;
   ScopedOp guard(opDepth_);  // no GC while raw swaps run
 
   uint32_t n = numVars();
@@ -112,6 +115,10 @@ void BddManager::sift() {
   }
   ++stats_.reorderings;
   obsReorderings_.add();
+  HSIS_LOG_INFO("bdd.sift", "sifting pass complete",
+                {{"nodes_before", nodesBefore},
+                 {"nodes_after", uniqueCount_},
+                 {"vars", numVars()}});
 }
 
 void BddManager::setOrder(const std::vector<BddVar>& order) {

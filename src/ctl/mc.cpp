@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/control.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis {
@@ -42,12 +43,18 @@ Bdd CtlChecker::eu(const Bdd& p, const Bdd& q) {
   static obs::Counter& iterations = obs::counter("ctl.eu.iterations");
   obs::Span span("ctl.eu");
   Bdd y = q;
+  uint64_t steps = 0;
   while (true) {
     obs::checkAbort();
     ++stats_.fixpointIterations;
     iterations.add();
+    ++steps;
     Bdd y2 = y | (p & preimage(y));
-    if (y2 == y) return y;
+    if (y2 == y) {
+      HSIS_LOG_DEBUG("ctl.eu", "least fixpoint converged",
+                     {{"iterations", steps}, {"nodes", y.nodeCount()}});
+      return y;
+    }
     y = std::move(y2);
   }
 }
@@ -67,7 +74,12 @@ Bdd CtlChecker::egFair(const Bdd& p) {
       z &= preimage(eu(p & care, z & c));
     }
     z &= p;
-    if (z == zOld) return z;
+    if (z == zOld) {
+      HSIS_LOG_DEBUG("ctl.eg", "greatest fixpoint converged",
+                     {{"fairness_constraints", fair_.size()},
+                      {"nodes", z.nodeCount()}});
+      return z;
+    }
   }
 }
 
@@ -247,6 +259,11 @@ McResult CtlChecker::check(const CtlRef& formula) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   stats_ = res.stats;
+  HSIS_LOG_INFO("ctl.check", "property checked",
+                {{"holds", res.holds},
+                 {"fixpoint_iterations", res.stats.fixpointIterations},
+                 {"early_failure", res.stats.usedEarlyFailure},
+                 {"seconds", res.stats.seconds}});
   return res;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/control.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis {
@@ -14,6 +15,9 @@ namespace {
 void noteTrBuilt(const TransitionRelation& tr) {
   obs::gauge("fsm.tr.clusters").set(static_cast<int64_t>(tr.clusterCount()));
   obs::gauge("fsm.tr.nodes").set(static_cast<int64_t>(tr.totalNodes()));
+  HSIS_LOG_INFO("fsm.tr", "transition relation built",
+                {{"clusters", tr.clusterCount()},
+                 {"nodes", tr.totalNodes()}});
 }
 
 }  // namespace
@@ -199,6 +203,10 @@ ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
     size_t fsize = frontier.nodeCount();
     frontierNodes.record(fsize);
     frontierLast.set(static_cast<int64_t>(fsize));
+    HSIS_LOG_DEBUG("fsm.reach", "frontier step",
+                   {{"depth", res.depth},
+                    {"frontier_nodes", fsize},
+                    {"reached_nodes", res.reached.nodeCount()}});
     Bdd next = tr.image(frontier);
     frontier = next & !res.reached;
     if (frontier.isZero()) break;
@@ -216,6 +224,10 @@ ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
     }
   }
   obs::gauge("fsm.reach.depth").set(static_cast<int64_t>(res.depth));
+  HSIS_LOG_INFO("fsm.reach", "fixpoint reached",
+                {{"depth", res.depth},
+                 {"reached_nodes", res.reached.nodeCount()},
+                 {"stopped_early", res.stoppedEarly}});
   return res;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "vl2mv/vl2mv.hpp"
 
 namespace hsis {
@@ -33,6 +34,10 @@ void Environment::readVerilog(const std::string& text, const std::string& top) {
   design_ = vl2mv::compile(text, top);
   metrics_.linesVerilog = vl2mv::verilogLineCount(text);
   metrics_.linesBlifMv = blifmv::lineCount(design_);
+  HSIS_LOG_INFO("vl2mv.compile", "verilog compiled to BLIF-MV",
+                {{"top", std::string_view(top.empty() ? "(auto)" : top)},
+                 {"lines_verilog", metrics_.linesVerilog},
+                 {"lines_blifmv", metrics_.linesBlifMv}});
   fsm_.reset();
   tr_.reset();
   checker_.reset();
@@ -43,6 +48,9 @@ void Environment::readBlifMv(const std::string& text) {
   design_ = blifmv::parse(text);
   metrics_.linesVerilog = 0;
   metrics_.linesBlifMv = blifmv::lineCount(design_);
+  HSIS_LOG_INFO("blifmv.parse", "BLIF-MV design parsed",
+                {{"models", design_.models.size()},
+                 {"lines_blifmv", metrics_.linesBlifMv}});
   fsm_.reset();
   tr_.reset();
   checker_.reset();
@@ -77,7 +85,13 @@ void Environment::build() {
   flat_ = blifmv::flatten(design_);
   mgr_ = std::make_unique<BddManager>();
   fsm_ = std::make_unique<Fsm>(*mgr_, flat_);
-  for (const std::string& d : fsm_->diagnostics()) notes_.push_back(d);
+  for (const std::string& d : fsm_->diagnostics()) {
+    // Elaboration diagnostics double as warn-level log events so they land
+    // in the ring (and a crash dump) even when nobody reads notes().
+    HSIS_LOG_WARN("env.elaborate", "elaboration diagnostic",
+                  {{"note", std::string_view(d)}});
+    notes_.push_back(d);
+  }
   if (opts_.partitionedTr) {
     tr_ = TransitionRelation::partitioned(*fsm_, opts_.clusterLimit);
   } else {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "obs/control.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis {
@@ -115,6 +116,10 @@ void LcChecker::buildConstraints(const Automaton& property,
   }
   if (buchiSets_.empty() && edgeSets_.empty())
     buchiSets_.push_back(mgr.bddOne());  // require an infinite run
+  HSIS_LOG_INFO("lc.build", "fairness constraints compiled",
+                {{"buchi_sets", buchiSets_.size()},
+                 {"edge_sets", edgeSets_.size()},
+                 {"streett_pairs", streett_.size()}});
 }
 
 Bdd LcChecker::preVia(const Bdd& e, const Bdd& set) const {
@@ -156,10 +161,14 @@ Bdd LcChecker::fairHull(const Bdd& within) {
   obs::Span span("lc.hull");
   static obs::Counter& iterations = obs::counter("lc.hull.iterations");
   Bdd z = within;
+  uint64_t steps = 0;
   while (true) {
     obs::checkAbort();
     ++stats_.hullIterations;
     iterations.add();
+    ++steps;
+    HSIS_LOG_DEBUG("lc.hull", "Emerson-Lei sweep",
+                   {{"iteration", steps}, {"nodes", z.nodeCount()}});
     Bdd zOld = z;
 
     // Emerson-Lei steps for Büchi state sets.
@@ -198,8 +207,13 @@ Bdd LcChecker::fairHull(const Bdd& within) {
       z &= !bad;
     }
 
-    if (z == zOld) return z;
-    if (z.isZero()) return z;
+    if (z == zOld || z.isZero()) {
+      HSIS_LOG_DEBUG("lc.hull", "hull converged",
+                     {{"iterations", steps},
+                      {"empty", z.isZero()},
+                      {"nodes", z.nodeCount()}});
+      return z;
+    }
   }
 }
 
@@ -257,6 +271,9 @@ LcResult LcChecker::check() {
     if (!hull.isZero()) {
       stats_.usedEarlyFailure = true;
       obs::counter("lc.efd.failures").add();
+      HSIS_LOG_WARN("lc.check", "early failure: dead monitor state reached",
+                    {{"step", rr.depth},
+                     {"confirmed_on_partial", confirmedOnPartial}});
       res.contained = false;
       res.notes.push_back(
           "early failure: property automaton reached a dead state (step " +
@@ -310,6 +327,10 @@ LcResult LcChecker::check() {
 
   Bdd hull = fairHull(rr.reached);
   res.contained = hull.isZero();
+  HSIS_LOG_INFO("lc.check", "containment check complete",
+                {{"contained", res.contained},
+                 {"hull_iterations", stats_.hullIterations},
+                 {"reach_depth", rr.depth}});
   if (!res.contained && opts_.wantTrace) {
     res.trace = buildTrace(hull);
     if (!res.trace.has_value()) {

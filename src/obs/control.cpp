@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 #include "obs/prof.hpp"
 
@@ -54,12 +55,22 @@ AbortedError::AbortedError(std::string reason, std::string phase)
       phase_(std::move(phase)) {}
 
 void requestAbort(std::string_view reason, std::string_view phase) {
-  std::lock_guard<std::mutex> lock(abortMutex());
-  if (detail::g_abortRequested.load(std::memory_order_relaxed)) return;
-  AbortInfo& info = abortStore();
-  info.reason = std::string(reason);
-  info.phase = phase.empty() ? currentPhase() : std::string(phase);
-  detail::g_abortRequested.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(abortMutex());
+    if (detail::g_abortRequested.load(std::memory_order_relaxed)) return;
+    AbortInfo& info = abortStore();
+    info.reason = std::string(reason);
+    info.phase = phase.empty() ? currentPhase() : std::string(phase);
+    detail::g_abortRequested.store(true, std::memory_order_release);
+  }
+  // Last-gasp evidence at breach time, before the abort unwinds anything:
+  // the flight recorder (when installed) captures the ring, phase stacks,
+  // and latest census as they were when the limit was hit.
+  if (flight::installed()) {
+    HSIS_LOG_WARN("obs.abort", "abort requested",
+                  {{"reason", std::string_view(reason)}});
+    flight::dump("abort: " + std::string(reason));
+  }
 }
 
 void clearAbort() {
@@ -105,6 +116,34 @@ PhaseStack& phaseStack() {
   return *ps;
 }
 
+/// Re-render every thread's live stack as `{"kind": "phase_stack", ...}`
+/// JSONL for the flight recorder's pre-serialized buffer. Caller holds
+/// ps.mu, so the rendered block is a consistent cut; publishing under the
+/// lock keeps the buffer ordered with the stack mutations.
+void publishPhaseLinesLocked(const PhaseStack& ps) {
+  // Same grouping as phaseStacks(): one line per thread, frames in start
+  // (== nesting) order, rendered in the folded flamegraph form.
+  std::vector<uint64_t> tids;
+  for (const PhaseEntry& e : ps.active) {
+    if (std::find(tids.begin(), tids.end(), e.threadId) == tids.end())
+      tids.push_back(e.threadId);
+  }
+  std::string block;
+  for (uint64_t tid : tids) {
+    block += "{\"kind\": \"phase_stack\", \"tid\": " + std::to_string(tid) +
+             ", \"frames\": \"";
+    bool first = true;
+    for (const PhaseEntry& e : ps.active) {
+      if (e.threadId != tid) continue;
+      if (!first) block += ';';
+      first = false;
+      block += e.name;
+    }
+    block += "\"}\n";
+  }
+  flight::detail::publishPhaseLines(block);
+}
+
 }  // namespace
 
 namespace detail {
@@ -113,6 +152,7 @@ void notePhaseStart(uint64_t threadId, uint64_t spanId, std::string_view name) {
   PhaseStack& ps = phaseStack();
   std::lock_guard<std::mutex> lock(ps.mu);
   ps.active.push_back(PhaseEntry{threadId, spanId, std::string(name)});
+  if (flight::detail::wantsPublish()) publishPhaseLinesLocked(ps);
 }
 
 void notePhaseEnd(uint64_t threadId, uint64_t spanId) {
@@ -121,6 +161,7 @@ void notePhaseEnd(uint64_t threadId, uint64_t spanId) {
   for (size_t i = ps.active.size(); i-- > 0;) {
     if (ps.active[i].threadId == threadId && ps.active[i].spanId == spanId) {
       ps.active.erase(ps.active.begin() + static_cast<long>(i));
+      if (flight::detail::wantsPublish()) publishPhaseLinesLocked(ps);
       return;
     }
   }
@@ -480,6 +521,18 @@ ObsCliOptions stripObsCliFlags(int& argc, char** argv) {
       opts.profileIntervalMs =
           static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr, 10));
       eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--log-level") == 0 && hasValue) {
+      opts.logLevel = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--log-file") == 0 && hasValue) {
+      opts.logFile = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--ledger") == 0 && hasValue) {
+      opts.ledgerPath = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--flight-dir") == 0 && hasValue) {
+      opts.flightDir = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
     } else {
       ++i;
     }
@@ -487,19 +540,99 @@ ObsCliOptions stripObsCliFlags(int& argc, char** argv) {
   return opts;
 }
 
+// ----------------------------------------------------------- exit exporters
+//
+// One atexit hook owns every exit-time artifact, in a fixed order (the old
+// scheme of per-artifact atexit registrations depended on LIFO registration
+// order across translation units — see control.hpp for the contract):
+//
+//   1. stop reporter threads   nothing mutates the registry mid-export
+//   2. profiler files          read the final census/sample state
+//   3. stats snapshot + trace  read the final registry/span state
+//   4. ledger record, disarm   records cost, so it goes last
+//
+// The flight recorder is deliberately absent: it fires at crash/abort time.
+
 namespace {
 
-std::string& profileBasePath() {
-  static std::string* base = new std::string;  // leaked, see registry.cpp
-  return *base;
+struct ExitState {
+  std::mutex mu;
+  std::atomic<bool> ran{false};
+  bool registered = false;
+  bool profile = false;
+  std::string profileBase;
+  std::string statsJsonPath;  ///< exporter-owned --stats-json dump
+  std::string ledgerPath;     ///< "" = ledger disabled for this process
+  bool processRecord = false; ///< append `pending` at exit (not ownLedger)
+  bool resultSet = false;     ///< driver called noteRunResult
+  ledger::Record pending;
+  std::string driverName;
+  uint64_t startNs = 0;
+};
+
+ExitState& exitState() {
+  static ExitState* st = new ExitState;  // leaked, see registry.cpp
+  return *st;
 }
 
-void profileDumpAtExit() { prof::writeProfileFiles(profileBasePath()); }
+void writeStatsSnapshot(const std::string& path) {
+  Snapshot snap = snapshot();
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << toJson(snap);
+  }
+  std::ofstream trace(path + ".trace.json");
+  if (trace) trace << toChromeTrace(snap);
+}
+
+void runExitExporters() {
+  ExitState& st = exitState();
+  if (st.ran.exchange(true)) return;
+  stopObsThreads();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.profile) prof::writeProfileFiles(st.profileBase);
+  if (!st.statsJsonPath.empty()) writeStatsSnapshot(st.statsJsonPath);
+  if (st.processRecord && !st.ledgerPath.empty()) {
+    ledger::Record rec = st.pending;
+    if (!st.resultSet) {
+      if (std::optional<AbortInfo> abort = abortInfo()) {
+        rec.result = "aborted";
+        rec.detail = abort->reason;
+      }
+    }
+    rec.wallSeconds =
+        static_cast<double>(WallTimer::nowNs() - st.startNs) * 1e-9;
+    rec.peakRssKb = peakRssKb();
+    ledger::append(st.ledgerPath, rec);
+  }
+  ledger::disarmCrashRecord();
+}
 
 }  // namespace
 
 void applyObsCliOptions(const ObsCliOptions& options) {
   setThreadName("main");
+  ExitState& st = exitState();
+  if (!options.logLevel.empty()) {
+    log::setLevel(log::parseLevel(options.logLevel));
+    // An explicit level is a request to SEE the events, so attach the
+    // human sink; the default (ring-only) keeps driver stdout/stderr clean.
+    log::setHumanSink(stderr);
+  }
+  if (!options.logFile.empty()) log::openJsonlSink(options.logFile);
+  std::string flightDir = options.flightDir;
+  if (flightDir.empty()) {
+    const char* env = std::getenv("HSIS_FLIGHT_DIR");
+    if (env != nullptr) flightDir = env;
+  }
+  if (!flightDir.empty()) {
+    std::lock_guard<std::mutex> lock(st.mu);
+    flight::install(flightDir, st.driverName);
+  }
   if (options.heartbeatMs > 0 || !options.heartbeatFile.empty()) {
     HeartbeatOptions ho;
     ho.intervalMs = options.heartbeatMs > 0 ? options.heartbeatMs : 1000;
@@ -516,27 +649,23 @@ void applyObsCliOptions(const ObsCliOptions& options) {
     const std::string base = options.profileBasePath.empty()
                                  ? std::string("hsis-prof")
                                  : options.profileBasePath;
-    profileBasePath() = base;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.profile = true;
+      st.profileBase = base;
+    }
     prof::ProfOptions po;
     if (options.profileIntervalMs > 0) po.intervalMs = options.profileIntervalMs;
     // Write-through spill: even a SIGKILLed run leaves the census series.
     po.jsonlPath = base + ".census.jsonl";
     prof::Profiler::instance().start(po);
-    // Registered before stopObsThreads below, so (atexit is LIFO) the
-    // reporter threads are joined first, then the profile files land, and
-    // only then any earlier-registered stats dump reads the final state.
-    static bool profRegistered = false;
-    if (!profRegistered) {
-      profRegistered = true;
-      std::atexit(profileDumpAtExit);
-    }
   }
-  // Joined before exit handlers run the stats dump (atexit is LIFO, so
-  // register after the dump registration or rely on idempotent stop()).
-  static bool registered = false;
-  if (!registered) {
-    registered = true;
-    std::atexit(stopObsThreads);
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (!st.registered) {
+      st.registered = true;
+      std::atexit(runExitExporters);
+    }
   }
 }
 
@@ -544,6 +673,91 @@ void stopObsThreads() {
   Heartbeat::instance().stop();
   Watchdog::instance().stop();
   prof::Profiler::instance().stop();
+}
+
+// ------------------------------------------------------------ driver setup
+
+std::string gitSha() {
+  if (const char* env = std::getenv("HSIS_GIT_SHA")) return env;
+  std::string sha;
+  if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    }
+    ::pclose(p);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+ObsCliOptions initDriverObs(int& argc, char** argv,
+                            const DriverObsInit& init) {
+  ObsCliOptions opts = stripObsCliFlags(argc, argv);
+  ExitState& st = exitState();
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.startNs = WallTimer::nowNs();
+    st.driverName = init.driverName;
+    if (!init.ownStatsJson) st.statsJsonPath = opts.statsJsonPath;
+    st.ledgerPath = ledger::resolvePath(opts.ledgerPath);
+
+    ledger::Record r;
+    r.runId = ledger::runId();
+    r.time = ledger::timestampUtc();
+    r.driver = init.driverName;
+    r.result = "completed";
+    r.gitSha = gitSha();
+    r.obsEnabled = kEnabled;
+    // The post-strip argv is the driver-specific configuration.
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) r.config += ' ';
+      r.config += argv[i];
+    }
+    st.pending = r;
+    st.processRecord = !init.ownLedger;
+    st.resultSet = false;
+    // Arm the crash record even for ownLedger drivers: a crash forfeits
+    // their per-case records, so the process-level "crashed" line is the
+    // only trace left.
+    if (!st.ledgerPath.empty()) ledger::armCrashRecord(st.ledgerPath, r);
+  }
+  applyObsCliOptions(opts);
+  return opts;
+}
+
+std::string activeLedgerPath() {
+  ExitState& st = exitState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.ledgerPath;
+}
+
+ledger::Record baseLedgerRecord() {
+  ExitState& st = exitState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  ledger::Record r = st.pending;
+  r.subject.clear();
+  r.result = "completed";
+  r.detail.clear();
+  r.digest.clear();
+  return r;
+}
+
+void noteRunSubject(std::string_view subject) {
+  ExitState& st = exitState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.pending.subject = std::string(subject);
+}
+
+void noteRunResult(std::string_view result, std::string_view detail,
+                   std::string_view digest) {
+  ExitState& st = exitState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.pending.result = std::string(result);
+  st.pending.detail = std::string(detail);
+  st.pending.digest = std::string(digest);
+  st.resultSet = true;
 }
 
 }  // namespace hsis::obs

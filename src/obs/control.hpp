@@ -23,11 +23,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/ledger.hpp"
 
 namespace hsis::obs {
 
@@ -218,6 +221,13 @@ class Watchdog {
 ///                            writes hsis-prof.folded + hsis-prof.census.jsonl
 ///   --profile-out BASE       ... writing BASE.folded + BASE.census.jsonl
 ///   --profile-interval-ms N  sampler interval (default 10 ms)
+///   --log-level LVL          trace|debug|info|warn|error|off; also turns
+///                            on human-readable log lines on stderr
+///   --log-file F             append hsis-log-v1 JSONL events to F
+///   --ledger PATH            run-ledger file ("none" disables; default
+///                            $HSIS_LEDGER or ~/.hsis/ledger.jsonl)
+///   --flight-dir DIR         install the crash flight recorder, dumps
+///                            land in DIR (default $HSIS_FLIGHT_DIR)
 struct ObsCliOptions {
   std::string statsJsonPath;
   uint64_t heartbeatMs = 0;
@@ -227,14 +237,86 @@ struct ObsCliOptions {
   bool profile = false;            ///< --profile or --profile-out seen
   std::string profileBasePath;     ///< empty = default "hsis-prof"
   uint64_t profileIntervalMs = 0;  ///< 0 = profiler default (10 ms)
+  std::string logLevel;            ///< "" = default (info, ring only)
+  std::string logFile;             ///< "" = no JSONL log sink
+  std::string ledgerPath;          ///< "" = default resolution, "none" = off
+  std::string flightDir;           ///< "" = $HSIS_FLIGHT_DIR or off
 };
 
 /// Scan argv, remove every recognized flag (and value), return the result.
 ObsCliOptions stripObsCliFlags(int& argc, char** argv);
-/// Start heartbeat/watchdog per the options (names the calling thread
-/// "main" for trace exports) and register an atexit stop.
+/// Start heartbeat/watchdog/profiler/logger/flight recorder per the
+/// options (names the calling thread "main" for trace exports) and
+/// register the exit exporters.
 void applyObsCliOptions(const ObsCliOptions& options);
-/// Stop (join) the heartbeat and watchdog threads if running.
+/// Stop (join) the heartbeat, watchdog, and profiler threads if running.
 void stopObsThreads();
+
+// ------------------------------------------------------------ driver setup
+//
+// The one-call observability bootstrap every driver shares (bench_*,
+// hsis_bench, hsis_cli) — previously a per-driver header copy
+// (bench/obs_dump.hpp). It strips the shared flags, applies them, arms the
+// run-ledger record for this process, and registers the EXIT EXPORTERS,
+// which run exactly once, in this fixed order (see docs/observability.md):
+//
+//   1. stop the reporter threads (heartbeat, watchdog, sampling profiler)
+//      so nothing mutates the registry mid-export;
+//   2. profiler files (BASE.folded + BASE.census.jsonl) when --profile ran;
+//   3. the --stats-json snapshot + its .trace.json Chrome view (unless the
+//      driver owns that flag itself, e.g. hsis_bench's baseline);
+//   4. the run-ledger record (result, wall, peak RSS, abort state), then
+//      the crash-armed record is disarmed.
+//
+// The flight recorder is NOT an exit exporter: it fires at abort/crash
+// time (requestAbort or a fatal signal), before this sequence begins.
+// Abort paths unwind via AbortedError into driverGuard, which records the
+// abort and returns exit code 3; the atexit exporters then still run.
+
+struct DriverObsInit {
+  std::string driverName;    ///< ledger "driver" field, e.g. "bench_reach"
+  bool ownStatsJson = false; ///< driver interprets --stats-json itself
+  bool ownLedger = false;    ///< driver appends per-case ledger records
+};
+
+/// Strip + apply the shared flags and set up the exit exporters for a
+/// driver process. Call first thing in main, before other arg parsing.
+ObsCliOptions initDriverObs(int& argc, char** argv,
+                            const DriverObsInit& init);
+
+/// The resolved ledger path for this process ("" = disabled). Valid after
+/// initDriverObs; for drivers that append their own per-case records.
+std::string activeLedgerPath();
+/// A ledger record pre-filled with this process's run identity (run id,
+/// timestamp, driver, git sha, config, obs_enabled). Valid after
+/// initDriverObs.
+ledger::Record baseLedgerRecord();
+/// Set the subject / result of the process-level ledger record appended by
+/// the exit exporters. Drivers call this once the outcome is known; the
+/// default is "completed" (or "aborted"/reason when the abort flag is up).
+void noteRunSubject(std::string_view subject);
+void noteRunResult(std::string_view result, std::string_view detail,
+                   std::string_view digest = {});
+
+/// Best-effort commit id: $HSIS_GIT_SHA (set by CI) or `git rev-parse
+/// --short HEAD`, else "unknown".
+std::string gitSha();
+
+/// Run the driver body; on a watchdog/user abort print what happened,
+/// record the abort in the run ledger, and return exit code 3 (the exit
+/// exporters still write every artifact, with "aborted" set).
+template <typename Fn>
+int driverGuard(Fn&& body) {
+  try {
+    return body();
+  } catch (const AbortedError& e) {
+    std::fflush(stdout);
+    std::fprintf(stderr, "\naborted: %s", e.reason().c_str());
+    if (!e.phase().empty()) std::fprintf(stderr, " (in %s)", e.phase().c_str());
+    std::fprintf(stderr, "\n");
+    noteRunResult("aborted", e.reason());
+    return 3;
+  }
+}
 
 }  // namespace hsis::obs

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "obs/control.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 
 namespace hsis::obs::prof {
@@ -52,6 +53,24 @@ void publishCensus(BddCensus c) {
   std::lock_guard<std::mutex> lock(b.mu);
   c.seq = b.nextSeq++;
   c.tNs = WallTimer::nowNs();
+  // Keep the flight recorder's pre-serialized census current: a crash
+  // between publications then still reports the latest BDD heap shape.
+  if (flight::detail::wantsPublish()) {
+    std::string line = "{\"kind\": \"census\", \"seq\": " +
+                       std::to_string(c.seq) +
+                       ", \"t_ns\": " + std::to_string(c.tNs) +
+                       ", \"live_nodes\": " + std::to_string(c.liveNodes) +
+                       ", \"allocated_nodes\": " +
+                       std::to_string(c.allocatedNodes) +
+                       ", \"dead_nodes\": " + std::to_string(c.deadNodes) +
+                       ", \"cache_lookups\": " + std::to_string(c.cacheLookups) +
+                       ", \"cache_hits\": " + std::to_string(c.cacheHits) +
+                       ", \"gc_runs\": " + std::to_string(c.gcRuns) +
+                       ", \"reorderings\": " + std::to_string(c.reorderings) +
+                       ", \"peak_live_nodes\": " +
+                       std::to_string(c.peakLiveNodes) + "}\n";
+    flight::detail::publishCensusLine(line);
+  }
   b.latest = std::move(c);
   detail::g_censusRequested.store(false, std::memory_order_relaxed);
 }

@@ -1,0 +1,149 @@
+// hsis_report — query the cross-run verification ledger.
+//
+//   hsis_report list [--limit N]             recent runs, one line each
+//   hsis_report show RUN                     every record of one run id
+//                                            (RUN may be a unique prefix)
+//   hsis_report diff SHA1 SHA2               per-subject wall/RSS deltas
+//                                            between two commits
+//   hsis_report regressions [--threshold PCT] [--mem-threshold PCT]
+//                           [--report-only]  latest run vs the previous one
+//
+// Common flags: --ledger PATH (default $HSIS_LEDGER or ~/.hsis/ledger.jsonl),
+// --markdown (tables render as GitHub markdown).
+//
+// Exit codes: 0 ok / no regressions, 1 regressions found (unless
+// --report-only), 2 usage or I/O error.
+//
+// All query and rendering logic lives in obs/ledger.{hpp,cpp} so the unit
+// tests cover it without spawning this binary.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: hsis_report [--ledger PATH] [--markdown] COMMAND\n"
+               "  list [--limit N]\n"
+               "  show RUN\n"
+               "  diff SHA1 SHA2 [--threshold PCT] [--mem-threshold PCT]\n"
+               "  regressions [--threshold PCT] [--mem-threshold PCT] "
+               "[--report-only]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsis::obs;
+
+  std::string ledgerFlag;
+  bool markdown = false;
+  double wallPct = 10.0;
+  double rssPct = 10.0;
+  bool reportOnly = false;
+  size_t limit = 20;
+  std::vector<std::string> pos;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const bool hasValue = i + 1 < argc;
+    if (std::strcmp(a, "--ledger") == 0 && hasValue) {
+      ledgerFlag = argv[++i];
+    } else if (std::strcmp(a, "--markdown") == 0) {
+      markdown = true;
+    } else if (std::strcmp(a, "--threshold") == 0 && hasValue) {
+      wallPct = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(a, "--mem-threshold") == 0 && hasValue) {
+      rssPct = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(a, "--report-only") == 0) {
+      reportOnly = true;
+    } else if (std::strcmp(a, "--limit") == 0 && hasValue) {
+      limit = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage();
+      return 0;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "hsis_report: unknown flag %s\n", a);
+      usage();
+      return 2;
+    } else {
+      pos.emplace_back(a);
+    }
+  }
+  if (pos.empty()) {
+    usage();
+    return 2;
+  }
+
+  const std::string path = ledger::resolvePath(ledgerFlag);
+  if (path.empty()) {
+    std::fprintf(stderr, "hsis_report: no ledger path (--ledger or "
+                         "$HSIS_LEDGER or $HOME required)\n");
+    return 2;
+  }
+  size_t skipped = 0;
+  std::vector<ledger::Record> records = ledger::load(path, &skipped);
+  if (skipped > 0)
+    std::fprintf(stderr, "hsis_report: %zu malformed line(s) skipped in %s\n",
+                 skipped, path.c_str());
+  if (records.empty()) {
+    std::fprintf(stderr, "hsis_report: no records in %s\n", path.c_str());
+    return 2;
+  }
+
+  const std::string& cmd = pos[0];
+  if (cmd == "list") {
+    std::fputs(ledger::renderList(records, limit).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "show") {
+    if (pos.size() != 2) {
+      usage();
+      return 2;
+    }
+    std::string out = ledger::renderShow(records, pos[1]);
+    if (out.empty()) {
+      std::fprintf(stderr, "hsis_report: no run matching \"%s\"\n",
+                   pos[1].c_str());
+      return 2;
+    }
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "diff") {
+    if (pos.size() != 3) {
+      usage();
+      return 2;
+    }
+    ledger::DiffResult diff =
+        ledger::diffByGitSha(records, pos[1], pos[2], wallPct, rssPct);
+    if (diff.rows.empty()) {
+      std::fprintf(stderr,
+                   "hsis_report: no overlapping subjects for %s vs %s\n",
+                   pos[1].c_str(), pos[2].c_str());
+      return 2;
+    }
+    std::fputs(ledger::renderDiff(diff, markdown).c_str(), stdout);
+    return diff.wallRegressions + diff.rssRegressions > 0 && !reportOnly ? 1
+                                                                         : 0;
+  }
+  if (cmd == "regressions") {
+    std::optional<ledger::DiffResult> diff =
+        ledger::diffLatestRuns(records, wallPct, rssPct);
+    if (!diff.has_value()) {
+      std::fprintf(stderr,
+                   "hsis_report: need at least two runs in the ledger\n");
+      return 2;
+    }
+    std::fputs(ledger::renderDiff(*diff, markdown).c_str(), stdout);
+    return diff->wallRegressions + diff->rssRegressions > 0 && !reportOnly ? 1
+                                                                           : 0;
+  }
+  std::fprintf(stderr, "hsis_report: unknown command \"%s\"\n", cmd.c_str());
+  usage();
+  return 2;
+}
