@@ -59,6 +59,20 @@ void BM_AndExists(benchmark::State& state) {
 }
 BENCHMARK(BM_AndExists)->Arg(16)->Arg(32)->Arg(64);
 
+void BM_Negate(benchmark::State& state) {
+  // O(1) with complement edges: flips the sign bit of the root edge, no
+  // apply traversal and no node allocation regardless of operand size.
+  uint32_t nv = static_cast<uint32_t>(state.range(0));
+  BddManager m(nv);
+  std::mt19937 rng(5);
+  Bdd f = randomFunction(m, rng, nv, 32);
+  for (auto _ : state) {
+    f = !f;
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_Negate)->Arg(16)->Arg(64);
+
 void BM_Permute(benchmark::State& state) {
   uint32_t nv = static_cast<uint32_t>(state.range(0));
   BddManager m(nv);

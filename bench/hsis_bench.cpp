@@ -243,6 +243,14 @@ std::vector<Case> makeSuite(const std::string& suite) {
           m.clearCaches();
         }
       });
+      add("bdd/not/" + std::to_string(nv), [nv] {
+        // With complement edges negation is a bit flip: this case should
+        // stay flat no matter how big the operand gets.
+        hsis::BddManager m(nv);
+        std::mt19937 rng(3);
+        hsis::Bdd f = randomFunction(m, rng, nv, 32);
+        for (int i = 0; i < 4096; ++i) f = !f;
+      });
     }
   }
   return cases;

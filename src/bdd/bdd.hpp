@@ -1,19 +1,30 @@
-// Reduced Ordered Binary Decision Diagrams.
+// Reduced Ordered Binary Decision Diagrams with complement edges.
 //
 // This is the implicit-representation substrate of HSIS: every relation,
 // state set, and transition relation in the verification engine is a Bdd
 // managed by a BddManager.
 //
 // Design notes:
-//  - Nodes live in a single arena addressed by 32-bit indices; index 0 is
-//    the constant FALSE, index 1 the constant TRUE.
+//  - An *edge* is a 32-bit word: bits 0..30 are a node index into a single
+//    arena, bit 31 is a complement ("negate the function below") mark in
+//    the Brace–Rudell–Bryant style. Only the ONE terminal exists (arena
+//    slot 1); FALSE is the complemented edge to it. Negation is an O(1)
+//    bit flip and f / !f share every node.
+//  - Canonical form: the low (else) edge of a node is never complemented.
+//    mkNode restores the invariant by flipping both children and
+//    complementing the returned edge, so structural equality of edges is
+//    functional equality, including across negation.
 //  - Handles (`Bdd`) are reference-counted RAII objects; garbage collection
 //    is mark-and-sweep from externally referenced nodes and runs only at
-//    public-API entry points (safe points), never inside a recursion.
+//    public-API entry points (safe points), never inside a recursion. The
+//    computed cache survives collection: the sweep drops only entries that
+//    mention a dead node and keeps everything else, so fixpoint loops do
+//    not restart cold after every GC.
 //  - Variable order is a permutation `perm` (variable id -> level) so that
 //    dynamic reordering (sifting) never invalidates node indices.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -29,9 +40,9 @@ class BddManager;
 
 using BddVar = uint32_t;
 
-/// A handle to a BDD node. Copying/destroying maintains the external
-/// reference count on the underlying node. A default-constructed handle is
-/// "null" and belongs to no manager.
+/// A handle to a BDD edge (node index + complement bit). Copying/destroying
+/// maintains the external reference count on the underlying node. A
+/// default-constructed handle is "null" and belongs to no manager.
 class Bdd {
  public:
   Bdd() = default;
@@ -66,12 +77,15 @@ class Bdd {
 
   /// Top variable id (not level). Precondition: non-constant.
   [[nodiscard]] BddVar var() const;
+  /// Cofactors as seen through this edge (complement bit applied).
   [[nodiscard]] Bdd low() const;
   [[nodiscard]] Bdd high() const;
 
   [[nodiscard]] BddManager* manager() const { return mgr_; }
+  /// The raw edge word (node index | complement bit). Edges compare
+  /// canonically; use only for identity/debugging, not arena arithmetic.
   [[nodiscard]] uint32_t index() const { return idx_; }
-  /// Number of nodes in this BDD (including terminals reached).
+  /// Number of nodes in this BDD (including the terminal when reached).
   [[nodiscard]] size_t nodeCount() const;
 
  private:
@@ -124,6 +138,7 @@ class BddManager {
   Bdd andOp(const Bdd& f, const Bdd& g);
   Bdd orOp(const Bdd& f, const Bdd& g);
   Bdd xorOp(const Bdd& f, const Bdd& g);
+  /// O(1): flips the complement bit, allocates nothing.
   Bdd notOp(const Bdd& f);
 
   /// Existentially quantify all variables of `cube` (a positive-literal
@@ -170,7 +185,8 @@ class BddManager {
   // ---- reordering ----
 
   /// Sifting: move each variable through the order, keep the best position.
-  /// Clears operation caches. Handles remain valid.
+  /// Handles and cached results remain valid (swaps preserve node
+  /// functions in place).
   void sift();
   /// Reorder so the given variables sit at the top in the given sequence.
   void setOrder(const std::vector<BddVar>& order);
@@ -206,15 +222,40 @@ class BddManager {
 
   struct Node {
     BddVar var;
-    uint32_t lo, hi;
-    uint32_t next;  ///< unique-table chain
-    uint32_t ref;   ///< external reference count (saturating)
+    uint32_t lo, hi;  ///< child edges; `lo` is always a regular edge
+    uint32_t next;    ///< unique-table chain
+    uint32_t ref;     ///< external reference count (saturating)
   };
 
   struct CacheEntry {
     uint64_t k1 = ~0ull, k2 = ~0ull;
     uint32_t result = 0;
   };
+
+  /// One computed-cache probe: keys, slot, and the cache generation the
+  /// slot was computed under. A lookup fills it; a later insert reuses the
+  /// slot without rehashing unless the cache was grown in between.
+  struct CacheProbe {
+    uint64_t k1 = 0, k2 = 0;
+    uint32_t slot = 0;
+    uint64_t gen = 0;
+  };
+
+  // ---- edges ----
+  static constexpr uint32_t kComplBit = 0x80000000u;
+  static constexpr uint32_t kOneEdge = 1u;
+  static constexpr uint32_t kZeroEdge = kOneEdge | kComplBit;
+
+  /// Node index of an edge.
+  [[nodiscard]] static constexpr uint32_t eIdx(uint32_t e) { return e & ~kComplBit; }
+  /// Is the edge complemented?
+  [[nodiscard]] static constexpr bool eIsNeg(uint32_t e) { return (e & kComplBit) != 0; }
+  /// Negation: O(1) bit flip.
+  [[nodiscard]] static constexpr uint32_t eNot(uint32_t e) { return e ^ kComplBit; }
+  /// The complement bit of an edge (0 or kComplBit), for sign propagation.
+  [[nodiscard]] static constexpr uint32_t eSign(uint32_t e) { return e & kComplBit; }
+
+  static constexpr uint32_t kRefSaturated = 0xFFFFFFFFu;
 
   // node layer
   uint32_t mkNode(BddVar var, uint32_t lo, uint32_t hi);
@@ -223,23 +264,94 @@ class BddManager {
   void growUnique();
   void growCache();
   void maybeGcOrSift();
-  void incRef(uint32_t n);
-  void decRef(uint32_t n);
-  [[nodiscard]] bool isTerm(uint32_t n) const { return n <= 1; }
-  [[nodiscard]] uint32_t nodeLevel(uint32_t n) const {
-    return isTerm(n) ? kTermLevel : perm_[nodes_[n].var];
+  void incRef(uint32_t e) {
+    uint32_t& r = nodes_[eIdx(e)].ref;
+    if (r != kRefSaturated) ++r;
   }
+  void decRef(uint32_t e) {
+    uint32_t& r = nodes_[eIdx(e)].ref;
+    assert(r > 0);
+    if (r != kRefSaturated) --r;
+  }
+  [[nodiscard]] bool isTerm(uint32_t e) const { return eIdx(e) <= 1; }
+  [[nodiscard]] uint32_t nodeLevel(uint32_t e) const {
+    return isTerm(e) ? kTermLevel : perm_[nodes_[eIdx(e)].var];
+  }
+
+  // GC internals. markReachable runs the shared mark DFS (every node
+  // reachable from an externally referenced one, terminals always marked)
+  // used by gc(), census(), and the cache keep-alive sweep. Free arena
+  // slots are recognized by their var == kNil sentinel — no separate
+  // free-slot mask pass. Byte mask, not vector<bool>: the sweep and
+  // keep-alive loops read it per node/entry.
+  [[nodiscard]] std::vector<uint8_t> markReachable() const;
+  /// Drop computed-cache entries that mention a dead node; keep the rest.
+  void cacheKeepAlive(const std::vector<uint8_t>& marked);
+
+  /// Push the plain per-manager tallies (lookups, hits, nodes created,
+  /// table sizes) into the shared registry metrics. Called once per public
+  /// operation as the outermost recursion unwinds — the recursive workers
+  /// themselves never touch an atomic.
+  void flushObs();
+
+  /// RAII guard for a public operation: GC stays deferred while the
+  /// recursion holds raw node indices, and the registry metrics are
+  /// flushed exactly once when the outermost operation completes.
+  class ScopedOp {
+   public:
+    explicit ScopedOp(BddManager* m) : m_(m) { ++m_->opDepth_; }
+    ~ScopedOp() {
+      if (--m_->opDepth_ == 0) m_->flushObs();
+    }
+    ScopedOp(const ScopedOp&) = delete;
+    ScopedOp& operator=(const ScopedOp&) = delete;
+
+   private:
+    BddManager* m_;
+  };
 
   // cache layer
   enum class Op : uint8_t {
-    Ite, Exists, Forall, AndExists, Constrain, Restrict, Permute, Leq,
+    Ite, And, Xor, Exists, AndExists, Constrain, Restrict, Permute, Leq,
   };
-  bool cacheLookup(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t& out);
-  void cacheInsert(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t res);
+  /// Slot of a key pair: two multiplies, top bits. Quality matters less
+  /// than latency here — the cache is direct-mapped and lossy anyway.
+  [[nodiscard]] uint32_t cacheSlotOf(uint64_t k1, uint64_t k2) const {
+    return static_cast<uint32_t>(
+               (k1 * 0x9e3779b97f4a7c15ull ^ k2 * 0xc4ceb9fe1a85ec53ull) >> 32) &
+           cacheMask_;
+  }
+  bool cacheLookup(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t& out,
+                   CacheProbe& probe) {
+    ++stats_.cacheLookups;
+    probe.k1 = (static_cast<uint64_t>(a) << 32) | b;
+    probe.k2 = (static_cast<uint64_t>(static_cast<uint8_t>(op)) << 32) | c;
+    probe.slot = cacheSlotOf(probe.k1, probe.k2);
+    probe.gen = cacheGen_;
+    const CacheEntry& e = cache_[probe.slot];
+    if (e.k1 == probe.k1 && e.k2 == probe.k2) {
+      out = e.result;
+      ++stats_.cacheHits;
+      return true;
+    }
+    return false;
+  }
+  void cacheInsert(const CacheProbe& probe, uint32_t res) {
+    uint32_t slot = probe.slot;
+    if (probe.gen != cacheGen_) {
+      // The cache was grown between the lookup and this insert (a mkNode in
+      // the recursion in between); the slot numbering changed, rehash once.
+      slot = cacheSlotOf(probe.k1, probe.k2);
+    }
+    cache_[slot] = CacheEntry{probe.k1, probe.k2, res};
+  }
 
-  // recursive workers (raw indices; no GC may run while these are active)
+  // recursive workers (raw edges; no GC may run while these are active)
   uint32_t iteRec(uint32_t f, uint32_t g, uint32_t h);
-  uint32_t quantRec(uint32_t f, uint32_t cube, bool existential);
+  uint32_t andRec(uint32_t f, uint32_t g);
+  uint32_t xorRec(uint32_t f, uint32_t g);
+  uint32_t orRec(uint32_t f, uint32_t g) { return eNot(andRec(eNot(f), eNot(g))); }
+  uint32_t existsRec(uint32_t f, uint32_t cube);
   uint32_t andExistsRec(uint32_t f, uint32_t g, uint32_t cube);
   uint32_t constrainRec(uint32_t f, uint32_t c);
   uint32_t restrictRec(uint32_t f, uint32_t c);
@@ -252,6 +364,12 @@ class BddManager {
   size_t uniqueSize() const { return uniqueCount_; }
   Bdd makeHandle(uint32_t idx);
 
+  // structural-walk scratch: a per-manager visit-stamp array so nodeCount
+  // and sharedNodeCount run without hashing or per-call clearing. A walk
+  // bumps the epoch; a node is visited iff its stamp equals the epoch.
+  [[nodiscard]] uint32_t beginVisit() const;
+  size_t countFrom(std::vector<uint32_t>& stack, uint32_t epoch) const;
+
   static constexpr uint32_t kTermLevel = 0xFFFFFFFFu;
   static constexpr uint32_t kNil = 0xFFFFFFFFu;
 
@@ -263,6 +381,7 @@ class BddManager {
 
   std::vector<CacheEntry> cache_;
   uint32_t cacheMask_ = 0;
+  uint64_t cacheGen_ = 0;  ///< bumped whenever slot numbering changes
 
   std::vector<uint32_t> perm_;     ///< var -> level
   std::vector<BddVar> invPerm_;    ///< level -> var
@@ -274,19 +393,115 @@ class BddManager {
   int opDepth_ = 0;  ///< >0 while a public op is active (GC unsafe)
 
   mutable BddStats stats_;
+  uint64_t createdTotal_ = 0;   ///< lifetime mkNode insertions
+  uint64_t flushedLookups_ = 0, flushedHits_ = 0, flushedCreated_ = 0;
+
+  mutable std::vector<uint32_t> visitStamp_;  ///< nodeCount walk scratch
+  mutable uint32_t visitEpoch_ = 0;
 
   // Registry-backed observability (process-wide totals across managers).
-  // References are resolved once at construction; each bump is a single
-  // relaxed atomic RMW, cheap enough to stay on in release builds.
+  // References are resolved once at construction; the recursive workers
+  // bump plain per-manager tallies and flushObs() batches them into these
+  // shared metrics once per public operation.
   obs::Counter& obsCacheLookups_;
   obs::Counter& obsCacheHits_;
   obs::Counter& obsNodesCreated_;
   obs::Counter& obsGcRuns_;
   obs::Counter& obsGcReclaimed_;
   obs::Counter& obsReorderings_;
+  obs::Counter& obsCacheKept_;
+  obs::Counter& obsCacheDropped_;
   obs::Gauge& obsUniqueSize_;
   obs::Gauge& obsUniquePeak_;
   obs::Gauge& obsUniqueBuckets_;
 };
+
+// ---- inline handle lifecycle ----
+//
+// Handle construction, destruction, and the operator forwards are on the
+// hot path of every layer above (the FSM image loop copies state-set
+// handles constantly), so they live in the header where they inline into
+// callers across translation units.
+
+inline Bdd::Bdd(BddManager* m, uint32_t i) : mgr_(m), idx_(i) {
+  if (mgr_ != nullptr) mgr_->incRef(idx_);
+}
+
+inline Bdd::Bdd(const Bdd& o) : mgr_(o.mgr_), idx_(o.idx_) {
+  if (mgr_ != nullptr) mgr_->incRef(idx_);
+}
+
+inline Bdd::Bdd(Bdd&& o) noexcept : mgr_(o.mgr_), idx_(o.idx_) {
+  o.mgr_ = nullptr;
+  o.idx_ = 0;
+}
+
+inline Bdd& Bdd::operator=(const Bdd& o) {
+  if (this == &o) return *this;
+  if (o.mgr_ != nullptr) o.mgr_->incRef(o.idx_);
+  if (mgr_ != nullptr) mgr_->decRef(idx_);
+  mgr_ = o.mgr_;
+  idx_ = o.idx_;
+  return *this;
+}
+
+inline Bdd& Bdd::operator=(Bdd&& o) noexcept {
+  if (this == &o) return *this;
+  if (mgr_ != nullptr) mgr_->decRef(idx_);
+  mgr_ = o.mgr_;
+  idx_ = o.idx_;
+  o.mgr_ = nullptr;
+  o.idx_ = 0;
+  return *this;
+}
+
+inline Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->decRef(idx_);
+}
+
+inline bool Bdd::isZero() const {
+  return mgr_ != nullptr && idx_ == BddManager::kZeroEdge;
+}
+inline bool Bdd::isOne() const {
+  return mgr_ != nullptr && idx_ == BddManager::kOneEdge;
+}
+
+inline BddVar Bdd::var() const {
+  assert(mgr_ != nullptr && !mgr_->isTerm(idx_));
+  return mgr_->nodes_[BddManager::eIdx(idx_)].var;
+}
+
+inline Bdd Bdd::low() const {
+  assert(mgr_ != nullptr && !mgr_->isTerm(idx_));
+  const auto& nd = mgr_->nodes_[BddManager::eIdx(idx_)];
+  return mgr_->makeHandle(nd.lo ^ BddManager::eSign(idx_));
+}
+
+inline Bdd Bdd::high() const {
+  assert(mgr_ != nullptr && !mgr_->isTerm(idx_));
+  const auto& nd = mgr_->nodes_[BddManager::eIdx(idx_)];
+  return mgr_->makeHandle(nd.hi ^ BddManager::eSign(idx_));
+}
+
+inline Bdd Bdd::operator&(const Bdd& o) const { return mgr_->andOp(*this, o); }
+inline Bdd Bdd::operator|(const Bdd& o) const { return mgr_->orOp(*this, o); }
+inline Bdd Bdd::operator^(const Bdd& o) const { return mgr_->xorOp(*this, o); }
+inline Bdd Bdd::operator!() const { return mgr_->notOp(*this); }
+inline Bdd& Bdd::operator&=(const Bdd& o) { return *this = mgr_->andOp(*this, o); }
+inline Bdd& Bdd::operator|=(const Bdd& o) { return *this = mgr_->orOp(*this, o); }
+inline Bdd& Bdd::operator^=(const Bdd& o) { return *this = mgr_->xorOp(*this, o); }
+
+inline Bdd Bdd::implies(const Bdd& o) const {
+  // !f | g: one specialized-kernel call on complemented inputs.
+  return mgr_->orOp(!*this, o);
+}
+
+inline bool Bdd::leq(const Bdd& o) const { return mgr_->leq(*this, o); }
+
+inline size_t Bdd::nodeCount() const {
+  return mgr_ == nullptr ? 0 : mgr_->nodeCount(*this);
+}
+
+inline Bdd BddManager::makeHandle(uint32_t idx) { return Bdd(this, idx); }
 
 }  // namespace hsis

@@ -1,4 +1,6 @@
-// Graphviz export for debugging and documentation.
+// Graphviz export for debugging and documentation. Complement edges are
+// drawn with an odot arrow tail; the single terminal renders as "1" (FALSE
+// is a complemented edge into it).
 #include "bdd/bdd.hpp"
 
 #include <sstream>
@@ -11,16 +13,26 @@ std::string BddManager::toDot(std::span<const Bdd> roots,
                               const std::vector<std::string>& varNames) const {
   std::ostringstream os;
   os << "digraph bdd {\n  rankdir=TB;\n";
-  os << "  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n";
+  os << "  n1 [label=\"1\", shape=box];\n";
   std::unordered_set<uint32_t> seen{0, 1};
   std::vector<uint32_t> stack;
+  auto edgeAttrs = [](uint32_t e, bool dashed) {
+    std::string a;
+    if (dashed) a += "style=dashed";
+    if (eIsNeg(e)) {
+      if (!a.empty()) a += ", ";
+      a += "arrowtail=odot, dir=both";  // complement mark
+    }
+    return a.empty() ? std::string() : " [" + a + "]";
+  };
   for (size_t i = 0; i < roots.size(); ++i) {
     if (roots[i].isNull()) continue;
+    uint32_t e = roots[i].index();
     std::string name =
         i < rootNames.size() ? rootNames[i] : "f" + std::to_string(i);
     os << "  r" << i << " [label=\"" << name << "\", shape=plaintext];\n";
-    os << "  r" << i << " -> n" << roots[i].index() << ";\n";
-    stack.push_back(roots[i].index());
+    os << "  r" << i << " -> n" << eIdx(e) << edgeAttrs(e, false) << ";\n";
+    stack.push_back(eIdx(e));
   }
   while (!stack.empty()) {
     uint32_t n = stack.back();
@@ -31,10 +43,10 @@ std::string BddManager::toDot(std::span<const Bdd> roots,
                             ? varNames[nd.var]
                             : "x" + std::to_string(nd.var);
     os << "  n" << n << " [label=\"" << label << "\"];\n";
-    os << "  n" << n << " -> n" << nd.lo << " [style=dashed];\n";
-    os << "  n" << n << " -> n" << nd.hi << ";\n";
-    stack.push_back(nd.lo);
-    stack.push_back(nd.hi);
+    os << "  n" << n << " -> n" << eIdx(nd.lo) << edgeAttrs(nd.lo, true) << ";\n";
+    os << "  n" << n << " -> n" << eIdx(nd.hi) << edgeAttrs(nd.hi, false) << ";\n";
+    if (!isTerm(nd.lo)) stack.push_back(eIdx(nd.lo));
+    if (!isTerm(nd.hi)) stack.push_back(eIdx(nd.hi));
   }
   os << "}\n";
   return os.str();

@@ -1,5 +1,5 @@
 // Node arena, unique table, computed cache, reference counting, and
-// mark-and-sweep garbage collection.
+// mark-and-sweep garbage collection with a cache keep-alive sweep.
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -13,96 +13,16 @@ namespace hsis {
 
 namespace {
 
-constexpr uint32_t kRefSaturated = 0xFFFFFFFFu;
-
-inline uint64_t mix64(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdull;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ull;
-  x ^= x >> 33;
-  return x;
-}
-
-inline uint64_t hash3(uint32_t a, uint32_t b, uint32_t c) {
-  return mix64((static_cast<uint64_t>(a) << 32) ^ b) * 0x9e3779b97f4a7c15ull + c;
+/// Unique-table bucket of a node triple: one multiply per field, top bits.
+inline uint32_t uniqueBucketOf(uint32_t var, uint32_t lo, uint32_t hi,
+                               uint32_t mask) {
+  uint64_t h = static_cast<uint64_t>(var) * 0x9e3779b97f4a7c15ull ^
+               static_cast<uint64_t>(lo) * 0xff51afd7ed558ccdull ^
+               static_cast<uint64_t>(hi) * 0xc4ceb9fe1a85ec53ull;
+  return static_cast<uint32_t>(h >> 32) & mask;
 }
 
 }  // namespace
-
-// ---------------------------------------------------------------- handles
-
-Bdd::Bdd(BddManager* m, uint32_t i) : mgr_(m), idx_(i) {
-  if (mgr_ != nullptr) mgr_->incRef(idx_);
-}
-
-Bdd::Bdd(const Bdd& o) : mgr_(o.mgr_), idx_(o.idx_) {
-  if (mgr_ != nullptr) mgr_->incRef(idx_);
-}
-
-Bdd::Bdd(Bdd&& o) noexcept : mgr_(o.mgr_), idx_(o.idx_) {
-  o.mgr_ = nullptr;
-  o.idx_ = 0;
-}
-
-Bdd& Bdd::operator=(const Bdd& o) {
-  if (this == &o) return *this;
-  if (o.mgr_ != nullptr) o.mgr_->incRef(o.idx_);
-  if (mgr_ != nullptr) mgr_->decRef(idx_);
-  mgr_ = o.mgr_;
-  idx_ = o.idx_;
-  return *this;
-}
-
-Bdd& Bdd::operator=(Bdd&& o) noexcept {
-  if (this == &o) return *this;
-  if (mgr_ != nullptr) mgr_->decRef(idx_);
-  mgr_ = o.mgr_;
-  idx_ = o.idx_;
-  o.mgr_ = nullptr;
-  o.idx_ = 0;
-  return *this;
-}
-
-Bdd::~Bdd() {
-  if (mgr_ != nullptr) mgr_->decRef(idx_);
-}
-
-bool Bdd::isZero() const { return mgr_ != nullptr && idx_ == 0; }
-bool Bdd::isOne() const { return mgr_ != nullptr && idx_ == 1; }
-
-BddVar Bdd::var() const {
-  assert(mgr_ != nullptr && idx_ > 1);
-  return mgr_->nodes_[idx_].var;
-}
-
-Bdd Bdd::low() const {
-  assert(mgr_ != nullptr && idx_ > 1);
-  return mgr_->makeHandle(mgr_->nodes_[idx_].lo);
-}
-
-Bdd Bdd::high() const {
-  assert(mgr_ != nullptr && idx_ > 1);
-  return mgr_->makeHandle(mgr_->nodes_[idx_].hi);
-}
-
-Bdd Bdd::operator&(const Bdd& o) const { return mgr_->andOp(*this, o); }
-Bdd Bdd::operator|(const Bdd& o) const { return mgr_->orOp(*this, o); }
-Bdd Bdd::operator^(const Bdd& o) const { return mgr_->xorOp(*this, o); }
-Bdd Bdd::operator!() const { return mgr_->notOp(*this); }
-Bdd& Bdd::operator&=(const Bdd& o) { return *this = mgr_->andOp(*this, o); }
-Bdd& Bdd::operator|=(const Bdd& o) { return *this = mgr_->orOp(*this, o); }
-Bdd& Bdd::operator^=(const Bdd& o) { return *this = mgr_->xorOp(*this, o); }
-
-Bdd Bdd::implies(const Bdd& o) const {
-  return mgr_->ite(*this, o, mgr_->bddOne());
-}
-
-bool Bdd::leq(const Bdd& o) const { return mgr_->leq(*this, o); }
-
-size_t Bdd::nodeCount() const {
-  return mgr_ == nullptr ? 0 : mgr_->nodeCount(*this);
-}
 
 // ---------------------------------------------------------------- manager
 
@@ -113,12 +33,16 @@ BddManager::BddManager(uint32_t numVars)
       obsGcRuns_(obs::counter("bdd.gc.runs")),
       obsGcReclaimed_(obs::counter("bdd.gc.reclaimed")),
       obsReorderings_(obs::counter("bdd.reorder.count")),
+      obsCacheKept_(obs::counter("bdd.cache.gc_kept")),
+      obsCacheDropped_(obs::counter("bdd.cache.gc_dropped")),
       obsUniqueSize_(obs::gauge("bdd.unique.size")),
       obsUniquePeak_(obs::gauge("bdd.unique.peak")),
       obsUniqueBuckets_(obs::gauge("bdd.unique.buckets")) {
   nodes_.reserve(1 << 12);
-  // Terminals occupy slots 0 (FALSE) and 1 (TRUE); they are never in the
-  // unique table and carry permanent references.
+  // Slot 0 is reserved (no edge ever points at it; keeps arena loops and
+  // level arithmetic starting at 2 as before complement edges). Slot 1 is
+  // the single ONE terminal; FALSE is its complemented edge. Neither is in
+  // the unique table; both carry permanent references.
   nodes_.push_back({kTermLevel, 0, 0, kNil, kRefSaturated});
   nodes_.push_back({kTermLevel, 1, 1, kNil, kRefSaturated});
 
@@ -131,9 +55,7 @@ BddManager::BddManager(uint32_t numVars)
   for (uint32_t i = 0; i < numVars; ++i) newVar();
 }
 
-BddManager::~BddManager() = default;
-
-Bdd BddManager::makeHandle(uint32_t idx) { return Bdd(this, idx); }
+BddManager::~BddManager() { flushObs(); }
 
 BddVar BddManager::newVar() {
   BddVar v = static_cast<BddVar>(perm_.size());
@@ -157,25 +79,36 @@ BddVar BddManager::newVarAtLevel(uint32_t lvl) {
 
 Bdd BddManager::bddVar(BddVar v) {
   assert(v < perm_.size());
-  return makeHandle(mkNode(v, 0, 1));
+  ScopedOp guard(this);
+  return makeHandle(mkNode(v, kZeroEdge, kOneEdge));
 }
 
 Bdd BddManager::bddLiteral(BddVar v, bool positive) {
-  return makeHandle(positive ? mkNode(v, 0, 1) : mkNode(v, 1, 0));
+  ScopedOp guard(this);
+  return makeHandle(positive ? mkNode(v, kZeroEdge, kOneEdge)
+                             : mkNode(v, kOneEdge, kZeroEdge));
 }
 
-Bdd BddManager::bddOne() { return makeHandle(1); }
-Bdd BddManager::bddZero() { return makeHandle(0); }
+Bdd BddManager::bddOne() { return makeHandle(kOneEdge); }
+Bdd BddManager::bddZero() { return makeHandle(kZeroEdge); }
 
 // ------------------------------------------------------------- node layer
 
 uint32_t BddManager::mkNode(BddVar var, uint32_t lo, uint32_t hi) {
   if (lo == hi) return lo;
-  uint64_t h = hash3(var, lo, hi);
-  uint32_t bucket = static_cast<uint32_t>(h) & uniqueMask_;
+  // Canonical form: the low edge is never complemented. A node whose low
+  // edge would be complemented is stored as its own negation, and the
+  // complement moves to the returned edge:
+  //   node(v, !l, h) == !node(v, l, !h)
+  uint32_t outSign = eSign(lo);
+  if (outSign != 0) {
+    lo = eNot(lo);
+    hi = eNot(hi);
+  }
+  uint32_t bucket = uniqueBucketOf(var, lo, hi, uniqueMask_);
   for (uint32_t n = uniqueTable_[bucket]; n != kNil; n = nodes_[n].next) {
     const Node& nd = nodes_[n];
-    if (nd.var == var && nd.lo == lo && nd.hi == hi) return n;
+    if (nd.var == var && nd.lo == lo && nd.hi == hi) return n | outSign;
   }
   uint32_t idx;
   if (!freeList_.empty()) {
@@ -184,53 +117,47 @@ uint32_t BddManager::mkNode(BddVar var, uint32_t lo, uint32_t hi) {
     nodes_[idx] = Node{var, lo, hi, kNil, 0};
   } else {
     idx = static_cast<uint32_t>(nodes_.size());
-    if (idx == kNil) throw std::length_error("BddManager: node arena full");
+    if ((idx & kComplBit) != 0)
+      throw std::length_error("BddManager: node arena full");
     nodes_.push_back(Node{var, lo, hi, kNil, 0});
   }
   nodes_[idx].next = uniqueTable_[bucket];
   uniqueTable_[bucket] = idx;
   ++uniqueCount_;
-  obsNodesCreated_.add();
-  obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
-  if (uniqueCount_ > stats_.peakLiveNodes) {
-    stats_.peakLiveNodes = uniqueCount_;
-    obsUniquePeak_.updateMax(static_cast<int64_t>(uniqueCount_));
-  }
+  ++createdTotal_;
+  if (uniqueCount_ > stats_.peakLiveNodes) stats_.peakLiveNodes = uniqueCount_;
   if (uniqueCount_ > uniqueTable_.size()) growUnique();
   // Keep the operation cache proportional to the node count, or deep
   // recursions degenerate into exponential recomputation.
   if (uniqueCount_ > cache_.size()) growCache();
-  return idx;
+  return idx | outSign;
 }
 
 void BddManager::growCache() {
   std::vector<CacheEntry> old = std::move(cache_);
   cache_.assign(old.size() * 2, CacheEntry{});
   cacheMask_ = static_cast<uint32_t>(cache_.size() - 1);
+  ++cacheGen_;  // slot numbering changed: outstanding probes must rehash
   for (const CacheEntry& e : old) {
     if (e.k1 == ~0ull && e.k2 == ~0ull) continue;
-    uint32_t slot = static_cast<uint32_t>(mix64(e.k1 ^ mix64(e.k2))) & cacheMask_;
-    cache_[slot] = e;
+    cache_[cacheSlotOf(e.k1, e.k2)] = e;
   }
 }
 
 void BddManager::uniqueInsert(uint32_t n) {
   const Node& nd = nodes_[n];
-  uint32_t bucket = static_cast<uint32_t>(hash3(nd.var, nd.lo, nd.hi)) & uniqueMask_;
+  uint32_t bucket = uniqueBucketOf(nd.var, nd.lo, nd.hi, uniqueMask_);
   nodes_[n].next = uniqueTable_[bucket];
   uniqueTable_[bucket] = n;
   ++uniqueCount_;
   // Re-inserts during level swaps grow the table too; without this the
   // peak could read below the live count right after a reordering.
-  if (uniqueCount_ > stats_.peakLiveNodes) {
-    stats_.peakLiveNodes = uniqueCount_;
-    obsUniquePeak_.updateMax(static_cast<int64_t>(uniqueCount_));
-  }
+  if (uniqueCount_ > stats_.peakLiveNodes) stats_.peakLiveNodes = uniqueCount_;
 }
 
 void BddManager::uniqueRemove(uint32_t n) {
   const Node& nd = nodes_[n];
-  uint32_t bucket = static_cast<uint32_t>(hash3(nd.var, nd.lo, nd.hi)) & uniqueMask_;
+  uint32_t bucket = uniqueBucketOf(nd.var, nd.lo, nd.hi, uniqueMask_);
   uint32_t* link = &uniqueTable_[bucket];
   while (*link != kNil) {
     if (*link == n) {
@@ -245,32 +172,22 @@ void BddManager::uniqueRemove(uint32_t n) {
 }
 
 void BddManager::growUnique() {
+  // Grow 4x: the table is rebuilt wholesale and rehashing is the dominant
+  // cost of a build-up phase, so overshoot rather than rehash per doubling.
   std::vector<uint32_t> old = std::move(uniqueTable_);
-  uniqueTable_.assign(old.size() * 2, kNil);
+  uniqueTable_.assign(old.size() * 4, kNil);
   uniqueMask_ = static_cast<uint32_t>(uniqueTable_.size() - 1);
   obsUniqueBuckets_.set(static_cast<int64_t>(uniqueTable_.size()));
   for (uint32_t head : old) {
     for (uint32_t n = head; n != kNil;) {
       uint32_t next = nodes_[n].next;
       const Node& nd = nodes_[n];
-      uint32_t bucket =
-          static_cast<uint32_t>(hash3(nd.var, nd.lo, nd.hi)) & uniqueMask_;
+      uint32_t bucket = uniqueBucketOf(nd.var, nd.lo, nd.hi, uniqueMask_);
       nodes_[n].next = uniqueTable_[bucket];
       uniqueTable_[bucket] = n;
       n = next;
     }
   }
-}
-
-void BddManager::incRef(uint32_t n) {
-  uint32_t& r = nodes_[n].ref;
-  if (r != kRefSaturated) ++r;
-}
-
-void BddManager::decRef(uint32_t n) {
-  uint32_t& r = nodes_[n].ref;
-  assert(r > 0);
-  if (r != kRefSaturated) --r;
 }
 
 void BddManager::maybeGcOrSift() {
@@ -300,47 +217,107 @@ void BddManager::maybeGcOrSift() {
   }
 }
 
-size_t BddManager::gc() {
-  // Mark phase: every node reachable from an externally referenced node
-  // survives. Iterative DFS over the arena.
-  std::vector<bool> marked(nodes_.size(), false);
-  marked[0] = marked[1] = true;
-  std::vector<uint32_t> stack;
-  std::vector<bool> freeSlot(nodes_.size(), false);
-  for (uint32_t f : freeList_) freeSlot[f] = true;
+void BddManager::flushObs() {
+  obsCacheLookups_.add(stats_.cacheLookups - flushedLookups_);
+  flushedLookups_ = stats_.cacheLookups;
+  obsCacheHits_.add(stats_.cacheHits - flushedHits_);
+  flushedHits_ = stats_.cacheHits;
+  obsNodesCreated_.add(createdTotal_ - flushedCreated_);
+  flushedCreated_ = createdTotal_;
+  obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
+  obsUniquePeak_.updateMax(static_cast<int64_t>(stats_.peakLiveNodes));
+}
 
+// ----------------------------------------------------------------- GC core
+
+std::vector<uint8_t> BddManager::markReachable() const {
+  // Every node reachable from an externally referenced node survives.
+  // Iterative DFS over the arena; child edges strip the complement bit.
+  // Free slots (var == kNil) are never roots, and children of live nodes
+  // are live, so the walk cannot enter one.
+  std::vector<uint8_t> marked(nodes_.size(), 0);
+  marked[0] = marked[1] = 1;
+  std::vector<uint32_t> stack;
   for (uint32_t i = 2; i < nodes_.size(); ++i) {
-    if (!freeSlot[i] && nodes_[i].ref > 0 && !marked[i]) {
+    if (nodes_[i].var != kNil && nodes_[i].ref > 0 && !marked[i]) {
       stack.assign(1, i);
       while (!stack.empty()) {
         uint32_t n = stack.back();
         stack.pop_back();
         if (marked[n]) continue;
-        marked[n] = true;
-        if (!isTerm(nodes_[n].lo) && !marked[nodes_[n].lo])
-          stack.push_back(nodes_[n].lo);
-        if (!isTerm(nodes_[n].hi) && !marked[nodes_[n].hi])
-          stack.push_back(nodes_[n].hi);
+        marked[n] = 1;
+        uint32_t lo = eIdx(nodes_[n].lo), hi = eIdx(nodes_[n].hi);
+        if (!marked[lo]) stack.push_back(lo);
+        if (!marked[hi]) stack.push_back(hi);
       }
     }
   }
+  return marked;
+}
 
+void BddManager::cacheKeepAlive(const std::vector<uint8_t>& marked) {
+  // Keep-alive sweep: a cached result stays valid as long as every node it
+  // mentions survived the collection — operand edges, the result edge, and
+  // for ternary ops the third operand. Entries whose nodes all survived are
+  // left in place (their slot depends only on the key, which is unchanged);
+  // the rest are dropped before their arena slots can be reused.
+  size_t kept = 0, dropped = 0;
+  // Every index a cache entry can mention is < nodes_.size() == the mask
+  // length: entries referencing dead nodes are dropped at the GC that
+  // freed them, so no entry outlives the arena coordinates it was keyed on.
+  auto alive = [&](uint32_t e) { return marked[eIdx(e)] != 0; };
+  for (CacheEntry& e : cache_) {
+    if (e.k1 == ~0ull && e.k2 == ~0ull) continue;
+    uint32_t a = static_cast<uint32_t>(e.k1 >> 32);
+    uint32_t b = static_cast<uint32_t>(e.k1);
+    uint32_t c = static_cast<uint32_t>(e.k2);
+    Op op = static_cast<Op>(static_cast<uint8_t>(e.k2 >> 32));
+    bool ok = alive(a) && alive(e.result);
+    // Permute packs a map id (not an edge) in its second field; Leq packs
+    // a boolean in the result. Both are always "alive".
+    if (op != Op::Permute) ok = ok && alive(b);
+    ok = ok && alive(c);
+    if (ok) {
+      ++kept;
+    } else {
+      e = CacheEntry{};
+      ++dropped;
+    }
+  }
+  obsCacheKept_.add(kept);
+  obsCacheDropped_.add(dropped);
+}
+
+size_t BddManager::gc() {
+  std::vector<uint8_t> marked = markReachable();
+
+  // Sweep by rebuilding the unique table wholesale: clearing buckets and
+  // re-chaining survivors is O(arena), where unlinking each dead node
+  // individually would walk its bucket chain again per death.
+  std::fill(uniqueTable_.begin(), uniqueTable_.end(), kNil);
+  uniqueCount_ = 0;
   size_t freed = 0;
   for (uint32_t i = 2; i < nodes_.size(); ++i) {
-    if (!freeSlot[i] && !marked[i]) {
-      uniqueRemove(i);
+    if (nodes_[i].var == kNil) continue;  // already on the free list
+    if (marked[i]) {
+      uniqueInsert(i);
+    } else {
       nodes_[i].var = kNil;  // sentinel: slot is free (reorder scans rely on it)
+      nodes_[i].next = kNil;
       freeList_.push_back(i);
       ++freed;
     }
   }
-  clearCaches();
+  // The computed cache survives collection minus entries touching freed
+  // nodes — fixpoint loops that negate/intersect the same live state sets
+  // every iteration keep their hits across GCs.
+  cacheKeepAlive(marked);
   ++stats_.gcRuns;
   stats_.liveNodes = uniqueCount_;
   stats_.allocatedNodes = nodes_.size();
   obsGcRuns_.add();
   obsGcReclaimed_.add(freed);
-  obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
+  flushObs();
   return freed;
 }
 
@@ -351,7 +328,7 @@ void BddManager::clearCaches() {
 obs::prof::BddCensus BddManager::census() const {
   obs::prof::BddCensus c;
   c.liveNodes = uniqueCount_;
-  c.allocatedNodes = nodes_.size() - 2;  // terminals excluded
+  c.allocatedNodes = nodes_.size() - 2;  // terminal + reserved slot excluded
   c.freeNodes = freeList_.size();
   c.uniqueBuckets = uniqueTable_.size();
   c.cacheEntries = cache_.size();
@@ -364,66 +341,19 @@ obs::prof::BddCensus BddManager::census() const {
   c.reorderings = stats_.reorderings;
   c.peakLiveNodes = stats_.peakLiveNodes;
 
-  std::vector<bool> freeSlot(nodes_.size(), false);
-  for (uint32_t f : freeList_) freeSlot[f] = true;
-
   c.levelNodes.assign(perm_.size(), 0);
   for (uint32_t i = 2; i < nodes_.size(); ++i) {
-    if (!freeSlot[i]) ++c.levelNodes[perm_[nodes_[i].var]];
+    if (nodes_[i].var != kNil) ++c.levelNodes[perm_[nodes_[i].var]];
   }
 
   // Dead = in the unique table but unreachable from any externally
   // referenced node: the same mark pass gc() runs, so deadNodes is exactly
   // what the next sweep would reclaim (and 0 right after one).
-  std::vector<bool> marked(nodes_.size(), false);
-  marked[0] = marked[1] = true;
-  std::vector<uint32_t> stack;
+  std::vector<uint8_t> marked = markReachable();
   for (uint32_t i = 2; i < nodes_.size(); ++i) {
-    if (!freeSlot[i] && nodes_[i].ref > 0 && !marked[i]) {
-      stack.assign(1, i);
-      while (!stack.empty()) {
-        uint32_t n = stack.back();
-        stack.pop_back();
-        if (marked[n]) continue;
-        marked[n] = true;
-        if (!isTerm(nodes_[n].lo) && !marked[nodes_[n].lo])
-          stack.push_back(nodes_[n].lo);
-        if (!isTerm(nodes_[n].hi) && !marked[nodes_[n].hi])
-          stack.push_back(nodes_[n].hi);
-      }
-    }
-  }
-  for (uint32_t i = 2; i < nodes_.size(); ++i) {
-    if (!freeSlot[i] && !marked[i]) ++c.deadNodes;
+    if (nodes_[i].var != kNil && !marked[i]) ++c.deadNodes;
   }
   return c;
-}
-
-// ------------------------------------------------------------ cache layer
-
-bool BddManager::cacheLookup(Op op, uint32_t a, uint32_t b, uint32_t c,
-                             uint32_t& out) {
-  ++stats_.cacheLookups;
-  obsCacheLookups_.add();
-  uint64_t k1 = (static_cast<uint64_t>(a) << 32) | b;
-  uint64_t k2 = (static_cast<uint64_t>(static_cast<uint8_t>(op)) << 32) | c;
-  uint32_t slot = static_cast<uint32_t>(mix64(k1 ^ mix64(k2))) & cacheMask_;
-  const CacheEntry& e = cache_[slot];
-  if (e.k1 == k1 && e.k2 == k2) {
-    out = e.result;
-    ++stats_.cacheHits;
-    obsCacheHits_.add();
-    return true;
-  }
-  return false;
-}
-
-void BddManager::cacheInsert(Op op, uint32_t a, uint32_t b, uint32_t c,
-                             uint32_t res) {
-  uint64_t k1 = (static_cast<uint64_t>(a) << 32) | b;
-  uint64_t k2 = (static_cast<uint64_t>(static_cast<uint8_t>(op)) << 32) | c;
-  uint32_t slot = static_cast<uint32_t>(mix64(k1 ^ mix64(k2))) & cacheMask_;
-  cache_[slot] = CacheEntry{k1, k2, res};
 }
 
 }  // namespace hsis

@@ -19,25 +19,29 @@ size_t BddManager::swapAdjacentLevels(uint32_t l) {
 
   // Rewrite every live u-node that depends on v. A u-node whose children
   // avoid v simply migrates to level l+1 untouched; no parent link changes
-  // because indices are stable.
+  // because indices are stable. The low edge is regular by canonical-form
+  // invariant; the high edge's complement bit propagates to its cofactors.
   size_t n = nodes_.size();
   for (uint32_t i = 2; i < n; ++i) {
     if (nodes_[i].var != u) continue;  // free slots carry var == kNil
     uint32_t lo = nodes_[i].lo, hi = nodes_[i].hi;
+    assert(!eIsNeg(lo) && "canonical form: low edge must be regular");
     bool loDep = !isTerm(lo) && nodes_[lo].var == v;
-    bool hiDep = !isTerm(hi) && nodes_[hi].var == v;
+    bool hiDep = !isTerm(hi) && nodes_[eIdx(hi)].var == v;
     if (!loDep && !hiDep) continue;
 
     uniqueRemove(i);
+    uint32_t sh = eSign(hi);
     uint32_t f00 = loDep ? nodes_[lo].lo : lo;
     uint32_t f01 = loDep ? nodes_[lo].hi : lo;
-    uint32_t f10 = hiDep ? nodes_[hi].lo : hi;
-    uint32_t f11 = hiDep ? nodes_[hi].hi : hi;
+    uint32_t f10 = hiDep ? nodes_[eIdx(hi)].lo ^ sh : hi;
+    uint32_t f11 = hiDep ? nodes_[eIdx(hi)].hi ^ sh : hi;
     // All four grandchildren lie strictly below both levels, so the new
     // children cannot themselves require rewriting.
     uint32_t n0 = mkNode(u, f00, f10);
     uint32_t n1 = mkNode(u, f01, f11);
     assert(n0 != n1 && "node did not actually depend on v");
+    assert(!eIsNeg(n0) && "swap result low edge must stay regular");
     nodes_[i].var = v;
     nodes_[i].lo = n0;
     nodes_[i].hi = n1;
@@ -51,25 +55,12 @@ size_t BddManager::swapAdjacentLevels(uint32_t l) {
   return uniqueCount_;
 }
 
-namespace {
-class ScopedOp {
- public:
-  explicit ScopedOp(int& depth) : depth_(depth) { ++depth_; }
-  ~ScopedOp() { --depth_; }
-  ScopedOp(const ScopedOp&) = delete;
-  ScopedOp& operator=(const ScopedOp&) = delete;
-
- private:
-  int& depth_;
-};
-}  // namespace
-
 void BddManager::sift() {
   if (numVars() < 2) return;
   obs::Span span("bdd.sift");
   gc();  // sweep dead nodes so sizes reflect live structure only
   const size_t nodesBefore = uniqueCount_;
-  ScopedOp guard(opDepth_);  // no GC while raw swaps run
+  ScopedOp guard(this);  // no GC while raw swaps run
 
   uint32_t n = numVars();
   // Process variables in decreasing order of their level population:
@@ -122,7 +113,7 @@ void BddManager::sift() {
 }
 
 void BddManager::setOrder(const std::vector<BddVar>& order) {
-  ScopedOp guard(opDepth_);
+  ScopedOp guard(this);
   // Bubble each requested variable to its target level, top-down. Variables
   // not mentioned keep their relative order below the mentioned ones.
   for (uint32_t target = 0; target < order.size(); ++target) {

@@ -1,21 +1,24 @@
 // Structural queries: support, model counting, cube extraction, node counts.
+// All walkers strip the complement bit before touching the arena and apply
+// it when the query is polarity-sensitive (satCount, pickCube).
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <unordered_map>
-#include <unordered_set>
+#include <unordered_set>  // toDot only
 
 namespace hsis {
 
 void BddManager::supportRec(uint32_t f, std::vector<bool>& seen,
                             std::vector<bool>& inSupp) {
-  if (isTerm(f) || seen[f]) return;
-  seen[f] = true;
-  inSupp[nodes_[f].var] = true;
-  supportRec(nodes_[f].lo, seen, inSupp);
-  supportRec(nodes_[f].hi, seen, inSupp);
+  uint32_t n = eIdx(f);  // support is polarity-independent
+  if (isTerm(n) || seen[n]) return;
+  seen[n] = true;
+  inSupp[nodes_[n].var] = true;
+  supportRec(nodes_[n].lo, seen, inSupp);
+  supportRec(nodes_[n].hi, seen, inSupp);
 }
 
 std::vector<BddVar> BddManager::support(const Bdd& f) {
@@ -41,17 +44,22 @@ Bdd BddManager::supportCube(const Bdd& f) {
 
 double BddManager::satCount(const Bdd& f, uint32_t nvars) {
   // count(f) over variables at levels [0, nvars); each skipped level doubles.
+  // The density is memoized per *node*; a complemented edge reads 1 - d, so
+  // f and !f share the memo table.
   std::unordered_map<uint32_t, double> memo;
-  // fraction(f) = (number of minterms of f) / 2^(vars below f's level)
-  // computed as a density to stay stable for wide supports.
-  auto rec = [&](auto&& self, uint32_t n) -> double {
-    if (n == 0) return 0.0;
-    if (n == 1) return 1.0;
+  auto rec = [&](auto&& self, uint32_t e) -> double {
+    uint32_t n = eIdx(e);
+    bool neg = eIsNeg(e);
+    if (isTerm(n)) return neg ? 0.0 : 1.0;
+    double d;
     auto it = memo.find(n);
-    if (it != memo.end()) return it->second;
-    double d = 0.5 * (self(self, nodes_[n].lo) + self(self, nodes_[n].hi));
-    memo.emplace(n, d);
-    return d;
+    if (it != memo.end()) {
+      d = it->second;
+    } else {
+      d = 0.5 * (self(self, nodes_[n].lo) + self(self, nodes_[n].hi));
+      memo.emplace(n, d);
+    }
+    return neg ? 1.0 - d : d;
   };
   double density = rec(rec, f.index());
   return density * std::pow(2.0, static_cast<double>(nvars));
@@ -60,18 +68,21 @@ double BddManager::satCount(const Bdd& f, uint32_t nvars) {
 std::vector<int8_t> BddManager::pickCube(const Bdd& f) {
   if (f.isNull() || f.isZero()) return {};
   std::vector<int8_t> out(numVars(), -1);
-  uint32_t n = f.index();
-  while (!isTerm(n)) {
-    const Node& nd = nodes_[n];
-    if (nd.lo != 0) {
-      out[nd.var] = 0;
-      n = nd.lo;
+  uint32_t e = f.index();
+  while (!isTerm(e)) {
+    uint32_t n = eIdx(e), s = eSign(e);
+    uint32_t lo = nodes_[n].lo ^ s;
+    // Canonical form: a cofactor edge equals kZeroEdge iff that branch is
+    // identically false, so any non-zero branch is satisfiable.
+    if (lo != kZeroEdge) {
+      out[nodes_[n].var] = 0;
+      e = lo;
     } else {
-      out[nd.var] = 1;
-      n = nd.hi;
+      out[nodes_[n].var] = 1;
+      e = nodes_[n].hi ^ s;
     }
   }
-  assert(n == 1);
+  assert(e == kOneEdge);
   return out;
 }
 
@@ -89,36 +100,47 @@ Bdd BddManager::cubeFromAssignment(std::span<const int8_t> assign) {
   return cube;
 }
 
-size_t BddManager::nodeCount(const Bdd& f) const {
-  std::unordered_set<uint32_t> seen;
-  std::vector<uint32_t> stack{f.index()};
+uint32_t BddManager::beginVisit() const {
+  // Epoch-stamped visitation: no hashing, no per-call clearing. The stamp
+  // array trails the arena lazily; a wrapped epoch (once per 2^32 walks)
+  // resets it wholesale.
+  if (visitStamp_.size() < nodes_.size()) visitStamp_.resize(nodes_.size(), 0);
+  if (++visitEpoch_ == 0) {
+    std::fill(visitStamp_.begin(), visitStamp_.end(), 0u);
+    visitEpoch_ = 1;
+  }
+  return visitEpoch_;
+}
+
+size_t BddManager::countFrom(std::vector<uint32_t>& stack,
+                             uint32_t epoch) const {
+  size_t count = 0;
   while (!stack.empty()) {
     uint32_t n = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
+    if (visitStamp_[n] == epoch) continue;
+    visitStamp_[n] = epoch;
+    ++count;
     if (!isTerm(n)) {
-      stack.push_back(nodes_[n].lo);
-      stack.push_back(nodes_[n].hi);
+      stack.push_back(eIdx(nodes_[n].lo));
+      stack.push_back(eIdx(nodes_[n].hi));
     }
   }
-  return seen.size();
+  return count;
+}
+
+size_t BddManager::nodeCount(const Bdd& f) const {
+  uint32_t epoch = beginVisit();
+  std::vector<uint32_t> stack{eIdx(f.index())};
+  return countFrom(stack, epoch);
 }
 
 size_t BddManager::sharedNodeCount(std::span<const Bdd> roots) const {
-  std::unordered_set<uint32_t> seen;
+  uint32_t epoch = beginVisit();
   std::vector<uint32_t> stack;
   for (const Bdd& r : roots)
-    if (!r.isNull()) stack.push_back(r.index());
-  while (!stack.empty()) {
-    uint32_t n = stack.back();
-    stack.pop_back();
-    if (!seen.insert(n).second) continue;
-    if (!isTerm(n)) {
-      stack.push_back(nodes_[n].lo);
-      stack.push_back(nodes_[n].hi);
-    }
-  }
-  return seen.size();
+    if (!r.isNull()) stack.push_back(eIdx(r.index()));
+  return countFrom(stack, epoch);
 }
 
 }  // namespace hsis

@@ -244,6 +244,30 @@ TEST(Bdd, GarbageCollectionKeepsLiveNodes) {
   EXPECT_EQ(keep, (m.bddVar(0) & m.bddVar(1)) | (m.bddVar(2) ^ m.bddVar(3)));
 }
 
+TEST(Bdd, ComputedCacheSurvivesGc) {
+  BddManager m(16);
+  std::mt19937 rng(11);
+  auto randomFn = [&] {
+    Bdd f = m.bddZero();
+    for (int k = 0; k < 24; ++k) {
+      Bdd cube = m.bddOne();
+      for (BddVar v = 0; v < 16; ++v) {
+        if (rng() % 3 == 0) cube &= m.bddVar(v);
+        else if (rng() % 2 == 0) cube &= !m.bddVar(v);
+      }
+      f |= cube;
+    }
+    return f;
+  };
+  Bdd f = randomFn(), g = randomFn();
+  Bdd fg = f & g;  // populates the computed cache
+  m.gc();          // keep-alive sweep: every cached operand is still live
+  size_t hitsBefore = m.stats().cacheHits;
+  Bdd again = m.andOp(f, g);  // should be answered from the surviving cache
+  EXPECT_EQ(again, fg);
+  EXPECT_GT(m.stats().cacheHits, hitsBefore);
+}
+
 TEST(Bdd, SetOrderPreservesFunctions) {
   BddManager m(6);
   Bdd f = (m.bddVar(0) & m.bddVar(1)) | (m.bddVar(2) & m.bddVar(3)) |
