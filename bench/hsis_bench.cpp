@@ -29,6 +29,7 @@
 
 #include "bench_schema.hpp"
 #include "hsis/environment.hpp"
+#include "hsis/session.hpp"
 #include "minimize/bisim.hpp"
 #include "models/models.hpp"
 #include "obs/control.hpp"
@@ -44,12 +45,19 @@ struct Case {
 // ------------------------------------------------------------ case bodies
 
 void verifyModel(const hsis::models::ModelDef& model) {
-  hsis::Environment env;
-  env.readVerilog(std::string(model.verilog), std::string(model.top));
-  env.readPif(std::string(model.pif));
-  env.build();
-  (void)env.reachedStates();
-  for (const hsis::BugReport& r : env.verifyAll()) (void)r;
+  // Runs on hsis::Session directly — the same load/build/check path an
+  // hsis_serve worker takes, so these numbers transfer to the service.
+  hsis::Session session;
+  hsis::Session::DesignSource src;
+  src.kind = hsis::Session::DesignSource::Kind::Verilog;
+  src.text = std::string(model.verilog);
+  src.top = std::string(model.top);
+  session.load(src);
+  session.build();
+  hsis::PifFile pif = hsis::parsePif(std::string(model.pif));
+  session.setFairness(pif.fairness);
+  (void)session.reachedStates();
+  for (const hsis::PifProperty& p : pif.properties) (void)session.check(p);
 }
 
 /// Compiled+flattened design shared across the repeats of a case so the

@@ -33,6 +33,7 @@
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 #include "obs/control.hpp"
+#include "obs/version.hpp"
 
 namespace {
 
@@ -77,6 +78,7 @@ void writeStats(const hsis::Environment& env, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (hsis::obs::handleVersionFlag(argc, argv, "hsis_cli")) return 0;
   // hsis_cli owns --stats-json (the Environment adds derived metrics to the
   // snapshot); the process-level ledger record is written by the exit
   // exporters, with the verdict set via noteRunResult below.

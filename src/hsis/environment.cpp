@@ -1,59 +1,39 @@
 #include "hsis/environment.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
-#include "obs/log.hpp"
-#include "vl2mv/vl2mv.hpp"
+#include "obs/obs.hpp"
 
 namespace hsis {
 
 namespace {
 
-/// Seconds -> whole microseconds, the resolution Metrics and the registry
-/// share so the two stay exactly equal.
-uint64_t toMicros(double seconds) {
-  return seconds <= 0 ? 0 : static_cast<uint64_t>(std::llround(seconds * 1e6));
-}
-
-int64_t clampToGauge(double v) {
-  constexpr double kMax = 9.2e18;
-  if (v >= kMax) return static_cast<int64_t>(kMax);
-  if (v <= 0) return 0;
-  return static_cast<int64_t>(v);
+/// Seconds -> whole microseconds and back: Metrics quantizes through the
+/// same integer ticks the env.* registry entries carry, so the two views
+/// stay exactly equal (see test_obs MetricsMatchesRegistry).
+double roundToMicros(double seconds) {
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(
+             static_cast<uint64_t>(std::llround(seconds * 1e6))) *
+         1e-6;
 }
 
 }  // namespace
 
 Environment::Environment() : Environment(Options{}) {}
-Environment::Environment(Options options) : opts_(options) {}
+Environment::Environment(Options options) : session_(options) {}
 Environment::~Environment() = default;
 
 void Environment::readVerilog(const std::string& text, const std::string& top) {
-  verilogText_ = text;
-  design_ = vl2mv::compile(text, top);
-  metrics_.linesVerilog = vl2mv::verilogLineCount(text);
-  metrics_.linesBlifMv = blifmv::lineCount(design_);
-  HSIS_LOG_INFO("vl2mv.compile", "verilog compiled to BLIF-MV",
-                {{"top", std::string_view(top.empty() ? "(auto)" : top)},
-                 {"lines_verilog", metrics_.linesVerilog},
-                 {"lines_blifmv", metrics_.linesBlifMv}});
-  fsm_.reset();
-  tr_.reset();
-  checker_.reset();
+  session_.load({Session::DesignSource::Kind::Verilog, text, top});
+  metrics_.linesVerilog = session_.linesVerilog();
+  metrics_.linesBlifMv = session_.linesBlifMv();
 }
 
 void Environment::readBlifMv(const std::string& text) {
-  verilogText_.clear();
-  design_ = blifmv::parse(text);
-  metrics_.linesVerilog = 0;
-  metrics_.linesBlifMv = blifmv::lineCount(design_);
-  HSIS_LOG_INFO("blifmv.parse", "BLIF-MV design parsed",
-                {{"models", design_.models.size()},
-                 {"lines_blifmv", metrics_.linesBlifMv}});
-  fsm_.reset();
-  tr_.reset();
-  checker_.reset();
+  session_.load({Session::DesignSource::Kind::BlifMv, text, ""});
+  metrics_.linesVerilog = session_.linesVerilog();
+  metrics_.linesBlifMv = session_.linesBlifMv();
 }
 
 void Environment::readPif(const std::string& text) {
@@ -67,155 +47,36 @@ void Environment::addProperty(PifProperty property) {
 }
 
 void Environment::addFairness(const FairnessSpec& fairness) {
-  fairness_.noStay.insert(fairness_.noStay.end(), fairness.noStay.begin(),
-                          fairness.noStay.end());
-  fairness_.buchi.insert(fairness_.buchi.end(), fairness.buchi.begin(),
-                         fairness.buchi.end());
-  fairness_.fairEdges.insert(fairness_.fairEdges.end(),
-                             fairness.fairEdges.begin(),
-                             fairness.fairEdges.end());
-  checker_.reset();  // fairness affects the CTL semantics
+  session_.addFairness(fairness);  // fairness affects the CTL semantics
 }
 
 void Environment::build() {
-  if (design_.models.empty())
-    throw std::runtime_error("hsis: no design loaded");
-  obs::Span span("env.build");
-  obs::WallTimer timer;
-  flat_ = blifmv::flatten(design_);
-  mgr_ = std::make_unique<BddManager>();
-  fsm_ = std::make_unique<Fsm>(*mgr_, flat_);
-  for (const std::string& d : fsm_->diagnostics()) {
-    // Elaboration diagnostics double as warn-level log events so they land
-    // in the ring (and a crash dump) even when nobody reads notes().
-    HSIS_LOG_WARN("env.elaborate", "elaboration diagnostic",
-                  {{"note", std::string_view(d)}});
-    notes_.push_back(d);
-  }
-  if (opts_.partitionedTr) {
-    tr_ = TransitionRelation::partitioned(*fsm_, opts_.clusterLimit);
-  } else {
-    tr_ = TransitionRelation::monolithic(*fsm_, opts_.quantMethod);
-  }
-  // Metrics and the registry both read the same microsecond tick so the
-  // derived Metrics view matches the exported snapshot exactly.
-  uint64_t us = toMicros(timer.seconds());
-  obs::gauge("env.read.micros").set(static_cast<int64_t>(us));
-  metrics_.readSeconds = static_cast<double>(us) * 1e-6;
-}
-
-const Fsm& Environment::fsm() {
-  if (fsm_ == nullptr) build();
-  return *fsm_;
-}
-
-const TransitionRelation& Environment::tr() {
-  if (fsm_ == nullptr) build();
-  return *tr_;
-}
-
-std::vector<Bdd> Environment::ctlFairnessSets() {
-  std::vector<Bdd> sets;
-  for (const SigExprRef& e : fairness_.noStay)
-    sets.push_back(!evalSigExpr(e, *fsm_));
-  for (const SigExprRef& e : fairness_.buchi)
-    sets.push_back(evalSigExpr(e, *fsm_));
-  for (const auto& [from, to] : fairness_.fairEdges) {
-    // Fair CTL takes Büchi constraints; a fair edge is approximated by its
-    // target states (exact when every entry into `to` uses such an edge).
-    (void)from;
-    sets.push_back(evalSigExpr(to, *fsm_));
-    if (notes_.empty() ||
-        notes_.back().find("fair-edge") == std::string::npos) {
-      notes_.push_back(
-          "fair-edge constraint approximated by its target states for CTL "
-          "model checking (exact in language containment)");
-    }
-  }
-  return sets;
-}
-
-CtlChecker& Environment::checker() {
-  if (fsm_ == nullptr) build();
-  if (checker_ == nullptr) {
-    McOptions mo;
-    mo.earlyFailureDetection = opts_.earlyFailureDetection;
-    mo.useReachedDontCares = opts_.useReachedDontCares;
-    mo.wantTrace = opts_.wantTraces;
-    checker_ =
-        std::make_unique<CtlChecker>(*fsm_, *tr_, ctlFairnessSets(), mo);
-  }
-  return *checker_;
-}
-
-Simulator Environment::makeSimulator(uint64_t seed) {
-  if (fsm_ == nullptr) build();
-  return Simulator(*fsm_, *tr_, seed);
+  bool wasBuilt = session_.isBuilt();
+  session_.build();
+  if (!wasBuilt)
+    metrics_.readSeconds =
+        static_cast<double>(session_.lastBuildMicros()) * 1e-6;
 }
 
 double Environment::reachedStates() {
-  CtlChecker& mc = checker();
-  Bdd reached = mc.reached();
-  metrics_.reachedStates = fsm_->countStates(reached);
-  obs::gauge("env.reached.states").set(clampToGauge(metrics_.reachedStates));
+  metrics_.reachedStates = session_.reachedStates();
   return metrics_.reachedStates;
 }
 
 std::string Environment::statsJson() const { return obs::snapshotJson(); }
 
-BugReport Environment::verifyCtl(const std::string& name, const CtlRef& formula) {
-  BugReport report;
-  report.paradigm = BugReport::Paradigm::ModelChecking;
-  report.propertyName = name;
-  report.propertyText = formula->toString();
-  obs::Span span("env.verify.ctl");
-  McResult r = checker().check(formula);
-  report.holds = r.holds;
-  report.trace = r.counterexample;
-  report.seconds = r.stats.seconds;
-  report.usedEarlyFailure = r.stats.usedEarlyFailure;
-  uint64_t us = toMicros(r.stats.seconds);
-  obs::counter("env.mc.micros").add(us);
-  obs::counter("env.props.ctl").add();
-  metrics_.mcSeconds += static_cast<double>(us) * 1e-6;
+BugReport Environment::verifyCtl(const std::string& name,
+                                 const CtlRef& formula) {
+  BugReport report = session_.checkCtl(name, formula);
+  metrics_.mcSeconds += roundToMicros(report.seconds);
   ++metrics_.numCtlFormulas;
   return report;
 }
 
 BugReport Environment::verifyAutomaton(const std::string& name,
                                        const Automaton& aut) {
-  if (fsm_ == nullptr) build();
-  BugReport report;
-  report.paradigm = BugReport::Paradigm::LanguageContainment;
-  report.propertyName = name;
-  report.propertyText = "automaton " + aut.name() + " (" +
-                        std::to_string(aut.numStates()) + " states)";
-  LcOptions lo;
-  lo.earlyFailureDetection = opts_.earlyFailureDetection;
-  lo.wantTrace = opts_.wantTraces;
-  lo.partitionedTr = opts_.partitionedTr;
-  lo.clusterLimit = opts_.clusterLimit;
-  lo.quantMethod = opts_.quantMethod;
-  // Each containment check runs in its own manager: the product machine has
-  // its own variable space.
-  obs::Span span("env.verify.lc");
-  BddManager productMgr;
-  LcChecker lc(productMgr, flat_, aut, fairness_, lo);
-  LcResult r = lc.check();
-  report.holds = r.contained;
-  report.notes = r.notes;
-  report.seconds = r.stats.seconds;
-  report.usedEarlyFailure = r.stats.usedEarlyFailure;
-  if (r.trace.has_value()) {
-    // Render against the product FSM now; the trace's variable indices are
-    // only meaningful in the product manager.
-    report.notes.push_back("error trace (design + monitor):\n" +
-                           lc.formatTrace(*r.trace));
-  }
-  uint64_t us = toMicros(r.stats.seconds);
-  obs::counter("env.lc.micros").add(us);
-  obs::counter("env.props.lc").add();
-  metrics_.lcSeconds += static_cast<double>(us) * 1e-6;
+  BugReport report = session_.checkAutomaton(name, aut);
+  metrics_.lcSeconds += roundToMicros(report.seconds);
   ++metrics_.numLcProps;
   return report;
 }

@@ -2,35 +2,25 @@
 // design in Verilog or BLIF-MV, read properties and fairness constraints in
 // PIF, build the symbolic machine, run both verification paradigms, and
 // produce bug reports for the debugger.
+//
+// Environment is now a thin facade over hsis::Session (session.hpp), which
+// owns the BddManager and every structure derived from the design and can
+// be pooled/reused by long-lived drivers (hsis_serve). Environment adds
+// the batch-oriented surface: a cumulative property list, Table-1-shaped
+// Metrics, and verifyAll().
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "blifmv/blifmv.hpp"
-#include "ctl/mc.hpp"
-#include "debug/report.hpp"
-#include "fsm/fsm.hpp"
-#include "fsm/image.hpp"
-#include "lc/lc.hpp"
-#include "obs/obs.hpp"
-#include "pif/pif.hpp"
-#include "sim/simulator.hpp"
+#include "hsis/session.hpp"
 
 namespace hsis {
 
 class Environment {
  public:
-  struct Options {
-    bool partitionedTr = true;
-    size_t clusterLimit = 5000;
-    QuantMethod quantMethod = QuantMethod::Greedy;
-    bool earlyFailureDetection = true;
-    bool useReachedDontCares = true;
-    bool wantTraces = true;
-  };
+  using Options = Session::Options;
 
   /// Statistics in the shape of the paper's Table 1. Timings come from
   /// hsis_obs wall timers and are mirrored into the process-wide registry
@@ -54,7 +44,8 @@ class Environment {
   Environment& operator=(const Environment&) = delete;
 
   // ---- inputs ----
-  /// Compile Verilog through vl2mv; replaces any previous design.
+  /// Compile Verilog through vl2mv; replaces any previous design. Reading
+  /// the identical source again is a no-op (the session keeps it resident).
   void readVerilog(const std::string& text, const std::string& top = "");
   /// Read a BLIF-MV design directly.
   void readBlifMv(const std::string& text);
@@ -65,9 +56,9 @@ class Environment {
 
   // ---- build ----
   /// Flatten the hierarchy and build the FSM + transition relation. Called
-  /// automatically by the verify entry points if needed.
+  /// automatically by the verify entry points if needed; idempotent.
   void build();
-  [[nodiscard]] bool isBuilt() const { return fsm_ != nullptr; }
+  [[nodiscard]] bool isBuilt() const { return session_.isBuilt(); }
 
   // ---- verification ----
   /// Verify every property read so far, in order.
@@ -77,14 +68,20 @@ class Environment {
   BugReport verify(const PifProperty& property);
 
   // ---- access ----
-  [[nodiscard]] const blifmv::Design& design() const { return design_; }
-  [[nodiscard]] const blifmv::Model& flatModel() const { return flat_; }
-  const Fsm& fsm();
-  const TransitionRelation& tr();
+  [[nodiscard]] const blifmv::Design& design() const {
+    return session_.design();
+  }
+  [[nodiscard]] const blifmv::Model& flatModel() const {
+    return session_.flatModel();
+  }
+  const Fsm& fsm() { return session_.fsm(); }
+  const TransitionRelation& tr() { return session_.tr(); }
   /// The CTL checker (fairness constraints applied); valid until the next
   /// read*() call.
-  CtlChecker& checker();
-  Simulator makeSimulator(uint64_t seed = 1);
+  CtlChecker& checker() { return session_.checker(); }
+  Simulator makeSimulator(uint64_t seed = 1) {
+    return session_.makeSimulator(seed);
+  }
   /// Reachable state count (computed on demand).
   double reachedStates();
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
@@ -95,24 +92,18 @@ class Environment {
   [[nodiscard]] const std::vector<PifProperty>& properties() const {
     return properties_;
   }
-  [[nodiscard]] const FairnessSpec& fairness() const { return fairness_; }
-  [[nodiscard]] const std::vector<std::string>& notes() const { return notes_; }
+  [[nodiscard]] const FairnessSpec& fairness() const {
+    return session_.fairness();
+  }
+  [[nodiscard]] const std::vector<std::string>& notes() const {
+    return session_.notes();
+  }
+  /// The underlying reusable session (design + manager lifecycle).
+  Session& session() { return session_; }
 
  private:
-  std::vector<Bdd> ctlFairnessSets();
-
-  Options opts_;
-  blifmv::Design design_;
-  blifmv::Model flat_;
-  std::string verilogText_;
+  Session session_;
   std::vector<PifProperty> properties_;
-  FairnessSpec fairness_;
-  std::vector<std::string> notes_;
-
-  std::unique_ptr<BddManager> mgr_;
-  std::unique_ptr<Fsm> fsm_;
-  std::optional<TransitionRelation> tr_;
-  std::unique_ptr<CtlChecker> checker_;
   Metrics metrics_;
 };
 

@@ -87,10 +87,54 @@ std::optional<AbortInfo> abortInfo() {
 }
 
 void throwAborted() {
+  // A task-slot abort on this thread wins over the process flag: it names
+  // the request being cancelled, which is the reason the unwind happens.
+  if (TaskAbort* slot = detail::t_taskAbort;
+      slot != nullptr && slot->requested()) {
+    std::optional<AbortInfo> info = slot->info();
+    if (info.has_value()) throw AbortedError(info->reason, info->phase);
+  }
   std::optional<AbortInfo> info = abortInfo();
   if (!info.has_value()) info = AbortInfo{"abort requested", ""};
   throw AbortedError(info->reason, info->phase);
 }
+
+// ------------------------------------------------------- task abort slots
+
+namespace detail {
+thread_local TaskAbort* t_taskAbort = nullptr;
+}  // namespace detail
+
+void TaskAbort::request(std::string_view reason, std::string_view phase) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flag_.load(std::memory_order_relaxed)) return;  // first request wins
+    reason_ = std::string(reason);
+    phase_ = phase.empty() ? currentPhase() : std::string(phase);
+    flag_.store(true, std::memory_order_release);
+  }
+  if (flight::installed()) {
+    HSIS_LOG_WARN("obs.abort", "task abort requested",
+                  {{"reason", std::string_view(reason)}});
+  }
+}
+
+void TaskAbort::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flag_.store(false, std::memory_order_release);
+  reason_.clear();
+  phase_.clear();
+}
+
+std::optional<AbortInfo> TaskAbort::info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!flag_.load(std::memory_order_acquire)) return std::nullopt;
+  return AbortInfo{reason_, phase_};
+}
+
+void bindTaskAbort(TaskAbort* slot) { detail::t_taskAbort = slot; }
+
+TaskAbort* boundTaskAbort() { return detail::t_taskAbort; }
 
 // ----------------------------------------------------------- phase stack
 
@@ -397,33 +441,48 @@ struct Watchdog::Impl {
   std::condition_variable cv;
   bool stopRequested = false;
   bool running = false;
+  bool fired = false;
   std::thread worker;
   WatchdogOptions opts;
 };
 
-Watchdog& Watchdog::instance() {
-  static Watchdog w;
-  return w;
-}
+Watchdog::Watchdog() : impl_(std::make_unique<Impl>()) {}
 
-Watchdog::Impl& Watchdog::impl() const {
-  static Impl* impl = new Impl;  // leaked, see registry.cpp
-  return *impl;
+Watchdog::~Watchdog() { stop(); }
+
+Watchdog& Watchdog::instance() {
+  // Leaked like the registry: the process-level watchdog may be observed
+  // by atexit exporters, so it must not die in static destruction.
+  static Watchdog* w = new Watchdog;
+  return *w;
 }
 
 void Watchdog::start(WatchdogOptions options) {
-  stop();
-  Impl& im = impl();
+  stop();  // joins any previous arming — no state carries over
+  Impl& im = *impl_;
   {
     std::lock_guard<std::mutex> lock(im.mu);
     im.opts = options;
     if (im.opts.pollMs == 0) im.opts.pollMs = 1;
     im.stopRequested = false;
+    im.fired = false;
     im.running = true;
   }
   im.worker = std::thread([&im] {
     setThreadName("obs.watchdog");
-    WallTimer timer;
+    WallTimer timer;  // the budget clock starts at start()
+    auto breach = [&im](const char* msg) {
+      // Raise the configured flag first, then record the breach. A target
+      // slot cancels just that task; otherwise the whole process aborts.
+      if (im.opts.target != nullptr) {
+        im.opts.target->request(msg);
+      } else {
+        requestAbort(msg);
+      }
+      std::lock_guard<std::mutex> lock(im.mu);
+      im.fired = true;
+      im.running = false;
+    };
     std::unique_lock<std::mutex> lock(im.mu);
     while (!im.cv.wait_for(lock, std::chrono::milliseconds(im.opts.pollMs),
                            [&im] { return im.stopRequested; })) {
@@ -435,18 +494,18 @@ void Watchdog::start(WatchdogOptions options) {
         std::snprintf(msg, sizeof msg,
                       "wall-clock limit %gs exceeded (%.2fs elapsed)",
                       o.wallLimitSeconds, wall);
-        requestAbort(msg);
+        breach(msg);
         return;
       }
       if (o.memLimitKb > 0) {
-        uint64_t peak = peakRssKb();
-        if (peak > o.memLimitKb) {
+        uint64_t rss = o.useCurrentRss ? currentRssKb() : peakRssKb();
+        if (rss > o.memLimitKb) {
           char msg[128];
-          std::snprintf(msg, sizeof msg,
-                        "memory limit %s exceeded (peak RSS %s)",
+          std::snprintf(msg, sizeof msg, "memory limit %s exceeded (%s %s)",
                         formatMb(o.memLimitKb).c_str(),
-                        formatMb(peak).c_str());
-          requestAbort(msg);
+                        o.useCurrentRss ? "RSS" : "peak RSS",
+                        formatMb(rss).c_str());
+          breach(msg);
           return;
         }
       }
@@ -456,22 +515,30 @@ void Watchdog::start(WatchdogOptions options) {
 }
 
 void Watchdog::stop() {
-  Impl& im = impl();
+  Impl& im = *impl_;
   {
     std::lock_guard<std::mutex> lock(im.mu);
-    if (!im.running) return;
     im.stopRequested = true;
   }
   im.cv.notify_all();
+  // Join even when the worker already fired and parked (running == false
+  // but the thread object is still joinable) — the old early-return on
+  // !running left a fired watchdog's thread unjoined across re-arms.
   if (im.worker.joinable()) im.worker.join();
   std::lock_guard<std::mutex> lock(im.mu);
   im.running = false;
 }
 
 bool Watchdog::running() const {
-  Impl& im = impl();
+  Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   return im.running;
+}
+
+bool Watchdog::fired() const {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.fired;
 }
 
 // -------------------------------------------------------------- CLI flags

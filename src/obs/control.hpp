@@ -24,6 +24,8 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -54,13 +56,49 @@ class AbortedError : public std::runtime_error {
   std::string phase_;
 };
 
+/// A per-task cancellation slot for multi-tenant processes (the hsis_serve
+/// worker pool): one slot per worker, bound to the thread running its
+/// requests. `checkAbort()` honors both the process-wide flag and the slot
+/// bound to the calling thread, so a per-request watchdog can abort one
+/// worker's request without unwinding its neighbors. Slots are reusable:
+/// clear() re-arms the slot for the next request.
+class TaskAbort {
+ public:
+  /// Raise this slot's flag. First request wins until clear().
+  void request(std::string_view reason, std::string_view phase = {});
+  /// Lower the flag and forget the stored reason (between requests).
+  void clear();
+  /// Hot-path query: one relaxed load.
+  [[nodiscard]] bool requested() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  /// The stored reason/phase, or nullopt when not requested.
+  [[nodiscard]] std::optional<AbortInfo> info() const;
+
+ private:
+  std::atomic<bool> flag_{false};
+  mutable std::mutex mu_;
+  std::string reason_;
+  std::string phase_;
+};
+
 namespace detail {
 extern std::atomic<bool> g_abortRequested;
+extern thread_local TaskAbort* t_taskAbort;
 }  // namespace detail
 
-/// Hot-path query: a single relaxed atomic load.
+/// Bind `slot` as the calling thread's task-abort slot (nullptr unbinds).
+/// Safe points reached on this thread then observe slot aborts too. The
+/// slot must outlive the binding.
+void bindTaskAbort(TaskAbort* slot);
+[[nodiscard]] TaskAbort* boundTaskAbort();
+
+/// Hot-path query: a relaxed load of the process flag plus, when the
+/// calling thread has a bound task slot, one more relaxed load.
 inline bool abortRequested() noexcept {
-  return detail::g_abortRequested.load(std::memory_order_relaxed);
+  if (detail::g_abortRequested.load(std::memory_order_relaxed)) return true;
+  TaskAbort* slot = detail::t_taskAbort;
+  return slot != nullptr && slot->requested();
 }
 
 /// Raise the flag. First request wins; later ones are ignored. `phase`
@@ -189,24 +227,45 @@ class Heartbeat {
 
 struct WatchdogOptions {
   double wallLimitSeconds = 0.0;  ///< 0 = no wall-clock limit
-  uint64_t memLimitKb = 0;        ///< peak-RSS limit; 0 = none
+  uint64_t memLimitKb = 0;        ///< RSS limit; 0 = none
   uint64_t pollMs = 50;
+  /// Poll current RSS (VmRSS) instead of peak RSS (VmHWM). VmHWM is
+  /// monotonic over the process lifetime, so a watchdog re-armed per
+  /// request would trip forever once any earlier request peaked past the
+  /// limit — per-request budgets want the current level.
+  bool useCurrentRss = false;
+  /// Breach target: raise this task slot instead of the process-wide
+  /// abort flag (the hsis_serve per-request budget path).
+  TaskAbort* target = nullptr;
 };
 
-/// Background thread that polls wall clock and peak RSS against the
-/// registered limits and raises the abort flag on breach (then exits).
-/// The wall clock starts at start().
+/// Background thread that polls wall clock and RSS against the registered
+/// limits and raises the abort flag (process-wide or a TaskAbort slot) on
+/// breach, then parks. The wall clock starts at start().
+///
+/// Watchdogs are re-armable: start() after a stop — or after a breach —
+/// begins a fresh countdown with no state carried over (fired() resets,
+/// the wall clock restarts). `instance()` is the shared process-level
+/// watchdog driven by --timeout-s/--mem-limit-mb; drivers with per-request
+/// budgets construct their own instances.
 class Watchdog {
  public:
+  Watchdog();
+  ~Watchdog();  ///< stops (joins) a running watchdog
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
   static Watchdog& instance();
   void start(WatchdogOptions options);
   void stop();
+  /// Armed and neither fired nor stopped yet.
   [[nodiscard]] bool running() const;
+  /// True when the watchdog breached a limit since the last start().
+  [[nodiscard]] bool fired() const;
 
  private:
-  Watchdog() = default;
   struct Impl;
-  Impl& impl() const;
+  std::unique_ptr<Impl> impl_;
 };
 
 // -------------------------------------------------------------- CLI flags

@@ -1,0 +1,47 @@
+#include "obs/version.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/control.hpp"
+
+namespace hsis::obs {
+
+const std::vector<std::string>& schemaVersions() {
+  static const std::vector<std::string> kSchemas = {
+      "hsis-obs-v1",    // metrics/span snapshots (obs.hpp)
+      "hsis-bench-v1",  // BENCH_<suite>.json baselines (bench_schema.hpp)
+      "hsis-prof-v1",   // sampling-profiler census JSONL (prof.hpp)
+      "hsis-log-v1",    // structured event log JSONL (log.hpp)
+      "hsis-flight-v1", // crash flight-recorder dumps (log.hpp)
+      "hsis-ledger-v1", // cross-run verification ledger (ledger.hpp)
+      "hsis-serve-v1",  // hsis_serve wire protocol (serve/protocol.hpp)
+  };
+  return kSchemas;
+}
+
+std::string versionString(std::string_view tool) {
+  std::string out(tool);
+  out += ' ';
+  out += gitSha();
+  out += " (schemas:";
+  for (const std::string& s : schemaVersions()) {
+    out += ' ';
+    out += s;
+  }
+  out += ')';
+  return out;
+}
+
+bool handleVersionFlag(int argc, char** argv, std::string_view tool) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::string v = versionString(tool);
+      std::printf("%s\n", v.c_str());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hsis::obs

@@ -1,0 +1,23 @@
+// Shared --version output for every hsis binary: the git SHA the build was
+// made from plus the schema identifiers of every JSON/JSONL artifact this
+// tree can emit, so a dump file and the binary that should read it can be
+// matched without guessing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsis::obs {
+
+/// Schema identifiers of every export format, in the order they landed.
+const std::vector<std::string>& schemaVersions();
+
+/// e.g. "hsis_serve 3395d30 (schemas: hsis-obs-v1 hsis-bench-v1 ...)"
+std::string versionString(std::string_view tool);
+
+/// When argv carries --version (anywhere), print versionString(tool) to
+/// stdout and return true; the caller exits 0. Call before other parsing.
+bool handleVersionFlag(int argc, char** argv, std::string_view tool);
+
+}  // namespace hsis::obs

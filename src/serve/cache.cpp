@@ -1,0 +1,55 @@
+#include "serve/cache.hpp"
+
+namespace hsis::serve {
+
+DesignCache::DesignCache(size_t slots) : slots_(slots == 0 ? 1 : slots) {}
+
+std::optional<size_t> DesignCache::find(const std::string& digest) const {
+  if (digest.empty()) return std::nullopt;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].digest == digest) return i;
+  }
+  return std::nullopt;
+}
+
+void DesignCache::touch(const std::string& digest) {
+  if (std::optional<size_t> i = find(digest)) slots_[*i].lastUse = ++tick_;
+}
+
+size_t DesignCache::assign(const std::string& digest) {
+  // Reuse an existing mapping when one exists (assign is idempotent).
+  if (std::optional<size_t> existing = find(digest)) {
+    slots_[*existing].lastUse = ++tick_;
+    return *existing;
+  }
+  size_t victim = 0;
+  bool haveEmpty = false;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].digest.empty()) {
+      victim = i;
+      haveEmpty = true;
+      break;
+    }
+    if (slots_[i].lastUse < slots_[victim].lastUse) victim = i;
+  }
+  if (!haveEmpty && !slots_[victim].digest.empty()) ++evictions_;
+  slots_[victim].digest = digest;
+  slots_[victim].lastUse = ++tick_;
+  return victim;
+}
+
+void DesignCache::drop(const std::string& digest) {
+  if (std::optional<size_t> i = find(digest)) {
+    slots_[*i].digest.clear();
+    slots_[*i].lastUse = 0;
+  }
+}
+
+std::vector<std::string> DesignCache::residents() const {
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) out.push_back(s.digest);
+  return out;
+}
+
+}  // namespace hsis::serve

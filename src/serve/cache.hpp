@@ -1,0 +1,59 @@
+// The compiled-design cache of hsis_serve: an LRU map from BLIF-MV/Verilog
+// source digest to the worker slot whose Session holds that design
+// compiled (parsed, flattened, FSM + TR built in the worker's BddManager).
+//
+// The cache is a *routing* structure: capacity equals the worker-pool
+// size, because the compiled artifacts live inside the workers' Sessions —
+// one resident design per BddManager. A request whose digest is mapped is
+// routed to that worker and skips parse/flatten/TR entirely (the Session's
+// digest-keyed load() is the ground truth for hit accounting); an unmapped
+// digest is assigned the least-recently-used slot, evicting whatever cold
+// design that worker held.
+//
+// Not thread-safe: the SessionPool mutates it under its scheduling lock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hsis::serve {
+
+class DesignCache {
+ public:
+  explicit DesignCache(size_t slots);
+
+  /// The slot whose session holds `digest`, or nullopt. Does not touch
+  /// recency — call touch() once the request is actually routed.
+  [[nodiscard]] std::optional<size_t> find(const std::string& digest) const;
+
+  /// Mark `digest` most-recently-used (no-op when unmapped).
+  void touch(const std::string& digest);
+
+  /// Map a new digest: an empty slot when one exists, else the
+  /// least-recently-used slot (cold-design eviction — the old mapping is
+  /// dropped). Returns the chosen slot, now MRU.
+  size_t assign(const std::string& digest);
+
+  /// Drop the mapping for `digest` (failed or aborted load left the
+  /// worker's session empty).
+  void drop(const std::string& digest);
+
+  /// Resident digest per slot ("" = empty), for stats frames.
+  [[nodiscard]] std::vector<std::string> residents() const;
+
+  [[nodiscard]] size_t size() const { return slots_.size(); }
+  [[nodiscard]] uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Slot {
+    std::string digest;  ///< "" = empty
+    uint64_t lastUse = 0;
+  };
+  std::vector<Slot> slots_;
+  uint64_t tick_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hsis::serve

@@ -1,0 +1,323 @@
+#include "serve/pool.hpp"
+
+#include <deque>
+#include <thread>
+
+#include "debug/report.hpp"
+#include "obs/control.hpp"
+#include "obs/ledger.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+
+namespace hsis::serve {
+
+struct SessionPool::Job {
+  CheckRequest req;
+  FrameSink sink;
+  std::string digest;
+};
+
+struct SessionPool::Worker {
+  size_t index = 0;
+  Session session;
+  obs::TaskAbort slot;
+  obs::Watchdog dog;
+  std::deque<Job> queue;  ///< guarded by the pool mutex
+  bool busy = false;      ///< guarded by the pool mutex
+  std::thread thread;
+
+  explicit Worker(Session::Options options) : session(options) {}
+};
+
+SessionPool::SessionPool(PoolOptions options)
+    : opts_(options), cache_(options.workers == 0 ? 1 : options.workers) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  counters_.workers = opts_.workers;
+  workers_.reserve(opts_.workers);
+  for (size_t i = 0; i < opts_.workers; ++i) {
+    auto w = std::make_unique<Worker>(opts_.session);
+    w->index = i;
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    Worker& worker = *w;
+    worker.thread = std::thread([this, &worker] { workerMain(worker); });
+  }
+}
+
+SessionPool::~SessionPool() { shutdown(true); }
+
+bool SessionPool::submit(CheckRequest request, FrameSink sink) {
+  // Fill in server defaults / clamp to the ceiling outside the lock.
+  Budget& b = request.budget;
+  if (b.wallSeconds <= 0) b.wallSeconds = opts_.defaultBudget.wallSeconds;
+  if (b.rssMb == 0) b.rssMb = opts_.defaultBudget.rssMb;
+  if (opts_.maxBudget.wallSeconds > 0 &&
+      (b.wallSeconds <= 0 || b.wallSeconds > opts_.maxBudget.wallSeconds))
+    b.wallSeconds = opts_.maxBudget.wallSeconds;
+  if (opts_.maxBudget.rssMb > 0 &&
+      (b.rssMb == 0 || b.rssMb > opts_.maxBudget.rssMb))
+    b.rssMb = opts_.maxBudget.rssMb;
+  std::string digest = request.design.digest();
+
+  std::string accepted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++counters_.rejected;
+      obs::counter("serve.requests.rejected").add();
+      sink(errorFrame(request.id, "server is shutting down"));
+      return false;
+    }
+    if (queuedTotal_ >= opts_.maxQueue) {
+      ++counters_.rejected;
+      obs::counter("serve.requests.rejected").add();
+      sink(errorFrame(request.id,
+                      "queue full (" + std::to_string(queuedTotal_) +
+                          " queued), retry later"));
+      return false;
+    }
+    // Route: resident digest -> its worker (warm session); otherwise take
+    // the LRU slot, evicting that worker's cold design.
+    size_t slot;
+    if (std::optional<size_t> hit = cache_.find(digest)) {
+      slot = *hit;
+      cache_.touch(digest);
+    } else {
+      slot = cache_.assign(digest);
+    }
+    ++queuedTotal_;
+    obs::gauge("serve.queue_depth").set(static_cast<int64_t>(queuedTotal_));
+    ++counters_.accepted;
+    obs::counter("serve.requests.accepted").add();
+    accepted = acceptedFrame(request.id, queuedTotal_);
+    workers_[slot]->queue.push_back(
+        Job{std::move(request), sink, std::move(digest)});
+  }
+  sink(accepted);
+  cv_.notify_all();
+  return true;
+}
+
+void SessionPool::workerMain(Worker& worker) {
+  obs::setThreadName("serve.worker." + std::to_string(worker.index));
+  // The slot outlives every request this thread runs; safe points reached
+  // below observe it, so a per-request watchdog can cancel just this
+  // worker's request.
+  obs::bindTaskAbort(&worker.slot);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !worker.queue.empty(); });
+      if (worker.queue.empty()) {
+        if (stopping_) break;
+        continue;
+      }
+      job = std::move(worker.queue.front());
+      worker.queue.pop_front();
+      --queuedTotal_;
+      obs::gauge("serve.queue_depth").set(static_cast<int64_t>(queuedTotal_));
+      worker.busy = true;
+    }
+    runJob(worker, job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      worker.busy = false;
+    }
+  }
+  obs::bindTaskAbort(nullptr);
+}
+
+void SessionPool::runJob(Worker& worker, Job& job) {
+  obs::Span span("serve.request");
+  obs::WallTimer wall;
+  const CheckRequest& req = job.req;
+  std::string verdict = "error";
+  std::string detail;
+  DoneStats stats;
+
+  // Arm the per-request budget. Current (not peak) RSS: VmHWM is monotonic
+  // over the daemon lifetime, so a peak check would trip forever once any
+  // request ever crossed the limit.
+  obs::WatchdogOptions wo;
+  wo.wallLimitSeconds = req.budget.wallSeconds;
+  wo.memLimitKb = req.budget.rssMb * 1024;
+  wo.pollMs = 20;
+  wo.useCurrentRss = true;
+  wo.target = &worker.slot;
+  if (wo.wallLimitSeconds > 0 || wo.memLimitKb > 0) worker.dog.start(wo);
+
+  try {
+    bool reloaded = worker.session.load(req.design);
+    worker.session.build();
+    stats.cacheHit = !reloaded;
+    stats.readMicros = reloaded ? worker.session.lastBuildMicros() : 0;
+    obs::counter(stats.cacheHit ? "serve.cache.hit" : "serve.cache.miss")
+        .add();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats.cacheHit ? ++counters_.cacheHits : ++counters_.cacheMisses;
+    }
+    job.sink(loadedFrame(req.id, stats.cacheHit, stats.readMicros));
+    HSIS_LOG_INFO("serve.request", "design loaded",
+                  {{"digest", std::string_view(job.digest)},
+                   {"cache", std::string_view(stats.cacheHit ? "hit"
+                                                             : "miss")},
+                   {"read_micros", stats.readMicros}});
+
+    PifFile pif = parsePif(req.pif);
+    worker.session.setFairness(pif.fairness);
+    worker.session.setWantTraces(req.wantTrace);
+    for (const PifProperty& p : pif.properties) {
+      obs::checkAbort();  // between properties, not only at engine depth
+      BugReport r = worker.session.check(p);
+      ++stats.properties;
+      VerdictInfo v;
+      v.property = r.propertyName;
+      v.languageContainment =
+          r.paradigm == BugReport::Paradigm::LanguageContainment;
+      v.holds = r.holds;
+      v.seconds = r.seconds;
+      if (!r.holds && req.wantTrace) {
+        if (r.trace.has_value())
+          v.trace = renderTrace(*r.trace, worker.session.fsm());
+        for (const std::string& n : r.notes) {
+          if (!v.trace.empty()) v.trace += '\n';
+          v.trace += n;
+        }
+      }
+      if (!r.holds) {
+        ++stats.failures;
+        if (!detail.empty()) detail += ", ";
+        detail += r.propertyName;
+      }
+      job.sink(verdictFrame(req.id, v));
+    }
+    verdict = stats.failures == 0 ? "pass" : "fail";
+  } catch (const obs::AbortedError& e) {
+    verdict = "aborted";
+    detail = e.reason();
+  } catch (const std::exception& e) {
+    verdict = "error";
+    detail = e.what();
+  }
+  worker.dog.stop();
+  worker.slot.clear();
+
+  // A failed/aborted load leaves the session empty: drop the cache claim
+  // so the next request for this digest is routed as a plain miss.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!worker.session.resident() || worker.session.digest() != job.digest)
+      cache_.drop(job.digest);
+    if (verdict == "pass" || verdict == "fail") {
+      ++counters_.completed;
+    } else if (verdict == "aborted") {
+      ++counters_.aborted;
+    } else {
+      ++counters_.failed;
+    }
+  }
+  obs::counter(verdict == "aborted"  ? "serve.requests.aborted"
+               : verdict == "error" ? "serve.requests.failed"
+                                    : "serve.requests.completed")
+      .add();
+
+  stats.wallSeconds = wall.seconds();
+  job.sink(doneFrame(req.id, verdict, detail, stats));
+
+  if (!opts_.ledgerPath.empty()) {
+    obs::ledger::Record rec;
+    rec.runId = obs::ledger::runId();
+    rec.time = obs::ledger::timestampUtc();
+    rec.driver = opts_.driverName;
+    rec.subject = req.name.empty() ? job.digest : req.name;
+    rec.result = verdict;
+    rec.detail = detail;
+    rec.digest = job.digest;
+    rec.wallSeconds = stats.wallSeconds;
+    rec.peakRssKb = obs::peakRssKb();
+    rec.gitSha = obs::gitSha();
+    rec.config = std::string("cache=") + (stats.cacheHit ? "hit" : "miss") +
+                 " wall_budget_s=" + std::to_string(req.budget.wallSeconds) +
+                 " rss_budget_mb=" + std::to_string(req.budget.rssMb);
+    rec.obsEnabled = obs::kEnabled;
+    obs::ledger::append(opts_.ledgerPath, rec);
+  }
+}
+
+void SessionPool::shutdown(bool abortInFlight) {
+  std::vector<Job> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      if (abortInFlight) {
+        for (auto& w : workers_) {
+          // Reject everything still queued and cancel the running request;
+          // the slot is only honored by a thread mid-job (runJob clears it
+          // on the way out), so raising it on an idle worker is harmless —
+          // its next wait loops back to the stopping_ exit.
+          for (Job& job : w->queue) dropped.push_back(std::move(job));
+          w->queue.clear();
+          if (w->busy) w->slot.request("server shutdown");
+        }
+        queuedTotal_ = 0;
+        obs::gauge("serve.queue_depth").set(0);
+      }
+    }
+  }
+  for (Job& job : dropped) {
+    ++counters_.rejected;
+    job.sink(errorFrame(job.req.id, "server shutting down"));
+  }
+  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+SessionPool::Stats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.queueDepth = queuedTotal_;
+  s.workers = workers_.size();
+  s.busyWorkers = 0;
+  for (const auto& w : workers_) {
+    if (w->busy) ++s.busyWorkers;
+  }
+  s.evictions = cache_.evictions();
+  s.resident = cache_.residents();
+  return s;
+}
+
+std::string SessionPool::statsJsonObject() const {
+  Stats s = stats();
+  std::string out = "{";
+  out += "\"workers\": " + std::to_string(s.workers);
+  out += ", \"busy_workers\": " + std::to_string(s.busyWorkers);
+  out += ", \"queue_depth\": " + std::to_string(s.queueDepth);
+  out += ", \"accepted\": " + std::to_string(s.accepted);
+  out += ", \"rejected\": " + std::to_string(s.rejected);
+  out += ", \"completed\": " + std::to_string(s.completed);
+  out += ", \"failed\": " + std::to_string(s.failed);
+  out += ", \"aborted\": " + std::to_string(s.aborted);
+  out += ", \"cache_hits\": " + std::to_string(s.cacheHits);
+  out += ", \"cache_misses\": " + std::to_string(s.cacheMisses);
+  out += ", \"evictions\": " + std::to_string(s.evictions);
+  out += ", \"resident\": [";
+  for (size_t i = 0; i < s.resident.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + escapeJson(s.resident[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hsis::serve

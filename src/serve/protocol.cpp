@@ -1,0 +1,272 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+
+#include "obs/obs.hpp"
+
+namespace hsis::serve {
+
+namespace {
+
+using obs::jsonlite::Object;
+using obs::jsonlite::Value;
+
+using obs::jsonlite::find;  // ADL would find it anyway; be explicit
+
+std::string stringField(const Object& obj, const std::string& key,
+                        std::string_view fallback = "") {
+  const Value* v = find(obj, key);
+  if (v == nullptr) return std::string(fallback);
+  if (!v->isString())
+    throw ProtocolError("field '" + key + "' must be a string");
+  return v->str();
+}
+
+double numberField(const Object& obj, const std::string& key,
+                   double fallback = 0.0) {
+  const Value* v = find(obj, key);
+  if (v == nullptr) return fallback;
+  if (!v->isNumber())
+    throw ProtocolError("field '" + key + "' must be a number");
+  return v->number();
+}
+
+bool boolField(const Object& obj, const std::string& key, bool fallback) {
+  const Value* v = find(obj, key);
+  if (v == nullptr) return fallback;
+  if (!std::holds_alternative<bool>(v->v))
+    throw ProtocolError("field '" + key + "' must be a boolean");
+  return v->boolean();
+}
+
+void appendField(std::string& out, std::string_view key,
+                 std::string_view value, bool& first) {
+  if (!first) out += ", ";
+  first = false;
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += value;
+}
+
+void appendString(std::string& out, std::string_view key,
+                  std::string_view value, bool& first) {
+  appendField(out, key, "\"" + escapeJson(value) + "\"", first);
+}
+
+std::string frameHead(std::string_view event, std::string_view id) {
+  std::string out = "{\"schema\": \"";
+  out += kSchema;
+  out += "\", \"event\": \"";
+  out += event;
+  out += "\", \"id\": \"";
+  out += escapeJson(id);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string escapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- requests
+
+Request parseRequest(const std::string& line) {
+  Value doc;
+  try {
+    doc = obs::jsonlite::parse(line);
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("bad JSON: ") + e.what());
+  }
+  if (!doc.isObject()) throw ProtocolError("request must be a JSON object");
+  const Object& obj = doc.object();
+
+  Request req;
+  req.id = stringField(obj, "id");
+  std::string op = stringField(obj, "op");
+  if (op == "ping") {
+    req.op = Request::Op::Ping;
+  } else if (op == "stats") {
+    req.op = Request::Op::Stats;
+  } else if (op == "shutdown") {
+    req.op = Request::Op::Shutdown;
+  } else if (op == "check") {
+    req.op = Request::Op::Check;
+    CheckRequest& c = req.check;
+    c.id = req.id;
+    c.name = stringField(obj, "name");
+    const Value* design = find(obj, "design");
+    if (design == nullptr || !design->isObject())
+      throw ProtocolError("check request needs a 'design' object");
+    const Object& d = design->object();
+    std::string kind = stringField(d, "kind", "verilog");
+    if (kind == "verilog") {
+      c.design.kind = Session::DesignSource::Kind::Verilog;
+    } else if (kind == "blifmv") {
+      c.design.kind = Session::DesignSource::Kind::BlifMv;
+    } else {
+      throw ProtocolError("design kind must be 'verilog' or 'blifmv'");
+    }
+    c.design.text = stringField(d, "text");
+    if (c.design.text.empty())
+      throw ProtocolError("design text must not be empty");
+    c.design.top = stringField(d, "top");
+    c.pif = stringField(obj, "pif");
+    if (const Value* b = find(obj, "budget"); b != nullptr) {
+      if (!b->isObject()) throw ProtocolError("'budget' must be an object");
+      c.budget.wallSeconds = numberField(b->object(), "wall_s");
+      c.budget.rssMb =
+          static_cast<uint64_t>(numberField(b->object(), "rss_mb"));
+    }
+    c.wantTrace = boolField(obj, "want_trace", true);
+  } else {
+    throw ProtocolError("unknown op '" + op + "'");
+  }
+  return req;
+}
+
+std::string renderRequest(const Request& request) {
+  std::string out = "{";
+  bool first = true;
+  appendString(out, "schema", kSchema, first);
+  switch (request.op) {
+    case Request::Op::Ping: appendString(out, "op", "ping", first); break;
+    case Request::Op::Stats: appendString(out, "op", "stats", first); break;
+    case Request::Op::Shutdown:
+      appendString(out, "op", "shutdown", first);
+      break;
+    case Request::Op::Check: appendString(out, "op", "check", first); break;
+  }
+  appendString(out, "id", request.id, first);
+  if (request.op == Request::Op::Check) {
+    const CheckRequest& c = request.check;
+    if (!c.name.empty()) appendString(out, "name", c.name, first);
+    std::string design = "{\"kind\": \"";
+    design += c.design.kind == Session::DesignSource::Kind::Verilog
+                  ? "verilog"
+                  : "blifmv";
+    design += "\", \"text\": \"" + escapeJson(c.design.text) + "\"";
+    if (!c.design.top.empty())
+      design += ", \"top\": \"" + escapeJson(c.design.top) + "\"";
+    design += "}";
+    appendField(out, "design", design, first);
+    appendString(out, "pif", c.pif, first);
+    std::string budget = "{\"wall_s\": " + obs::jsonDouble(c.budget.wallSeconds) +
+                         ", \"rss_mb\": " + std::to_string(c.budget.rssMb) + "}";
+    appendField(out, "budget", budget, first);
+    appendField(out, "want_trace", c.wantTrace ? "true" : "false", first);
+  }
+  out += "}";
+  return out;
+}
+
+// ------------------------------------------------------------------ frames
+
+std::string acceptedFrame(std::string_view id, size_t queueDepth) {
+  std::string out = frameHead("accepted", id);
+  out += ", \"queue_depth\": " + std::to_string(queueDepth) + "}";
+  return out;
+}
+
+std::string loadedFrame(std::string_view id, bool cacheHit,
+                        uint64_t readMicros) {
+  std::string out = frameHead("loaded", id);
+  out += ", \"cache\": \"";
+  out += cacheHit ? "hit" : "miss";
+  out += "\", \"read_micros\": " + std::to_string(readMicros) + "}";
+  return out;
+}
+
+std::string verdictFrame(std::string_view id, const VerdictInfo& verdict) {
+  std::string out = frameHead("verdict", id);
+  out += ", \"property\": \"" + escapeJson(verdict.property) + "\"";
+  out += ", \"paradigm\": \"";
+  out += verdict.languageContainment ? "lc" : "ctl";
+  out += "\", \"holds\": ";
+  out += verdict.holds ? "true" : "false";
+  out += ", \"seconds\": " + obs::jsonDouble(verdict.seconds);
+  if (!verdict.trace.empty())
+    out += ", \"trace\": \"" + escapeJson(verdict.trace) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string doneFrame(std::string_view id, std::string_view verdict,
+                      std::string_view detail, const DoneStats& stats) {
+  std::string out = frameHead("done", id);
+  out += ", \"verdict\": \"";
+  out += verdict;
+  out += "\"";
+  if (!detail.empty())
+    out += ", \"detail\": \"" + escapeJson(detail) + "\"";
+  out += ", \"stats\": {\"cache\": \"";
+  out += stats.cacheHit ? "hit" : "miss";
+  out += "\", \"read_micros\": " + std::to_string(stats.readMicros);
+  out += ", \"wall_s\": " + obs::jsonDouble(stats.wallSeconds);
+  out += ", \"properties\": " + std::to_string(stats.properties);
+  out += ", \"failures\": " + std::to_string(stats.failures);
+  out += "}}";
+  return out;
+}
+
+std::string pongFrame(std::string_view id, std::string_view version) {
+  std::string out = frameHead("pong", id);
+  out += ", \"version\": \"" + escapeJson(version) + "\"}";
+  return out;
+}
+
+std::string statsFrame(std::string_view id,
+                       std::string_view serverJsonObject) {
+  std::string out = frameHead("stats", id);
+  out += ", \"server\": ";
+  out += serverJsonObject;
+  out += "}";
+  return out;
+}
+
+std::string byeFrame(std::string_view id) { return frameHead("bye", id) + "}"; }
+
+std::string errorFrame(std::string_view id, std::string_view message) {
+  std::string out = frameHead("error", id);
+  out += ", \"message\": \"" + escapeJson(message) + "\"}";
+  return out;
+}
+
+Frame parseFrame(const std::string& line) {
+  Frame frame;
+  try {
+    frame.body = obs::jsonlite::parse(line);
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("bad frame JSON: ") + e.what());
+  }
+  if (!frame.body.isObject())
+    throw ProtocolError("frame must be a JSON object");
+  const Object& obj = frame.body.object();
+  frame.event = stringField(obj, "event");
+  if (frame.event.empty()) throw ProtocolError("frame missing 'event'");
+  frame.id = stringField(obj, "id");
+  return frame;
+}
+
+}  // namespace hsis::serve

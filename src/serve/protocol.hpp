@@ -1,0 +1,126 @@
+// hsis::serve wire protocol (schema hsis-serve-v1): line-delimited JSON
+// over a Unix-domain socket. One request per line (client -> server), a
+// stream of frames per request (server -> client), every frame tagged with
+// the request id so responses for concurrent requests can interleave on
+// one connection.
+//
+// Requests:
+//   {"op": "check", "id": ID, "name": NAME,
+//    "design": {"kind": "verilog"|"blifmv", "text": SRC, "top": TOP},
+//    "pif": PIF, "budget": {"wall_s": S, "rss_mb": M}, "want_trace": BOOL}
+//   {"op": "ping", "id": ID}
+//   {"op": "stats", "id": ID}
+//   {"op": "shutdown", "id": ID}
+//
+// Frames (each one line; "schema" on every frame):
+//   {"event": "accepted", "id": ID, "queue_depth": N}
+//   {"event": "loaded",   "id": ID, "cache": "hit"|"miss", "read_micros": N}
+//   {"event": "verdict",  "id": ID, "property": P, "paradigm": "ctl"|"lc",
+//    "holds": BOOL, "seconds": S[, "trace": TEXT]}
+//   {"event": "done",     "id": ID, "verdict": "pass"|"fail"|"aborted"|
+//    "error", "detail": TEXT, "stats": {"cache": ..., "read_micros": N,
+//    "wall_s": S, "properties": N, "failures": N}}
+//   {"event": "pong",     "id": ID, "version": TEXT}
+//   {"event": "stats",    "id": ID, "server": {...}}
+//   {"event": "bye",      "id": ID}
+//   {"event": "error",    "id": ID, "message": TEXT}
+//
+// Parsing reuses obs/jsonlite; rendering is direct (same idiom as the
+// heartbeat/ledger JSONL writers). All functions are pure — no sockets
+// here — so the tests cover the protocol without a server.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "hsis/session.hpp"
+#include "obs/jsonlite.hpp"
+
+namespace hsis::serve {
+
+inline constexpr std::string_view kSchema = "hsis-serve-v1";
+
+/// Malformed request line / frame. The connection survives: the server
+/// answers with an error frame instead of dying.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// ---------------------------------------------------------------- requests
+
+/// Per-request resource budget; 0 = take the server default (which may
+/// itself be "unlimited").
+struct Budget {
+  double wallSeconds = 0.0;
+  uint64_t rssMb = 0;
+};
+
+struct CheckRequest {
+  std::string id;    ///< client-chosen, echoed on every frame
+  std::string name;  ///< display/subject name ("" = digest prefix)
+  Session::DesignSource design;
+  std::string pif;   ///< properties + fairness (PIF text)
+  Budget budget;
+  bool wantTrace = true;
+};
+
+struct Request {
+  enum class Op : uint8_t { Check, Ping, Stats, Shutdown };
+  Op op = Op::Ping;
+  std::string id;
+  CheckRequest check;  ///< valid when op == Op::Check
+};
+
+/// Parse one request line. Throws ProtocolError on malformed input.
+Request parseRequest(const std::string& line);
+/// Render a request as one line (client side), no trailing newline.
+std::string renderRequest(const Request& request);
+
+// ------------------------------------------------------------------ frames
+
+struct VerdictInfo {
+  std::string property;
+  bool languageContainment = false;
+  bool holds = false;
+  double seconds = 0.0;
+  std::string trace;  ///< rendered counterexample text ("" = none)
+};
+
+struct DoneStats {
+  bool cacheHit = false;
+  uint64_t readMicros = 0;
+  double wallSeconds = 0.0;
+  size_t properties = 0;
+  size_t failures = 0;
+};
+
+std::string acceptedFrame(std::string_view id, size_t queueDepth);
+std::string loadedFrame(std::string_view id, bool cacheHit,
+                        uint64_t readMicros);
+std::string verdictFrame(std::string_view id, const VerdictInfo& verdict);
+std::string doneFrame(std::string_view id, std::string_view verdict,
+                      std::string_view detail, const DoneStats& stats);
+std::string pongFrame(std::string_view id, std::string_view version);
+/// `serverJsonObject` must be a pre-rendered JSON object (e.g. from
+/// SessionPool::statsJsonObject).
+std::string statsFrame(std::string_view id, std::string_view serverJsonObject);
+std::string byeFrame(std::string_view id);
+std::string errorFrame(std::string_view id, std::string_view message);
+
+/// A parsed server frame (client side). `body` keeps every field.
+struct Frame {
+  std::string event;
+  std::string id;
+  obs::jsonlite::Value body;
+};
+
+/// Parse one frame line. Throws ProtocolError on malformed input.
+Frame parseFrame(const std::string& line);
+
+/// JSON string-escape (shared by the frame builders and the client).
+std::string escapeJson(std::string_view s);
+
+}  // namespace hsis::serve

@@ -1,0 +1,74 @@
+// The hsis_serve front end: a Unix-domain stream socket speaking the
+// line-delimited hsis-serve-v1 protocol (protocol.hpp), dispatching check
+// requests into the SessionPool (pool.hpp).
+//
+// One reader thread per connection parses request lines and answers
+// ping/stats inline; check requests are submitted to the pool, whose
+// frames are written back through a per-connection writer that serializes
+// concurrent producers (the submitting reader and the worker threads) and
+// survives a client that hangs up mid-stream (writes turn into no-ops, the
+// verification still completes and lands in the ledger).
+//
+// Lifecycle: bind() creates the socket, run() accepts until stop() — which
+// is a single atomic store, safe to call from a signal handler — or until
+// a client sends `{"op": "shutdown"}`. run() joins every connection reader
+// before returning; pool shutdown policy stays with the caller.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/pool.hpp"
+
+namespace hsis::serve {
+
+struct ServerOptions {
+  std::string socketPath;
+  /// Reported in pong frames (tools pass obs::versionString()).
+  std::string version;
+  PoolOptions pool;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< stop() + close + unlink; does NOT shut the pool down
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Create + listen on the socket (an existing socket file is replaced).
+  /// Returns false with a message on failure.
+  bool bind(std::string* error);
+
+  /// Accept/serve until stop(). Joins all connection readers on the way
+  /// out. Call bind() first.
+  void run();
+
+  /// Request run() to wind down. One relaxed atomic store — callable from
+  /// a signal handler.
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stopping() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  SessionPool& pool() { return pool_; }
+  [[nodiscard]] const std::string& socketPath() const {
+    return opts_.socketPath;
+  }
+
+ private:
+  void handleConnection(int fd);
+
+  ServerOptions opts_;
+  SessionPool pool_;
+  std::atomic<bool> stop_{false};
+  int listenFd_ = -1;
+  std::mutex threadsMu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hsis::serve

@@ -633,6 +633,99 @@ TEST(ObsWatchdog, MemLimitUsesPeakRss) {
   clearAbort();
 }
 
+TEST(ObsWatchdog, ArmFireRearmCycle) {
+  // The hsis_serve per-request pattern: one Watchdog instance re-armed for
+  // every request. After a breach the instance must come back clean — no
+  // stale fired() state, no unjoined worker thread, a fresh countdown.
+  clearAbort();
+  Watchdog wd;  // own instance; the process singleton stays untouched
+  WatchdogOptions opts;
+  opts.wallLimitSeconds = 0.005;
+  opts.pollMs = 2;
+
+  // Arm 1: fire.
+  wd.start(opts);
+  for (int i = 0; i < 2000 && !wd.fired(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(wd.fired());
+  EXPECT_FALSE(wd.running());  // a fired watchdog has parked
+  EXPECT_TRUE(abortRequested());
+  clearAbort();
+
+  // Arm 2 (directly after the breach, the latent-state case): a generous
+  // limit must start a fresh countdown — fired() resets and nothing trips.
+  opts.wallLimitSeconds = 60.0;
+  wd.start(opts);
+  EXPECT_TRUE(wd.running());
+  EXPECT_FALSE(wd.fired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(abortRequested());
+  wd.stop();
+  EXPECT_FALSE(wd.running());
+
+  // Arm 3 (after a clean stop): breaches still fire.
+  opts.wallLimitSeconds = 0.005;
+  wd.start(opts);
+  for (int i = 0; i < 2000 && !wd.fired(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(wd.fired());
+  wd.stop();
+  clearAbort();
+}
+
+TEST(ObsTaskAbort, SlotOnlyAffectsBoundThread) {
+  clearAbort();
+  TaskAbort slot;
+  slot.request("per-task stop", "test.phase");
+  // Raised but not bound here: this thread's safe points stay quiet.
+  EXPECT_FALSE(abortRequested());
+
+  bindTaskAbort(&slot);
+  EXPECT_TRUE(abortRequested());
+  try {
+    checkAbort();
+    FAIL() << "checkAbort() must throw for a bound raised slot";
+  } catch (const AbortedError& e) {
+    EXPECT_NE(e.reason().find("per-task stop"), std::string::npos);
+    EXPECT_EQ(e.phase(), "test.phase");
+  }
+  // A neighbor thread without the binding is untouched — the multi-tenant
+  // guarantee the hsis_serve workers need.
+  std::thread neighbor([] { EXPECT_FALSE(abortRequested()); });
+  neighbor.join();
+
+  bindTaskAbort(nullptr);
+  EXPECT_FALSE(abortRequested());
+
+  // Slots are reusable across requests.
+  slot.clear();
+  EXPECT_FALSE(slot.requested());
+  EXPECT_FALSE(slot.info().has_value());
+  slot.request("second request");
+  EXPECT_TRUE(slot.requested());
+  slot.clear();
+}
+
+TEST(ObsTaskAbort, WatchdogTargetRaisesSlotNotProcessFlag) {
+  clearAbort();
+  TaskAbort slot;
+  Watchdog wd;
+  WatchdogOptions opts;
+  opts.wallLimitSeconds = 0.005;
+  opts.pollMs = 2;
+  opts.target = &slot;
+  wd.start(opts);
+  for (int i = 0; i < 2000 && !slot.requested(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(slot.requested());
+  ASSERT_TRUE(slot.info().has_value());
+  EXPECT_NE(slot.info()->reason.find("wall-clock limit"), std::string::npos);
+  // The process-wide flag stayed down: only the targeted worker aborts.
+  EXPECT_FALSE(abortRequested());
+  wd.stop();
+  slot.clear();
+}
+
 // --------------------------------------------------- non-finite doubles
 
 TEST(ObsExport, NonFiniteDoublesBecomeNull) {

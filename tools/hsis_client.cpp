@@ -1,0 +1,331 @@
+// hsis_client — submit work to a running hsis_serve daemon.
+//
+//   hsis_client --socket PATH check --model NAME [options]
+//   hsis_client --socket PATH check --verilog F --pif F [--top M] [options]
+//   hsis_client --socket PATH check --blifmv F --pif F [options]
+//       options: [--name SUBJECT] [--wall-s S] [--rss-mb M] [--no-trace]
+//                [--id ID] [--json]
+//   hsis_client --socket PATH ping
+//   hsis_client --socket PATH stats
+//   hsis_client --socket PATH shutdown
+//
+// Streams the server's frames as they arrive: human-readable by default
+// (the `done` line carries `cache=hit|miss`, which CI greps), raw JSON
+// frames with --json.
+//
+// Exit codes: 0 all properties pass, 1 some property failed, 2 usage /
+// connection / server error, 3 the request was aborted (budget breach).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "models/models.hpp"
+#include "obs/jsonlite.hpp"
+#include "obs/version.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using hsis::serve::Frame;
+using hsis::serve::Request;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hsis_client --socket PATH COMMAND\n"
+      "  check --model NAME | --verilog F --pif F [--top M] |"
+      " --blifmv F --pif F\n"
+      "        [--name SUBJECT] [--wall-s S] [--rss-mb M] [--no-trace]"
+      " [--id ID]\n"
+      "  ping | stats | shutdown\n"
+      "common: --json (raw frames), --version\n");
+  return 2;
+}
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "hsis_client: cannot read %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int connectTo(const std::string& socketPath) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "hsis_client: socket path too long\n");
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("hsis_client: socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "hsis_client: connect(%s): %s\n",
+                 socketPath.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool sendLine(int fd, std::string line) {
+  line += '\n';
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      std::fprintf(stderr, "hsis_client: send failed\n");
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Read one newline-terminated line; false on EOF/error.
+bool readLine(int fd, std::string& buf, std::string& line) {
+  for (;;) {
+    size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+const hsis::obs::jsonlite::Value* field(const Frame& f, const char* key) {
+  return hsis::obs::jsonlite::find(f.body.object(), key);
+}
+
+std::string strField(const Frame& f, const char* key) {
+  const auto* v = field(f, key);
+  return v != nullptr && v->isString() ? v->str() : "";
+}
+
+double numField(const Frame& f, const char* key) {
+  const auto* v = field(f, key);
+  return v != nullptr && v->isNumber() ? v->number() : 0.0;
+}
+
+/// Handle one frame, printing the human rendering when `print` (--json
+/// suppresses it — the raw line was already echoed). Returns the exit code
+/// when the frame is terminal for this interaction, -1 otherwise.
+int handleFrame(const Frame& f, bool print) {
+  if (f.event == "accepted") {
+    if (print)
+      std::printf("accepted (queue depth %.0f)\n",
+                  numField(f, "queue_depth"));
+  } else if (f.event == "loaded") {
+    if (print)
+      std::printf("loaded: cache=%s read_micros=%.0f\n",
+                  strField(f, "cache").c_str(), numField(f, "read_micros"));
+  } else if (f.event == "verdict") {
+    const auto* holds = field(f, "holds");
+    bool ok = holds != nullptr &&
+              std::holds_alternative<bool>(holds->v) && holds->boolean();
+    if (print) {
+      std::printf("%s [%s]: %s (%.3fs)\n", strField(f, "property").c_str(),
+                  strField(f, "paradigm").c_str(), ok ? "PASS" : "FAIL",
+                  numField(f, "seconds"));
+      std::string trace = strField(f, "trace");
+      if (!trace.empty()) std::printf("%s\n", trace.c_str());
+    }
+  } else if (f.event == "done") {
+    std::string verdict = strField(f, "verdict");
+    if (print) {
+      std::string cache = "?";
+      double wall = 0.0;
+      if (const auto* stats = field(f, "stats");
+          stats != nullptr && stats->isObject()) {
+        if (const auto* c =
+                hsis::obs::jsonlite::find(stats->object(), "cache");
+            c != nullptr && c->isString())
+          cache = c->str();
+        if (const auto* w =
+                hsis::obs::jsonlite::find(stats->object(), "wall_s");
+            w != nullptr && w->isNumber())
+          wall = w->number();
+      }
+      std::string detail = strField(f, "detail");
+      std::printf("verdict: %s cache=%s wall_s=%.3f%s%s\n", verdict.c_str(),
+                  cache.c_str(), wall,
+                  detail.empty() ? "" : " detail=", detail.c_str());
+    }
+    if (verdict == "pass") return 0;
+    if (verdict == "fail") return 1;
+    if (verdict == "aborted") return 3;
+    return 2;
+  } else if (f.event == "pong") {
+    if (print) std::printf("pong: %s\n", strField(f, "version").c_str());
+    return 0;
+  } else if (f.event == "bye") {
+    if (print) std::printf("server shutting down\n");
+    return 0;
+  } else if (f.event == "error") {
+    std::fprintf(stderr, "error: %s\n", strField(f, "message").c_str());
+    return 2;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (hsis::obs::handleVersionFlag(argc, argv, "hsis_client")) return 0;
+
+  std::string socketPath;
+  std::string command;
+  std::string model, verilog, blifmv, pif, top, name, id = "req-1";
+  double wallS = 0.0;
+  uint64_t rssMb = 0;
+  bool wantTrace = true;
+  bool rawJson = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const bool hasValue = i + 1 < argc;
+    if (std::strcmp(a, "--socket") == 0 && hasValue) {
+      socketPath = argv[++i];
+    } else if (std::strcmp(a, "--model") == 0 && hasValue) {
+      model = argv[++i];
+    } else if (std::strcmp(a, "--verilog") == 0 && hasValue) {
+      verilog = argv[++i];
+    } else if (std::strcmp(a, "--blifmv") == 0 && hasValue) {
+      blifmv = argv[++i];
+    } else if (std::strcmp(a, "--pif") == 0 && hasValue) {
+      pif = argv[++i];
+    } else if (std::strcmp(a, "--top") == 0 && hasValue) {
+      top = argv[++i];
+    } else if (std::strcmp(a, "--name") == 0 && hasValue) {
+      name = argv[++i];
+    } else if (std::strcmp(a, "--id") == 0 && hasValue) {
+      id = argv[++i];
+    } else if (std::strcmp(a, "--wall-s") == 0 && hasValue) {
+      wallS = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(a, "--rss-mb") == 0 && hasValue) {
+      rssMb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--no-trace") == 0) {
+      wantTrace = false;
+    } else if (std::strcmp(a, "--json") == 0) {
+      rawJson = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage();
+      return 0;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "hsis_client: unknown flag %s\n", a);
+      return usage();
+    } else if (command.empty()) {
+      command = a;
+    } else {
+      return usage();
+    }
+  }
+  if (socketPath.empty() || command.empty()) return usage();
+
+  Request req;
+  req.id = id;
+  if (command == "ping") {
+    req.op = Request::Op::Ping;
+  } else if (command == "stats") {
+    req.op = Request::Op::Stats;
+  } else if (command == "shutdown") {
+    req.op = Request::Op::Shutdown;
+  } else if (command == "check") {
+    req.op = Request::Op::Check;
+    hsis::serve::CheckRequest& c = req.check;
+    c.id = id;
+    c.budget = {wallS, rssMb};
+    c.wantTrace = wantTrace;
+    if (!model.empty()) {
+      const hsis::models::ModelDef* m = hsis::models::find(model);
+      if (m == nullptr) {
+        std::fprintf(stderr, "hsis_client: unknown model %s\n",
+                     model.c_str());
+        return 2;
+      }
+      c.name = name.empty() ? model : name;
+      c.design.kind = hsis::Session::DesignSource::Kind::Verilog;
+      c.design.text = std::string(m->verilog);
+      c.design.top = std::string(m->top);
+      c.pif = std::string(m->pif);
+    } else if (!verilog.empty() && !pif.empty()) {
+      c.name = name.empty() ? verilog : name;
+      c.design.kind = hsis::Session::DesignSource::Kind::Verilog;
+      c.design.text = slurp(verilog.c_str());
+      c.design.top = top;
+      c.pif = slurp(pif.c_str());
+    } else if (!blifmv.empty() && !pif.empty()) {
+      c.name = name.empty() ? blifmv : name;
+      c.design.kind = hsis::Session::DesignSource::Kind::BlifMv;
+      c.design.text = slurp(blifmv.c_str());
+      c.pif = slurp(pif.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "hsis_client: check needs --model, --verilog + --pif, "
+                   "or --blifmv + --pif\n");
+      return usage();
+    }
+  } else {
+    std::fprintf(stderr, "hsis_client: unknown command %s\n",
+                 command.c_str());
+    return usage();
+  }
+
+  int fd = connectTo(socketPath);
+  if (fd < 0) return 2;
+  if (!sendLine(fd, renderRequest(req))) {
+    ::close(fd);
+    return 2;
+  }
+
+  std::string buf, line;
+  int exitCode = 2;  // EOF before a terminal frame = server died
+  while (readLine(fd, buf, line)) {
+    if (line.empty()) continue;
+    if (rawJson) std::printf("%s\n", line.c_str());
+    Frame frame;
+    try {
+      frame = hsis::serve::parseFrame(line);
+    } catch (const hsis::serve::ProtocolError& e) {
+      std::fprintf(stderr, "hsis_client: bad frame: %s\n", e.what());
+      continue;
+    }
+    if (frame.event == "stats") {
+      if (!rawJson) std::printf("%s\n", line.c_str());  // JSON either way
+      exitCode = 0;
+      break;
+    }
+    int r = handleFrame(frame, !rawJson);
+    if (r >= 0) {
+      exitCode = r;
+      break;
+    }
+  }
+  ::close(fd);
+  return exitCode;
+}

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/ledger.hpp"
+#include "obs/version.hpp"
 
 namespace {
 
@@ -39,6 +40,7 @@ void usage() {
 
 int main(int argc, char** argv) {
   using namespace hsis::obs;
+  if (handleVersionFlag(argc, argv, "hsis_report")) return 0;
 
   std::string ledgerFlag;
   bool markdown = false;

@@ -1,0 +1,123 @@
+// hsis_serve — the long-lived verification service.
+//
+//   hsis_serve --socket PATH [--workers N] [--max-queue N]
+//              [--default-wall-s S] [--default-rss-mb M]
+//              [--max-wall-s S] [--max-rss-mb M]
+//
+// Boots a SessionPool (one hsis::Session per worker — one BddManager, one
+// resident compiled design), binds a Unix-domain socket speaking the
+// hsis-serve-v1 line protocol, prints a readiness line
+// (`hsis_serve: listening on PATH`), and serves until SIGINT/SIGTERM or a
+// client `shutdown` request.
+//
+// The shared obs flags all apply (--ledger, --log-level, --stats-json,
+// --heartbeat, --flight-dir, ...); each finished request appends its own
+// ledger record, so `hsis_report list` shows server traffic like any other
+// driver's runs. See docs/serve.md.
+//
+// Exit codes: 0 clean shutdown, 2 usage/bind error.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/control.hpp"
+#include "obs/version.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+std::atomic<hsis::serve::Server*> g_server{nullptr};
+
+extern "C" void onSignal(int) {
+  // stop() is one relaxed atomic store — async-signal-safe.
+  if (hsis::serve::Server* s = g_server.load()) s->stop();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hsis_serve --socket PATH [--workers N] "
+               "[--max-queue N]\n"
+               "                  [--default-wall-s S] [--default-rss-mb M]\n"
+               "                  [--max-wall-s S] [--max-rss-mb M]\n"
+               "plus the shared obs flags (--ledger, --log-level, ...)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (hsis::obs::handleVersionFlag(argc, argv, "hsis_serve")) return 0;
+  // ownLedger: the pool writes one record per request; the process-level
+  // exit record still marks daemon start/stop in the same file.
+  hsis::obs::initDriverObs(argc, argv,
+                           {.driverName = "hsis_serve", .ownLedger = true});
+
+  hsis::serve::ServerOptions opts;
+  opts.version = hsis::obs::versionString("hsis_serve");
+  opts.pool.ledgerPath = hsis::obs::activeLedgerPath();
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const bool hasValue = i + 1 < argc;
+    if (std::strcmp(a, "--socket") == 0 && hasValue) {
+      opts.socketPath = argv[++i];
+    } else if (std::strcmp(a, "--workers") == 0 && hasValue) {
+      opts.pool.workers =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(a, "--max-queue") == 0 && hasValue) {
+      opts.pool.maxQueue =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(a, "--default-wall-s") == 0 && hasValue) {
+      opts.pool.defaultBudget.wallSeconds = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(a, "--default-rss-mb") == 0 && hasValue) {
+      opts.pool.defaultBudget.rssMb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--max-wall-s") == 0 && hasValue) {
+      opts.pool.maxBudget.wallSeconds = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(a, "--max-rss-mb") == 0 && hasValue) {
+      opts.pool.maxBudget.rssMb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "hsis_serve: unknown argument %s\n", a);
+      return usage();
+    }
+  }
+  if (opts.socketPath.empty()) {
+    std::fprintf(stderr, "hsis_serve: --socket PATH is required\n");
+    return usage();
+  }
+
+  hsis::serve::Server server(std::move(opts));
+  std::string error;
+  if (!server.bind(&error)) {
+    std::fprintf(stderr, "hsis_serve: %s\n", error.c_str());
+    return 2;
+  }
+  g_server.store(&server);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("hsis_serve: listening on %s (workers=%zu)\n",
+              server.socketPath().c_str(), server.pool().stats().workers);
+  std::fflush(stdout);
+
+  server.run();
+
+  g_server.store(nullptr);
+  server.pool().shutdown(true);
+  hsis::serve::SessionPool::Stats s = server.pool().stats();
+  std::printf(
+      "hsis_serve: shut down (accepted=%llu completed=%llu aborted=%llu "
+      "failed=%llu cache hit=%llu miss=%llu)\n",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.aborted),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.cacheHits),
+      static_cast<unsigned long long>(s.cacheMisses));
+  hsis::obs::noteRunResult("completed",
+                           "requests=" + std::to_string(s.accepted));
+  return 0;
+}
