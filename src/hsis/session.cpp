@@ -54,6 +54,8 @@ bool Session::load(const DesignSource& source) {
   if (digest == digest_ && resident()) {
     // Compiled-design cache hit: the symbolic machine is already resident.
     lastBuildMicros_ = 0;
+    lastFlattenMicros_ = 0;
+    lastTrMicros_ = 0;
     return false;
   }
   // (Re)compile. Clear the digest first so an abort or parse error leaves
@@ -97,6 +99,8 @@ void Session::unload() {
   linesVerilog_ = 0;
   linesBlifMv_ = 0;
   lastBuildMicros_ = 0;
+  lastFlattenMicros_ = 0;
+  lastTrMicros_ = 0;
 }
 
 void Session::build() {
@@ -105,6 +109,7 @@ void Session::build() {
     throw std::runtime_error("hsis: no design loaded");
   obs::Span span("env.build");
   obs::WallTimer timer;
+  uint64_t flattenMicros = 0;
   try {
     flat_ = blifmv::flatten(design_);
     mgr_ = std::make_unique<BddManager>();
@@ -116,6 +121,7 @@ void Session::build() {
                     {{"note", std::string_view(d)}});
       notes_.push_back(d);
     }
+    flattenMicros = timer.micros();
     if (opts_.partitionedTr) {
       tr_ = TransitionRelation::partitioned(*fsm_, opts_.clusterLimit);
     } else {
@@ -130,6 +136,10 @@ void Session::build() {
     throw;
   }
   lastBuildMicros_ = toMicros(timer.seconds());
+  lastFlattenMicros_ = flattenMicros;
+  lastTrMicros_ = lastBuildMicros_ > flattenMicros
+                      ? lastBuildMicros_ - flattenMicros
+                      : 0;
   obs::gauge("env.read.micros").set(static_cast<int64_t>(lastBuildMicros_));
 }
 

@@ -95,6 +95,13 @@ class Session {
   /// Microseconds the last *actual* build took; 0 right after a load()
   /// that found the design resident.
   [[nodiscard]] uint64_t lastBuildMicros() const { return lastBuildMicros_; }
+  /// Split of lastBuildMicros(): flatten + FSM elaboration vs transition-
+  /// relation construction. Both 0 after a resident-hit load(); the serve
+  /// pool reports them as the "parse" and "tr" request stages.
+  [[nodiscard]] uint64_t lastFlattenMicros() const {
+    return lastFlattenMicros_;
+  }
+  [[nodiscard]] uint64_t lastTrMicros() const { return lastTrMicros_; }
 
   // ---- fairness (affects the CTL checker, not the machine) ----
   /// Replace the fairness constraints. The checker is rebuilt lazily only
@@ -144,6 +151,8 @@ class Session {
   size_t linesVerilog_ = 0;
   size_t linesBlifMv_ = 0;
   uint64_t lastBuildMicros_ = 0;
+  uint64_t lastFlattenMicros_ = 0;
+  uint64_t lastTrMicros_ = 0;
 
   std::unique_ptr<BddManager> mgr_;
   std::unique_ptr<Fsm> fsm_;

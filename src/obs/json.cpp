@@ -12,6 +12,7 @@
 
 #include "obs/control.hpp"
 #include "obs/prof.hpp"
+#include "obs/tracectx.hpp"
 
 namespace hsis::obs {
 
@@ -148,6 +149,7 @@ std::string toJson(const Snapshot& snap) {
              ", \"sum\": " + std::to_string(m.sum) +
              ", \"p50\": " + std::to_string(m.p50) +
              ", \"p90\": " + std::to_string(m.p90) +
+             ", \"p99\": " + std::to_string(m.p99) +
              ", \"max\": " + std::to_string(m.max) + ", \"buckets\": {";
       for (size_t b = 0; b < m.buckets.size(); ++b) {
         if (b != 0) out += ", ";
@@ -222,7 +224,13 @@ std::string toChromeTrace(const Snapshot& snap) {
     out += ", \"cat\": \"hsis\", \"ph\": \"X\", \"pid\": 1";
     out += ", \"tid\": " + std::to_string(s.threadId % 1000000);
     out += ", \"ts\": " + std::to_string(s.startNs / 1000);
-    out += ", \"dur\": " + std::to_string(s.durationNs / 1000) + "}";
+    out += ", \"dur\": " + std::to_string(s.durationNs / 1000);
+    if (s.traceId != 0) {
+      out += ", \"args\": {\"trace\": ";
+      appendEscaped(out, traceIdHex(s.traceId));
+      out += "}";
+    }
+    out += "}";
   }
   // Counter ("C") events from the profiler census series, so node
   // population, RSS, and cache-hit dynamics render as area tracks on the
@@ -259,7 +267,7 @@ std::string toTable(const Snapshot& snap) {
       os << "  " << m.name << "  count=" << m.count << " sum=" << m.sum;
       if (m.count != 0) {
         os << " mean=" << (double)m.sum / (double)m.count << " p50=" << m.p50
-           << " p90=" << m.p90 << " max=" << m.max;
+           << " p90=" << m.p90 << " p99=" << m.p99 << " max=" << m.max;
       }
       os << "\n";
       for (const auto& [low, cnt] : m.buckets) {

@@ -105,6 +105,24 @@ std::string toJsonl(const Record& r) {
   appendEscaped(out, r.gitSha);
   out += ", \"config\": ";
   appendEscaped(out, r.config);
+  // Request-telemetry fields are optional so non-serve records (and every
+  // record written before them) keep their exact shape. They must stay
+  // BEFORE "signal": armCrashRecord splits the line at `"signal": null}`.
+  if (!r.traceId.empty()) {
+    out += ", \"trace_id\": ";
+    appendEscaped(out, r.traceId);
+  }
+  if (!r.stages.empty()) {
+    out += ", \"stages\": {";
+    bool first = true;
+    for (const auto& [name, micros] : r.stages) {
+      if (!first) out += ", ";
+      first = false;
+      appendEscaped(out, name);
+      out += ": " + std::to_string(micros);
+    }
+    out += "}";
+  }
   out += ", \"obs_enabled\": ";
   out += r.obsEnabled ? "true" : "false";
   out += ", \"signal\": ";
@@ -195,7 +213,17 @@ bool parseLine(std::string_view line, Record& r) {
   str("digest", r.digest);
   str("git_sha", r.gitSha);
   str("config", r.config);
+  str("trace_id", r.traceId);
   str("signal", r.signalName);
+  if (const jl::Value* v = jl::find(o, "stages");
+      v != nullptr && v->isObject()) {
+    // jsonlite objects are key-sorted maps; stage-name keys happen to sort
+    // usefully, but consumers must not rely on pipeline order here.
+    for (const auto& [name, val] : v->object()) {
+      if (val.isNumber())
+        r.stages.emplace_back(name, static_cast<uint64_t>(val.number()));
+    }
+  }
   if (const jl::Value* v = jl::find(o, "wall_s"); v != nullptr && v->isNumber())
     r.wallSeconds = v->number();
   if (const jl::Value* v = jl::find(o, "peak_rss_kb");
@@ -464,10 +492,85 @@ std::string renderShow(const std::vector<Record>& records,
     out += "  peak rss: " + std::to_string(r.peakRssKb) + " KiB\n";
     out += "  git sha:  " + r.gitSha + "\n";
     if (!r.config.empty()) out += "  config:   " + r.config + "\n";
+    if (!r.traceId.empty()) out += "  trace:    " + r.traceId + "\n";
+    if (!r.stages.empty()) {
+      out += "  stages:  ";
+      for (const auto& [name, micros] : r.stages) {
+        out += " " + name + "=" + fmtMs(static_cast<double>(micros) * 1e-6) +
+               "ms";
+      }
+      out += "\n";
+    }
     out += "  obs:      " + std::string(r.obsEnabled ? "enabled" : "disabled") +
            "\n";
   }
   if (out.empty()) out = "no records match run id '" + runIdPrefix + "'\n";
+  return out;
+}
+
+std::string renderRequests(const std::vector<Record>& records,
+                           double slowThresholdSeconds, size_t limit,
+                           size_t* outliers) {
+  // The per-request view: only records that carry stage timings (i.e.
+  // hsis_serve traffic) qualify; plain CLI/bench records have no stages.
+  std::vector<const Record*> reqs;
+  for (const Record& r : records) {
+    if (!r.stages.empty()) reqs.push_back(&r);
+  }
+  size_t flagged = 0;
+  std::string out;
+  if (reqs.empty()) {
+    if (outliers != nullptr) *outliers = 0;
+    return "no request records (records with stage timings) in this ledger\n";
+  }
+  static constexpr const char* kStageOrder[] = {"queue", "parse",  "tr",
+                                                "reach", "check", "render"};
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "%-20s %-24s %-8s %-16s %9s %8s %8s %8s %8s %8s %8s\n",
+                "time", "subject", "result", "trace", "wall(ms)", "queue",
+                "parse", "tr", "reach", "check", "render");
+  out += line;
+  size_t start = limit > 0 && reqs.size() > limit ? reqs.size() - limit : 0;
+  for (size_t i = start; i < reqs.size(); ++i) {
+    const Record& r = *reqs[i];
+    auto stageMs = [&](const char* name) -> std::string {
+      for (const auto& [n, micros] : r.stages) {
+        if (n == name) return fmtMs(static_cast<double>(micros) * 1e-6);
+      }
+      return "-";
+    };
+    const bool slow =
+        slowThresholdSeconds > 0.0 && r.wallSeconds > slowThresholdSeconds;
+    if (slow) ++flagged;
+    std::snprintf(line, sizeof line,
+                  "%-20s %-24s %-8s %-16s %9s %8s %8s %8s %8s %8s %8s%s\n",
+                  r.time.c_str(), r.subject.c_str(), r.result.c_str(),
+                  r.traceId.empty() ? "-" : r.traceId.c_str(),
+                  fmtMs(r.wallSeconds).c_str(), stageMs("queue").c_str(),
+                  stageMs("parse").c_str(), stageMs("tr").c_str(),
+                  stageMs("reach").c_str(), stageMs("check").c_str(),
+                  stageMs("render").c_str(), slow ? "  SLOW" : "");
+    out += line;
+    // Stages outside the canonical pipeline still show up, appended as an
+    // extra detail line, so nothing recorded is invisible.
+    std::string extra;
+    for (const auto& [n, micros] : r.stages) {
+      bool known = false;
+      for (const char* k : kStageOrder) known = known || n == k;
+      if (!known)
+        extra += " " + n + "=" + fmtMs(static_cast<double>(micros) * 1e-6) +
+                 "ms";
+    }
+    if (!extra.empty()) out += "    other:" + extra + "\n";
+  }
+  char summary[128];
+  std::snprintf(summary, sizeof summary,
+                "%zu request(s), %zu outlier(s) past %.3fs\n",
+                reqs.size() - start, flagged,
+                slowThresholdSeconds > 0.0 ? slowThresholdSeconds : 0.0);
+  out += summary;
+  if (outliers != nullptr) *outliers = flagged;
   return out;
 }
 

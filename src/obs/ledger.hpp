@@ -48,6 +48,13 @@ struct Record {
   uint64_t peakRssKb = 0;
   std::string gitSha;
   std::string config;     ///< free-form flag/config summary
+  /// Request trace id in hex (hsis_serve requests; "" elsewhere). Joins
+  /// the record against the daemon's log events, spans, and slow-request
+  /// artifact directory for the same request.
+  std::string traceId;
+  /// Per-stage wall micros (e.g. "queue", "parse", "tr", "reach", "check",
+  /// "render"), in stage order. Empty for drivers without stage timing.
+  std::vector<std::pair<std::string, uint64_t>> stages;
   bool obsEnabled = true;
   std::string signalName; ///< "SIGSEGV" etc. for crashed records, else ""
 };
@@ -122,6 +129,14 @@ std::string renderList(const std::vector<Record>& records, size_t limit);
 /// Every field of the records of one run id, human-readable.
 std::string renderShow(const std::vector<Record>& records,
                        const std::string& runIdPrefix);
+/// Per-request view: one row per record carrying stage timings (hsis_serve
+/// traffic), with trace id, per-stage milliseconds, and a SLOW flag when
+/// the wall time exceeds `slowThresholdSeconds` (<= 0 disables). `limit`
+/// keeps only the most recent N rows (0 = all); `outliers`, when given,
+/// receives the flagged-row count.
+std::string renderRequests(const std::vector<Record>& records,
+                           double slowThresholdSeconds, size_t limit,
+                           size_t* outliers = nullptr);
 
 // ------------------------------------------------------------ crash arming
 

@@ -18,6 +18,7 @@
 #include "obs/control.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
+#include "obs/tracectx.hpp"
 
 namespace hsis::obs::log {
 
@@ -187,6 +188,7 @@ void event(Level level, std::string_view component, std::string_view message,
   thread_local uint64_t tseq = 0;
   ++tseq;
   const uint64_t tid = currentThreadId();
+  const uint64_t trace = currentTraceId();
 
   // One rendering serves the ring and both sinks.
   std::string line;
@@ -196,6 +198,7 @@ void event(Level level, std::string_view component, std::string_view message,
   line += "\", \"t_ns\": " + std::to_string(tNs);
   line += ", \"tid\": " + std::to_string(tid);
   line += ", \"tseq\": " + std::to_string(tseq);
+  if (trace != 0) line += ", \"trace\": \"" + traceIdHex(trace) + "\"";
   line += ", \"comp\": ";
   appendEscaped(line, component);
   line += ", \"msg\": ";
@@ -226,6 +229,7 @@ void event(Level level, std::string_view component, std::string_view message,
       ringLine += "\", \"t_ns\": " + std::to_string(tNs);
       ringLine += ", \"tid\": " + std::to_string(tid);
       ringLine += ", \"tseq\": " + std::to_string(tseq);
+      if (trace != 0) ringLine += ", \"trace\": \"" + traceIdHex(trace) + "\"";
       ringLine += ", \"comp\": ";
       appendEscaped(ringLine, component);
       ringLine += ", \"msg\": ";
@@ -403,6 +407,16 @@ size_t safeAppendU64(char* dst, size_t cap, size_t at, uint64_t v) {
   return at;
 }
 
+/// 16 zero-padded lowercase hex digits (the trace-id wire format), without
+/// snprintf — safe in a handler.
+size_t safeAppendHex16(char* dst, size_t cap, size_t at, uint64_t v) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    if (at < cap) dst[at++] = kHex[(v >> shift) & 0xf];
+  }
+  return at;
+}
+
 /// Current RSS in KiB via /proc/self/statm (field 2, pages). Only
 /// open/read/close — safe in a handler.
 uint64_t signalSafeRssKb(long pageKb) {
@@ -455,6 +469,24 @@ void writeDump(const char* reason) {
   at = safeAppendU64(head, sizeof head, at, log::eventCount());
   at = safeAppendStr(head, sizeof head, at, "}\n");
   writeAll(fd, head, at);
+
+  // In-flight request traces: one line per bound TraceContext, read from
+  // the lock-free active-trace table, so a crash mid-request names the
+  // request(s) that were running. Same hex format as the log events'
+  // "trace" field.
+  for (size_t i = 0; i < trace_detail::kMaxActiveTraces; ++i) {
+    uint64_t tid = 0, traceId = 0;
+    if (!trace_detail::activeTraceSlot(i, &tid, &traceId)) continue;
+    char line[128];
+    size_t n = 0;
+    n = safeAppendStr(line, sizeof line, n,
+                      "{\"kind\": \"active_trace\", \"tid\": ");
+    n = safeAppendU64(line, sizeof line, n, tid);
+    n = safeAppendStr(line, sizeof line, n, ", \"trace\": \"");
+    n = safeAppendHex16(line, sizeof line, n, traceId);
+    n = safeAppendStr(line, sizeof line, n, "\"}\n");
+    writeAll(fd, line, n);
+  }
 
   // Phase stacks, then census (each a pre-rendered, newline-terminated
   // block; -1 = never published).

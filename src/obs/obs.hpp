@@ -54,6 +54,7 @@ struct MetricSample {
   uint64_t max = 0;
   uint64_t p50 = 0;
   uint64_t p90 = 0;
+  uint64_t p99 = 0;
   /// Histogram only: (inclusive lower bound, count) per non-empty bucket.
   std::vector<std::pair<uint64_t, uint64_t>> buckets;
 };
@@ -66,6 +67,9 @@ struct SpanSample {
   uint64_t threadId = 0;
   uint64_t startNs = 0;   ///< monotonic clock, ns
   uint64_t durationNs = 0;
+  /// Bound request trace id at span creation (obs/tracectx.hpp), 0 when
+  /// the span ran outside any request.
+  uint64_t traceId = 0;
 };
 
 /// One profiler census tick, reduced to the scalar series the Chrome-trace
@@ -297,6 +301,7 @@ class Span {
   int64_t parent_;
   uint32_t depth_;
   uint64_t startNs_;
+  uint64_t traceId_;
 };
 
 #else  // HSIS_OBS_DISABLE -------------------------------------------------
@@ -391,6 +396,23 @@ class Span {
 };
 
 #endif  // HSIS_OBS_DISABLE
+
+// ------------------------------------------------------- histogram summary
+
+/// A histogram reduced to its headline numbers, for callers (the serve
+/// stats stream) that want quantiles without carrying the bucket vector.
+/// Quantiles are bucket lower bounds, the same approximation
+/// Registry::collect() exports. A disabled build returns all-zero.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
+HistogramSummary summarizeHistogram(const Histogram& h);
 
 // ------------------------------------------------------------ wall clock
 

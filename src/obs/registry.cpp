@@ -124,12 +124,14 @@ std::vector<MetricSample> Registry::collect() const {
     if (s.count > 0) {
       uint64_t n50 = (s.count + 1) / 2;          // ceil(count * 0.50)
       uint64_t n90 = (s.count * 9 + 9) / 10;     // ceil(count * 0.90)
+      uint64_t n99 = (s.count * 99 + 99) / 100;  // ceil(count * 0.99)
       uint64_t cum = 0;
       for (const auto& [low, c] : s.buckets) {
         uint64_t prev = cum;
         cum += c;
         if (prev < n50 && n50 <= cum) s.p50 = low;
         if (prev < n90 && n90 <= cum) s.p90 = low;
+        if (prev < n99 && n99 <= cum) s.p99 = low;
       }
     }
     out.push_back(std::move(s));
@@ -141,7 +143,32 @@ std::vector<MetricSample> Registry::collect() const {
   return out;
 }
 
+HistogramSummary summarizeHistogram(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.max = h.maxValue();
+  if (s.count == 0) return s;
+  const uint64_t n50 = (s.count + 1) / 2;
+  const uint64_t n90 = (s.count * 9 + 9) / 10;
+  const uint64_t n99 = (s.count * 99 + 99) / 100;
+  uint64_t cum = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const uint64_t c = h.bucketCount(b);
+    if (c == 0) continue;
+    const uint64_t prev = cum;
+    cum += c;
+    const uint64_t low = Histogram::bucketLow(b);
+    if (prev < n50 && n50 <= cum) s.p50 = low;
+    if (prev < n90 && n90 <= cum) s.p90 = low;
+    if (prev < n99 && n99 <= cum) s.p99 = low;
+  }
+  return s;
+}
+
 #else  // HSIS_OBS_DISABLE
+
+HistogramSummary summarizeHistogram(const Histogram&) { return {}; }
 
 Counter Registry::dummyCounter_;
 Gauge Registry::dummyGauge_;

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "obs/control.hpp"
+#include "obs/tracectx.hpp"
 
 namespace hsis::obs {
 
@@ -144,7 +145,8 @@ void Tracer::clear() {
 Span::Span(std::string_view name)
     : name_(name),
       id_(g_nextSpanId.fetch_add(1, std::memory_order_relaxed)),
-      startNs_(WallTimer::nowNs()) {
+      startNs_(WallTimer::nowNs()),
+      traceId_(currentTraceId()) {
   ThreadStack& ts = threadStack();
   parent_ = ts.active.empty() ? -1 : static_cast<int64_t>(ts.active.back());
   depth_ = static_cast<uint32_t>(ts.active.size());
@@ -166,6 +168,7 @@ Span::~Span() {
   s.threadId = currentThreadId();
   s.startNs = startNs_;
   s.durationNs = end - startNs_;
+  s.traceId = traceId_;
   Tracer::instance().emit(std::move(s));
 }
 

@@ -1,0 +1,73 @@
+// hsis::obs — request-scoped trace context.
+//
+// A TraceContext is the identity of one unit of externally submitted work
+// (an hsis_serve check request): a 64-bit trace id plus the client-chosen
+// request id. Binding it to a thread (TraceScope) makes every Span, every
+// HSIS_LOG_* event, and every flight-recorder dump produced on that thread
+// carry the trace id, so one request's footprint can be pulled out of a
+// multi-tenant daemon's telemetry — the span ring, the JSONL log, the
+// ledger, and a crash dump all join on the same 16-hex-digit key.
+//
+// The binding is the same thread-local pattern as bindTaskAbort: one
+// pointer store on bind/unbind, one thread-local load on the hot query
+// (`currentTraceId()`), and the bound context must outlive the binding.
+// Everything here stays LIVE under HSIS_OBS_DISABLE — request identity is
+// control flow, not measurement (same rule as the ledger and abort flag).
+//
+// For the flight recorder, bound contexts are mirrored into a small fixed
+// table of atomic (thread id, trace id) slots that the signal handler can
+// read without locks or allocation: a daemon crashing mid-request dumps
+// one `{"kind": "active_trace", ...}` line per in-flight request, so the
+// crash is attributable to the request(s) that were running.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hsis::obs {
+
+struct TraceContext {
+  uint64_t traceId = 0;   ///< nonzero; 0 means "no trace"
+  std::string requestId;  ///< client-chosen request id ("" when unknown)
+};
+
+/// 16 lowercase hex digits, zero-padded ("0000…0000" for id 0).
+std::string traceIdHex(uint64_t id);
+/// Parse 1..16 hex digits; 0 on empty or malformed input.
+uint64_t parseTraceId(std::string_view hex) noexcept;
+/// A fresh nonzero process-unique trace id (mixed from time, pid, and a
+/// process-wide counter; not cryptographic).
+uint64_t newTraceId();
+
+/// Bind `ctx` as the calling thread's trace context (nullptr unbinds).
+/// The context must outlive the binding. Also claims/releases a slot in
+/// the signal-safe active-trace table.
+void bindTraceContext(const TraceContext* ctx);
+[[nodiscard]] const TraceContext* currentTraceContext() noexcept;
+/// Hot-path query: the bound trace id, or 0 when the thread has none.
+[[nodiscard]] uint64_t currentTraceId() noexcept;
+
+/// RAII binding: `obs::TraceScope scope(ctx);` for the span of a request.
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& ctx) { bindTraceContext(&ctx); }
+  ~TraceScope() { bindTraceContext(nullptr); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+};
+
+/// Every (thread id, trace id) pair currently bound, normal-context copy
+/// (thread ids use the tracer's hash, matching SpanSample::threadId).
+std::vector<std::pair<uint64_t, uint64_t>> activeTraces();
+
+namespace trace_detail {
+inline constexpr size_t kMaxActiveTraces = 64;
+/// Signal-safe raw read of one active-trace slot: no locks, no allocation.
+/// Returns false when the slot is empty (or `i` out of range).
+bool activeTraceSlot(size_t i, uint64_t* threadId, uint64_t* traceId) noexcept;
+}  // namespace trace_detail
+
+}  // namespace hsis::obs

@@ -8,6 +8,8 @@
 #include "obs/ledger.hpp"
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
+#include "obs/tracectx.hpp"
+#include "serve/telemetry.hpp"
 
 namespace hsis::serve {
 
@@ -15,7 +17,42 @@ struct SessionPool::Job {
   CheckRequest req;
   FrameSink sink;
   std::string digest;
+  uint64_t traceId = 0;    ///< resolved at admission, nonzero
+  uint64_t enqueueNs = 0;  ///< admission time; queue stage + wall origin
+  uint64_t dequeueNs = 0;  ///< worker pickup time (set by workerMain)
 };
+
+namespace {
+
+/// The per-stage serve.latency.* histograms (micros). Registered once;
+/// references are stable for the process lifetime (obs::Registry).
+struct LatencyHistograms {
+  obs::Histogram& queue = obs::histogram("serve.latency.queue");
+  obs::Histogram& parse = obs::histogram("serve.latency.parse");
+  obs::Histogram& tr = obs::histogram("serve.latency.tr");
+  obs::Histogram& reach = obs::histogram("serve.latency.reach");
+  obs::Histogram& check = obs::histogram("serve.latency.check");
+  obs::Histogram& render = obs::histogram("serve.latency.render");
+  obs::Histogram& total = obs::histogram("serve.latency.total");
+};
+
+LatencyHistograms& latencyHistograms() {
+  static LatencyHistograms h;
+  return h;
+}
+
+void recordStageLatencies(const StageMicros& st, uint64_t totalMicros) {
+  LatencyHistograms& h = latencyHistograms();
+  h.queue.record(st.queue);
+  h.parse.record(st.parse);
+  h.tr.record(st.tr);
+  h.reach.record(st.reach);
+  h.check.record(st.check);
+  h.render.record(st.render);
+  h.total.record(totalMicros);
+}
+
+}  // namespace
 
 struct SessionPool::Worker {
   size_t index = 0;
@@ -30,7 +67,9 @@ struct SessionPool::Worker {
 };
 
 SessionPool::SessionPool(PoolOptions options)
-    : opts_(options), cache_(options.workers == 0 ? 1 : options.workers) {
+    : opts_(options),
+      startNs_(obs::WallTimer::nowNs()),
+      cache_(options.workers == 0 ? 1 : options.workers) {
   if (opts_.workers == 0) opts_.workers = 1;
   counters_.workers = opts_.workers;
   workers_.reserve(opts_.workers);
@@ -59,6 +98,13 @@ bool SessionPool::submit(CheckRequest request, FrameSink sink) {
       (b.rssMb == 0 || b.rssMb > opts_.maxBudget.rssMb))
     b.rssMb = opts_.maxBudget.rssMb;
   std::string digest = request.design.digest();
+  // Resolve the request's trace identity at admission so the accepted
+  // frame already carries it. A client-supplied id (16 hex digits) wins;
+  // anything absent or malformed gets a fresh server-assigned id.
+  uint64_t traceId = obs::parseTraceId(request.traceId);
+  if (traceId == 0) traceId = obs::newTraceId();
+  const std::string traceHex = obs::traceIdHex(traceId);
+  const uint64_t enqueueNs = obs::WallTimer::nowNs();
 
   std::string accepted;
   {
@@ -90,9 +136,9 @@ bool SessionPool::submit(CheckRequest request, FrameSink sink) {
     obs::gauge("serve.queue_depth").set(static_cast<int64_t>(queuedTotal_));
     ++counters_.accepted;
     obs::counter("serve.requests.accepted").add();
-    accepted = acceptedFrame(request.id, queuedTotal_);
+    accepted = acceptedFrame(request.id, queuedTotal_, traceHex);
     workers_[slot]->queue.push_back(
-        Job{std::move(request), sink, std::move(digest)});
+        Job{std::move(request), sink, std::move(digest), traceId, enqueueNs});
   }
   sink(accepted);
   cv_.notify_all();
@@ -116,6 +162,7 @@ void SessionPool::workerMain(Worker& worker) {
       }
       job = std::move(worker.queue.front());
       worker.queue.pop_front();
+      job.dequeueNs = obs::WallTimer::nowNs();
       --queuedTotal_;
       obs::gauge("serve.queue_depth").set(static_cast<int64_t>(queuedTotal_));
       worker.busy = true;
@@ -130,12 +177,20 @@ void SessionPool::workerMain(Worker& worker) {
 }
 
 void SessionPool::runJob(Worker& worker, Job& job) {
+  // Bind the request's identity first: every Span, HSIS_LOG_* event, and
+  // flight-recorder mirror on this thread now carries the trace id until
+  // the scope closes. The span must nest inside the scope so it is stamped.
+  obs::TraceContext traceCtx{job.traceId, job.req.id};
+  obs::TraceScope traceScope(traceCtx);
+  const std::string traceHex = obs::traceIdHex(job.traceId);
   obs::Span span("serve.request");
-  obs::WallTimer wall;
   const CheckRequest& req = job.req;
   std::string verdict = "error";
   std::string detail;
   DoneStats stats;
+  stats.stages.queue =
+      job.dequeueNs > job.enqueueNs ? (job.dequeueNs - job.enqueueNs) / 1000
+                                    : 0;
 
   // Arm the per-request budget. Current (not peak) RSS: VmHWM is monotonic
   // over the daemon lifetime, so a peak check would trip forever once any
@@ -149,29 +204,57 @@ void SessionPool::runJob(Worker& worker, Job& job) {
   if (wo.wallLimitSeconds > 0 || wo.memLimitKb > 0) worker.dog.start(wo);
 
   try {
+    obs::WallTimer stageTimer;
     bool reloaded = worker.session.load(req.design);
     worker.session.build();
+    const uint64_t loadBuildMicros = stageTimer.micros();
     stats.cacheHit = !reloaded;
     stats.readMicros = reloaded ? worker.session.lastBuildMicros() : 0;
+    // Stage split: the Session separates TR construction from the rest of
+    // the build; everything else under load+build (parse, flatten, FSM
+    // elaboration) counts as "parse". A cache hit leaves both at ~0.
+    stats.stages.tr = worker.session.lastTrMicros();
+    stats.stages.parse = loadBuildMicros > stats.stages.tr
+                             ? loadBuildMicros - stats.stages.tr
+                             : 0;
     obs::counter(stats.cacheHit ? "serve.cache.hit" : "serve.cache.miss")
         .add();
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats.cacheHit ? ++counters_.cacheHits : ++counters_.cacheMisses;
     }
-    job.sink(loadedFrame(req.id, stats.cacheHit, stats.readMicros));
+    job.sink(loadedFrame(req.id, stats.cacheHit, stats.readMicros, traceHex));
     HSIS_LOG_INFO("serve.request", "design loaded",
                   {{"digest", std::string_view(job.digest)},
                    {"cache", std::string_view(stats.cacheHit ? "hit"
                                                              : "miss")},
                    {"read_micros", stats.readMicros}});
 
+    stageTimer.restart();
     PifFile pif = parsePif(req.pif);
     worker.session.setFairness(pif.fairness);
     worker.session.setWantTraces(req.wantTrace);
+    stats.stages.parse += stageTimer.micros();
+
+    // Force the reached-state fixpoint once, as its own stage, when any
+    // CTL property will need it. The checker caches the result, so the
+    // per-property "check" stage below measures pure model checking — and
+    // a warm re-submission reports reach ~0 instead of re-paying it.
+    bool anyCtl = false;
+    for (const PifProperty& p : pif.properties)
+      anyCtl = anyCtl || p.kind == PifProperty::Kind::Ctl;
+    if (anyCtl) {
+      stageTimer.restart();
+      obs::Span reachSpan("serve.stage.reach");
+      (void)worker.session.checker().reached();
+      stats.stages.reach = stageTimer.micros();
+    }
+
     for (const PifProperty& p : pif.properties) {
       obs::checkAbort();  // between properties, not only at engine depth
+      stageTimer.restart();
       BugReport r = worker.session.check(p);
+      stats.stages.check += stageTimer.micros();
       ++stats.properties;
       VerdictInfo v;
       v.property = r.propertyName;
@@ -180,19 +263,21 @@ void SessionPool::runJob(Worker& worker, Job& job) {
       v.holds = r.holds;
       v.seconds = r.seconds;
       if (!r.holds && req.wantTrace) {
+        stageTimer.restart();
         if (r.trace.has_value())
           v.trace = renderTrace(*r.trace, worker.session.fsm());
         for (const std::string& n : r.notes) {
           if (!v.trace.empty()) v.trace += '\n';
           v.trace += n;
         }
+        stats.stages.render += stageTimer.micros();
       }
       if (!r.holds) {
         ++stats.failures;
         if (!detail.empty()) detail += ", ";
         detail += r.propertyName;
       }
-      job.sink(verdictFrame(req.id, v));
+      job.sink(verdictFrame(req.id, v, traceHex));
     }
     verdict = stats.failures == 0 ? "pass" : "fail";
   } catch (const obs::AbortedError& e) {
@@ -224,8 +309,15 @@ void SessionPool::runJob(Worker& worker, Job& job) {
                                     : "serve.requests.completed")
       .add();
 
-  stats.wallSeconds = wall.seconds();
-  job.sink(doneFrame(req.id, verdict, detail, stats));
+  // Wall is end-to-end (admission -> done), so the stage micros — queue
+  // included — account for it: their sum tracks wall_s to within the
+  // untimed slivers (frame I/O, counter updates).
+  const uint64_t doneNs = obs::WallTimer::nowNs();
+  const uint64_t totalMicros =
+      doneNs > job.enqueueNs ? (doneNs - job.enqueueNs) / 1000 : 0;
+  stats.wallSeconds = static_cast<double>(totalMicros) * 1e-6;
+  recordStageLatencies(stats.stages, totalMicros);
+  job.sink(doneFrame(req.id, verdict, detail, stats, traceHex));
 
   if (!opts_.ledgerPath.empty()) {
     obs::ledger::Record rec;
@@ -242,8 +334,40 @@ void SessionPool::runJob(Worker& worker, Job& job) {
     rec.config = std::string("cache=") + (stats.cacheHit ? "hit" : "miss") +
                  " wall_budget_s=" + std::to_string(req.budget.wallSeconds) +
                  " rss_budget_mb=" + std::to_string(req.budget.rssMb);
+    rec.traceId = traceHex;
+    rec.stages = {{"queue", stats.stages.queue},
+                  {"parse", stats.stages.parse},
+                  {"tr", stats.stages.tr},
+                  {"reach", stats.stages.reach},
+                  {"check", stats.stages.check},
+                  {"render", stats.stages.render}};
     rec.obsEnabled = obs::kEnabled;
     obs::ledger::append(opts_.ledgerPath, rec);
+  }
+
+  // Slow-request auto-capture: after the done frame, so the client never
+  // waits on artifact I/O. One call site -> at most one capture/request.
+  if (opts_.slowThresholdSeconds > 0 && !opts_.artifactDir.empty() &&
+      stats.wallSeconds > opts_.slowThresholdSeconds) {
+    SlowRequestInfo info;
+    info.traceId = job.traceId;
+    info.requestId = req.id;
+    info.name = req.name.empty() ? job.digest : req.name;
+    info.digest = job.digest;
+    info.verdict = verdict;
+    info.detail = detail;
+    info.cacheHit = stats.cacheHit;
+    info.wallSeconds = stats.wallSeconds;
+    info.thresholdSeconds = opts_.slowThresholdSeconds;
+    info.stages = stats.stages;
+    std::string dir = writeSlowRequestArtifacts(opts_.artifactDir, info);
+    if (!dir.empty()) {
+      obs::counter("serve.slow_captures").add();
+      HSIS_LOG_WARN("serve.request", "slow request captured",
+                    {{"wall_s", stats.wallSeconds},
+                     {"threshold_s", opts_.slowThresholdSeconds},
+                     {"artifact_dir", std::string_view(dir)}});
+    }
   }
 }
 
@@ -317,6 +441,54 @@ std::string SessionPool::statsJsonObject() const {
     out += "\"" + escapeJson(s.resident[i]) + "\"";
   }
   out += "]}";
+  return out;
+}
+
+std::string SessionPool::statsStreamJson() const {
+  Stats s = stats();
+  const uint64_t nowNs = obs::WallTimer::nowNs();
+  const double tSeconds =
+      nowNs > startNs_ ? static_cast<double>(nowNs - startNs_) * 1e-9 : 0.0;
+  const uint64_t lookups = s.cacheHits + s.cacheMisses;
+  const double hitRate =
+      lookups > 0 ? static_cast<double>(s.cacheHits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  std::string out = "{";
+  out += "\"t_s\": " + obs::jsonDouble(tSeconds);
+  out += ", \"queue_depth\": " + std::to_string(s.queueDepth);
+  out += ", \"workers\": " + std::to_string(s.workers);
+  out += ", \"busy_workers\": " + std::to_string(s.busyWorkers);
+  out += ", \"rss_kb\": " + std::to_string(obs::currentRssKb());
+  out += ", \"requests\": {\"accepted\": " + std::to_string(s.accepted);
+  out += ", \"rejected\": " + std::to_string(s.rejected);
+  out += ", \"completed\": " + std::to_string(s.completed);
+  out += ", \"failed\": " + std::to_string(s.failed);
+  out += ", \"aborted\": " + std::to_string(s.aborted);
+  out += "}, \"cache\": {\"hits\": " + std::to_string(s.cacheHits);
+  out += ", \"misses\": " + std::to_string(s.cacheMisses);
+  out += ", \"evictions\": " + std::to_string(s.evictions);
+  out += ", \"hit_rate\": " + obs::jsonDouble(hitRate);
+  out += "}, \"latency_us\": {";
+  const LatencyHistograms& h = latencyHistograms();
+  const std::pair<const char*, const obs::Histogram*> stages[] = {
+      {"queue", &h.queue}, {"parse", &h.parse},   {"tr", &h.tr},
+      {"reach", &h.reach}, {"check", &h.check},   {"render", &h.render},
+      {"total", &h.total}};
+  bool first = true;
+  for (const auto& [name, hist] : stages) {
+    obs::HistogramSummary sum = obs::summarizeHistogram(*hist);
+    if (!first) out += ", ";
+    first = false;
+    out += std::string("\"") + name + "\": {\"count\": " +
+           std::to_string(sum.count);
+    out += ", \"p50\": " + std::to_string(sum.p50);
+    out += ", \"p90\": " + std::to_string(sum.p90);
+    out += ", \"p99\": " + std::to_string(sum.p99);
+    out += ", \"max\": " + std::to_string(sum.max);
+    out += "}";
+  }
+  out += "}}";
   return out;
 }
 

@@ -47,6 +47,11 @@ struct PoolOptions {
   std::string ledgerPath;
   /// "driver" field of the ledger records.
   std::string driverName = "hsis_serve";
+  /// Slow-request auto-capture: a request whose wall time (enqueue -> done)
+  /// exceeds this gets its profile/trace/census written under artifactDir,
+  /// in a directory named by its trace id. 0 or an empty dir disables.
+  double slowThresholdSeconds = 0.0;
+  std::string artifactDir;
   Session::Options session;
 };
 
@@ -90,6 +95,10 @@ class SessionPool {
   [[nodiscard]] Stats stats() const;
   /// Stats as a rendered JSON object (for the stats frame).
   [[nodiscard]] std::string statsJsonObject() const;
+  /// The hsis-serve-stats-v1 time-series payload for one stats-stream
+  /// tick: pool counters plus RSS and the per-stage latency quantiles from
+  /// the serve.latency.* histograms.
+  [[nodiscard]] std::string statsStreamJson() const;
 
  private:
   struct Worker;
@@ -98,6 +107,7 @@ class SessionPool {
   void runJob(Worker& worker, Job& job);
 
   PoolOptions opts_;
+  uint64_t startNs_ = 0;  ///< pool construction time, t_s origin
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;

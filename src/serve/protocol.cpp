@@ -109,6 +109,12 @@ Request parseRequest(const std::string& line) {
     req.op = Request::Op::Ping;
   } else if (op == "stats") {
     req.op = Request::Op::Stats;
+  } else if (op == "stats-stream") {
+    req.op = Request::Op::StatsStream;
+    double interval = numberField(obj, "interval_ms");
+    if (interval < 0)
+      throw ProtocolError("'interval_ms' must be >= 0");
+    req.statsIntervalMs = static_cast<uint64_t>(interval);
   } else if (op == "shutdown") {
     req.op = Request::Op::Shutdown;
   } else if (op == "check") {
@@ -140,6 +146,7 @@ Request parseRequest(const std::string& line) {
           static_cast<uint64_t>(numberField(b->object(), "rss_mb"));
     }
     c.wantTrace = boolField(obj, "want_trace", true);
+    c.traceId = stringField(obj, "trace_id");
   } else {
     throw ProtocolError("unknown op '" + op + "'");
   }
@@ -156,9 +163,16 @@ std::string renderRequest(const Request& request) {
     case Request::Op::Shutdown:
       appendString(out, "op", "shutdown", first);
       break;
+    case Request::Op::StatsStream:
+      appendString(out, "op", "stats-stream", first);
+      break;
     case Request::Op::Check: appendString(out, "op", "check", first); break;
   }
   appendString(out, "id", request.id, first);
+  if (request.op == Request::Op::StatsStream) {
+    appendField(out, "interval_ms", std::to_string(request.statsIntervalMs),
+                first);
+  }
   if (request.op == Request::Op::Check) {
     const CheckRequest& c = request.check;
     if (!c.name.empty()) appendString(out, "name", c.name, first);
@@ -176,6 +190,7 @@ std::string renderRequest(const Request& request) {
                          ", \"rss_mb\": " + std::to_string(c.budget.rssMb) + "}";
     appendField(out, "budget", budget, first);
     appendField(out, "want_trace", c.wantTrace ? "true" : "false", first);
+    if (!c.traceId.empty()) appendString(out, "trace_id", c.traceId, first);
   }
   out += "}";
   return out;
@@ -183,22 +198,37 @@ std::string renderRequest(const Request& request) {
 
 // ------------------------------------------------------------------ frames
 
-std::string acceptedFrame(std::string_view id, size_t queueDepth) {
+namespace {
+
+void appendTraceId(std::string& out, std::string_view traceId) {
+  if (!traceId.empty())
+    out += ", \"trace_id\": \"" + escapeJson(traceId) + "\"";
+}
+
+}  // namespace
+
+std::string acceptedFrame(std::string_view id, size_t queueDepth,
+                          std::string_view traceId) {
   std::string out = frameHead("accepted", id);
-  out += ", \"queue_depth\": " + std::to_string(queueDepth) + "}";
+  out += ", \"queue_depth\": " + std::to_string(queueDepth);
+  appendTraceId(out, traceId);
+  out += "}";
   return out;
 }
 
 std::string loadedFrame(std::string_view id, bool cacheHit,
-                        uint64_t readMicros) {
+                        uint64_t readMicros, std::string_view traceId) {
   std::string out = frameHead("loaded", id);
   out += ", \"cache\": \"";
   out += cacheHit ? "hit" : "miss";
-  out += "\", \"read_micros\": " + std::to_string(readMicros) + "}";
+  out += "\", \"read_micros\": " + std::to_string(readMicros);
+  appendTraceId(out, traceId);
+  out += "}";
   return out;
 }
 
-std::string verdictFrame(std::string_view id, const VerdictInfo& verdict) {
+std::string verdictFrame(std::string_view id, const VerdictInfo& verdict,
+                         std::string_view traceId) {
   std::string out = frameHead("verdict", id);
   out += ", \"property\": \"" + escapeJson(verdict.property) + "\"";
   out += ", \"paradigm\": \"";
@@ -208,12 +238,14 @@ std::string verdictFrame(std::string_view id, const VerdictInfo& verdict) {
   out += ", \"seconds\": " + obs::jsonDouble(verdict.seconds);
   if (!verdict.trace.empty())
     out += ", \"trace\": \"" + escapeJson(verdict.trace) + "\"";
+  appendTraceId(out, traceId);
   out += "}";
   return out;
 }
 
 std::string doneFrame(std::string_view id, std::string_view verdict,
-                      std::string_view detail, const DoneStats& stats) {
+                      std::string_view detail, const DoneStats& stats,
+                      std::string_view traceId) {
   std::string out = frameHead("done", id);
   out += ", \"verdict\": \"";
   out += verdict;
@@ -226,7 +258,16 @@ std::string doneFrame(std::string_view id, std::string_view verdict,
   out += ", \"wall_s\": " + obs::jsonDouble(stats.wallSeconds);
   out += ", \"properties\": " + std::to_string(stats.properties);
   out += ", \"failures\": " + std::to_string(stats.failures);
+  const StageMicros& st = stats.stages;
+  out += ", \"stages\": {\"queue\": " + std::to_string(st.queue);
+  out += ", \"parse\": " + std::to_string(st.parse);
+  out += ", \"tr\": " + std::to_string(st.tr);
+  out += ", \"reach\": " + std::to_string(st.reach);
+  out += ", \"check\": " + std::to_string(st.check);
+  out += ", \"render\": " + std::to_string(st.render);
   out += "}}";
+  appendTraceId(out, traceId);
+  out += "}";
   return out;
 }
 
@@ -241,6 +282,20 @@ std::string statsFrame(std::string_view id,
   std::string out = frameHead("stats", id);
   out += ", \"server\": ";
   out += serverJsonObject;
+  out += "}";
+  return out;
+}
+
+std::string statsTickFrame(std::string_view id, uint64_t seq,
+                           std::string_view statsJsonObject) {
+  // Its own schema: consumers (hsis_top, CI asserts) key on it without
+  // caring about the request/response protocol version.
+  std::string out = "{\"schema\": \"hsis-serve-stats-v1\", \"event\": "
+                    "\"stats-tick\", \"id\": \"";
+  out += escapeJson(id);
+  out += "\", \"seq\": " + std::to_string(seq);
+  out += ", \"stats\": ";
+  out += statsJsonObject;
   out += "}";
   return out;
 }

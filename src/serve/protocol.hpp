@@ -7,23 +7,40 @@
 // Requests:
 //   {"op": "check", "id": ID, "name": NAME,
 //    "design": {"kind": "verilog"|"blifmv", "text": SRC, "top": TOP},
-//    "pif": PIF, "budget": {"wall_s": S, "rss_mb": M}, "want_trace": BOOL}
+//    "pif": PIF, "budget": {"wall_s": S, "rss_mb": M}, "want_trace": BOOL
+//    [, "trace_id": HEX16]}     // client-chosen trace id; the server
+//                               // assigns one when absent, echoes it back
 //   {"op": "ping", "id": ID}
 //   {"op": "stats", "id": ID}
+//   {"op": "stats-stream", "id": ID, "interval_ms": N}  // N=0 cancels
 //   {"op": "shutdown", "id": ID}
 //
-// Frames (each one line; "schema" on every frame):
-//   {"event": "accepted", "id": ID, "queue_depth": N}
-//   {"event": "loaded",   "id": ID, "cache": "hit"|"miss", "read_micros": N}
+// Frames (each one line; "schema" on every frame). Request-scoped frames
+// (accepted/loaded/verdict/done) also carry the request's 16-hex-digit
+// trace id as "trace_id" — distinct from the verdict frame's "trace",
+// which remains the counterexample text:
+//   {"event": "accepted", "id": ID, "queue_depth": N, "trace_id": HEX}
+//   {"event": "loaded",   "id": ID, "cache": "hit"|"miss", "read_micros": N,
+//    "trace_id": HEX}
 //   {"event": "verdict",  "id": ID, "property": P, "paradigm": "ctl"|"lc",
-//    "holds": BOOL, "seconds": S[, "trace": TEXT]}
+//    "holds": BOOL, "seconds": S[, "trace": TEXT], "trace_id": HEX}
 //   {"event": "done",     "id": ID, "verdict": "pass"|"fail"|"aborted"|
 //    "error", "detail": TEXT, "stats": {"cache": ..., "read_micros": N,
-//    "wall_s": S, "properties": N, "failures": N}}
+//    "wall_s": S, "properties": N, "failures": N, "stages": {"queue": US,
+//    "parse": US, "tr": US, "reach": US, "check": US, "render": US}},
+//    "trace_id": HEX}
 //   {"event": "pong",     "id": ID, "version": TEXT}
 //   {"event": "stats",    "id": ID, "server": {...}}
 //   {"event": "bye",      "id": ID}
 //   {"event": "error",    "id": ID, "message": TEXT}
+//
+// Stats-stream ticks use their own schema (hsis-serve-stats-v1), one frame
+// per interval until the subscription is cancelled or the connection ends:
+//   {"schema": "hsis-serve-stats-v1", "event": "stats-tick", "id": ID,
+//    "seq": N, "stats": {"t_s": S, "queue_depth": N, "workers": N,
+//    "busy_workers": N, "rss_kb": N, "requests": {...}, "cache": {...},
+//    "latency_us": {STAGE: {"count": N, "p50": N, "p90": N, "p99": N,
+//    "max": N}, ...}}}
 //
 // Parsing reuses obs/jsonlite; rendering is direct (same idiom as the
 // heartbeat/ledger JSONL writers). All functions are pure — no sockets
@@ -65,13 +82,17 @@ struct CheckRequest {
   std::string pif;   ///< properties + fairness (PIF text)
   Budget budget;
   bool wantTrace = true;
+  /// Client-chosen trace id (16 hex digits, "" = server assigns one).
+  std::string traceId;
 };
 
 struct Request {
-  enum class Op : uint8_t { Check, Ping, Stats, Shutdown };
+  enum class Op : uint8_t { Check, Ping, Stats, StatsStream, Shutdown };
   Op op = Op::Ping;
   std::string id;
   CheckRequest check;  ///< valid when op == Op::Check
+  /// StatsStream only: tick period in ms (0 = cancel the subscription).
+  uint64_t statsIntervalMs = 0;
 };
 
 /// Parse one request line. Throws ProtocolError on malformed input.
@@ -89,24 +110,50 @@ struct VerdictInfo {
   std::string trace;  ///< rendered counterexample text ("" = none)
 };
 
+/// Per-stage wall micros of one request's pipeline. `queue` is admission
+/// to dequeue; the rest are worker time. Stages a request never entered
+/// (e.g. `reach` for a pure language-containment PIF) stay 0 but are still
+/// rendered, so the frame shape is constant.
+struct StageMicros {
+  uint64_t queue = 0;   ///< admission-enqueue -> worker-dequeue
+  uint64_t parse = 0;   ///< design parse + flatten + FSM (and PIF parse)
+  uint64_t tr = 0;      ///< transition-relation construction
+  uint64_t reach = 0;   ///< reachable-state fixpoint (CTL properties)
+  uint64_t check = 0;   ///< per-property model checking
+  uint64_t render = 0;  ///< counterexample trace rendering
+  [[nodiscard]] uint64_t total() const {
+    return queue + parse + tr + reach + check + render;
+  }
+};
+
 struct DoneStats {
   bool cacheHit = false;
   uint64_t readMicros = 0;
   double wallSeconds = 0.0;
   size_t properties = 0;
   size_t failures = 0;
+  StageMicros stages;
 };
 
-std::string acceptedFrame(std::string_view id, size_t queueDepth);
+/// Request-scoped frame builders take the request's trace id (hex, "" =
+/// omit the field, for pre-admission errors that never got one).
+std::string acceptedFrame(std::string_view id, size_t queueDepth,
+                          std::string_view traceId = {});
 std::string loadedFrame(std::string_view id, bool cacheHit,
-                        uint64_t readMicros);
-std::string verdictFrame(std::string_view id, const VerdictInfo& verdict);
+                        uint64_t readMicros, std::string_view traceId = {});
+std::string verdictFrame(std::string_view id, const VerdictInfo& verdict,
+                         std::string_view traceId = {});
 std::string doneFrame(std::string_view id, std::string_view verdict,
-                      std::string_view detail, const DoneStats& stats);
+                      std::string_view detail, const DoneStats& stats,
+                      std::string_view traceId = {});
 std::string pongFrame(std::string_view id, std::string_view version);
 /// `serverJsonObject` must be a pre-rendered JSON object (e.g. from
 /// SessionPool::statsJsonObject).
 std::string statsFrame(std::string_view id, std::string_view serverJsonObject);
+/// One hsis-serve-stats-v1 time-series frame; `statsJsonObject` is a
+/// pre-rendered JSON object (SessionPool::statsStreamJson).
+std::string statsTickFrame(std::string_view id, uint64_t seq,
+                           std::string_view statsJsonObject);
 std::string byeFrame(std::string_view id);
 std::string errorFrame(std::string_view id, std::string_view message);
 

@@ -169,6 +169,23 @@ void Server::handleConnection(int fd) {
   auto pending = std::make_shared<Pending>();
   std::string buf;
 
+  // stats-stream subscription — reader-thread state, one per connection.
+  // Re-subscribing replaces the interval; interval_ms 0 cancels. The first
+  // tick fires immediately so a subscriber never waits a full interval for
+  // its first frame.
+  uint64_t streamIntervalNs = 0;
+  uint64_t streamDueNs = 0;
+  uint64_t streamSeq = 0;
+  std::string streamId;
+  auto maybeStreamTick = [&] {
+    if (streamIntervalNs == 0) return;
+    uint64_t now = obs::WallTimer::nowNs();
+    if (now < streamDueNs) return;
+    writer->writeLine(
+        statsTickFrame(streamId, streamSeq++, pool_.statsStreamJson()));
+    streamDueNs = now + streamIntervalNs;
+  };
+
   for (;;) {
     // Drain complete lines already buffered before blocking again.
     size_t nl;
@@ -191,6 +208,19 @@ void Server::handleConnection(int fd) {
         case Request::Op::Stats:
           writer->writeLine(statsFrame(req.id, pool_.statsJsonObject()));
           break;
+        case Request::Op::StatsStream:
+          if (req.statsIntervalMs == 0) {
+            streamIntervalNs = 0;
+          } else {
+            // Clamp to 10 Hz: every tick renders the full histogram table.
+            uint64_t ms =
+                req.statsIntervalMs < 100 ? 100 : req.statsIntervalMs;
+            streamIntervalNs = ms * 1000000ull;
+            streamId = req.id;
+            streamSeq = 0;
+            streamDueNs = 0;  // due now
+          }
+          break;
         case Request::Op::Shutdown:
           writer->writeLine(byeFrame(req.id));
           HSIS_LOG_INFO("serve", "shutdown requested by client");
@@ -211,9 +241,21 @@ void Server::handleConnection(int fd) {
       }
     }
     if (stopping()) break;
+    maybeStreamTick();
 
+    // Bounded wait: short enough to honor stop(), and trimmed further so
+    // the next stats tick is emitted on schedule rather than up to 200 ms
+    // late.
+    int timeoutMs = 200;
+    if (streamIntervalNs != 0) {
+      uint64_t now = obs::WallTimer::nowNs();
+      uint64_t waitMs =
+          streamDueNs > now ? (streamDueNs - now) / 1000000ull : 0;
+      if (waitMs + 1 < static_cast<uint64_t>(timeoutMs))
+        timeoutMs = static_cast<int>(waitMs) + 1;
+    }
     pollfd pfd{writer->fd(), POLLIN, 0};
-    int r = ::poll(&pfd, 1, 200);
+    int r = ::poll(&pfd, 1, timeoutMs);
     if (r < 0) {
       if (errno == EINTR) continue;
       break;

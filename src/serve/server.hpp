@@ -3,7 +3,9 @@
 // requests into the SessionPool (pool.hpp).
 //
 // One reader thread per connection parses request lines and answers
-// ping/stats inline; check requests are submitted to the pool, whose
+// ping/stats inline; a stats-stream subscription turns the reader's poll
+// loop into a ticker that pushes hsis-serve-stats-v1 frames at the
+// requested interval; check requests are submitted to the pool, whose
 // frames are written back through a per-connection writer that serializes
 // concurrent producers (the submitting reader and the worker threads) and
 // survives a client that hangs up mid-stream (writes turn into no-ops, the

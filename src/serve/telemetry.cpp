@@ -1,0 +1,142 @@
+#include "serve/telemetry.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+#include "obs/prof.hpp"
+#include "obs/tracectx.hpp"
+
+namespace hsis::serve {
+
+namespace {
+
+bool writeFile(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+std::string requestJson(const SlowRequestInfo& info) {
+  std::string out = "{\"schema\": \"hsis-slow-request-v1\"";
+  out += ", \"trace_id\": \"" + obs::traceIdHex(info.traceId) + "\"";
+  out += ", \"id\": \"" + escapeJson(info.requestId) + "\"";
+  out += ", \"name\": \"" + escapeJson(info.name) + "\"";
+  out += ", \"digest\": \"" + escapeJson(info.digest) + "\"";
+  out += ", \"verdict\": \"" + escapeJson(info.verdict) + "\"";
+  out += ", \"detail\": \"" + escapeJson(info.detail) + "\"";
+  out += ", \"cache\": \"";
+  out += info.cacheHit ? "hit" : "miss";
+  out += "\", \"wall_s\": " + obs::jsonDouble(info.wallSeconds);
+  out += ", \"threshold_s\": " + obs::jsonDouble(info.thresholdSeconds);
+  const StageMicros& st = info.stages;
+  out += ", \"stages\": {\"queue\": " + std::to_string(st.queue);
+  out += ", \"parse\": " + std::to_string(st.parse);
+  out += ", \"tr\": " + std::to_string(st.tr);
+  out += ", \"reach\": " + std::to_string(st.reach);
+  out += ", \"check\": " + std::to_string(st.check);
+  out += ", \"render\": " + std::to_string(st.render);
+  out += "}}\n";
+  return out;
+}
+
+/// The request's spans only: everything the tracer ring still holds that
+/// was stamped with this trace id. Parent links into spans outside the
+/// filter (e.g. long-lived daemon spans) are cut, making those spans roots.
+obs::Snapshot filteredSnapshot(uint64_t traceId) {
+  obs::Snapshot snap;
+  for (obs::SpanSample& s : obs::Tracer::instance().completed()) {
+    if (s.traceId == traceId) snap.spans.push_back(std::move(s));
+  }
+  snap.threadNames = obs::threadNames();
+  return snap;
+}
+
+/// Folded self-time stacks from the filtered spans — the flamegraph view
+/// of one request. Each line is `outer;inner <self-micros>`; self time is
+/// the span's duration minus its (captured) children's.
+std::string foldedProfile(const obs::Snapshot& snap) {
+  std::unordered_map<uint64_t, size_t> byId;
+  for (size_t i = 0; i < snap.spans.size(); ++i) byId[snap.spans[i].id] = i;
+  std::vector<uint64_t> childNs(snap.spans.size(), 0);
+  for (const obs::SpanSample& s : snap.spans) {
+    if (s.parent < 0) continue;
+    auto it = byId.find(static_cast<uint64_t>(s.parent));
+    if (it != byId.end()) childNs[it->second] += s.durationNs;
+  }
+  // stack -> aggregated self micros (map: deterministic output order)
+  std::map<std::string, uint64_t> folded;
+  for (size_t i = 0; i < snap.spans.size(); ++i) {
+    const obs::SpanSample& s = snap.spans[i];
+    std::string stack = s.name;
+    int64_t up = s.parent;
+    size_t guard = 0;
+    while (up >= 0 && guard++ < snap.spans.size()) {
+      auto it = byId.find(static_cast<uint64_t>(up));
+      if (it == byId.end()) break;
+      stack = snap.spans[it->second].name + ";" + stack;
+      up = snap.spans[it->second].parent;
+    }
+    uint64_t selfNs =
+        s.durationNs > childNs[i] ? s.durationNs - childNs[i] : 0;
+    folded[stack] += selfNs / 1000;
+  }
+  std::string out;
+  for (const auto& [stack, micros] : folded) {
+    out += stack + " " + std::to_string(micros) + "\n";
+  }
+  return out;
+}
+
+std::string censusJsonl(uint64_t traceId) {
+  std::string out = "{\"schema\": \"hsis-prof-v1\", \"kind\": \"header\", "
+                    "\"source\": \"slow-request\", \"trace_id\": \"" +
+                    obs::traceIdHex(traceId) + "\"}\n";
+  if (auto c = obs::prof::latestCensus()) {
+    out += "{\"kind\": \"census\", \"seq\": " + std::to_string(c->seq);
+    out += ", \"t_ns\": " + std::to_string(c->tNs);
+    out += ", \"live_nodes\": " + std::to_string(c->liveNodes);
+    out += ", \"allocated_nodes\": " + std::to_string(c->allocatedNodes);
+    out += ", \"dead_nodes\": " + std::to_string(c->deadNodes);
+    out += ", \"cache_lookups\": " + std::to_string(c->cacheLookups);
+    out += ", \"cache_hits\": " + std::to_string(c->cacheHits);
+    out += ", \"gc_runs\": " + std::to_string(c->gcRuns);
+    out += ", \"reorderings\": " + std::to_string(c->reorderings);
+    out += ", \"peak_live_nodes\": " + std::to_string(c->peakLiveNodes);
+    out += ", \"dead_fraction\": " + obs::jsonDouble(c->deadFraction());
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string writeSlowRequestArtifacts(const std::string& artifactRoot,
+                                      const SlowRequestInfo& info) {
+  if (artifactRoot.empty() || info.traceId == 0) return "";
+  std::error_code ec;
+  std::filesystem::path dir =
+      std::filesystem::path(artifactRoot) / obs::traceIdHex(info.traceId);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "serve: cannot create slow-request dir %s\n",
+                 dir.string().c_str());
+    return "";
+  }
+  obs::Snapshot snap = filteredSnapshot(info.traceId);
+  bool ok = writeFile(dir / "request.json", requestJson(info));
+  ok = writeFile(dir / "trace.json", obs::toChromeTrace(snap)) && ok;
+  ok = writeFile(dir / "profile.folded", foldedProfile(snap)) && ok;
+  ok = writeFile(dir / "census.jsonl", censusJsonl(info.traceId)) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "serve: short slow-request capture in %s\n",
+                 dir.string().c_str());
+  }
+  return dir.string();
+}
+
+}  // namespace hsis::serve

@@ -4,14 +4,21 @@
 //   hsis_client --socket PATH check --verilog F --pif F [--top M] [options]
 //   hsis_client --socket PATH check --blifmv F --pif F [options]
 //       options: [--name SUBJECT] [--wall-s S] [--rss-mb M] [--no-trace]
-//                [--id ID] [--json]
+//                [--id ID] [--trace HEX16] [--json]
 //   hsis_client --socket PATH ping
 //   hsis_client --socket PATH stats
+//   hsis_client --socket PATH stats-stream [--interval-ms N] [--count N]
 //   hsis_client --socket PATH shutdown
 //
 // Streams the server's frames as they arrive: human-readable by default
 // (the `done` line carries `cache=hit|miss`, which CI greps), raw JSON
 // frames with --json.
+//
+// --trace supplies the request's 16-hex-digit trace id (the server mints
+// one otherwise); the id comes back on every frame and the human rendering
+// shows it with the per-stage breakdown on the done line. stats-stream
+// subscribes to hsis-serve-stats-v1 ticks and prints each frame as one
+// JSON line; --count N exits 0 after N ticks (0 = stream until EOF).
 //
 // Exit codes: 0 all properties pass, 1 some property failed, 2 usage /
 // connection / server error, 3 the request was aborted (budget breach).
@@ -44,7 +51,9 @@ int usage() {
       " --blifmv F --pif F\n"
       "        [--name SUBJECT] [--wall-s S] [--rss-mb M] [--no-trace]"
       " [--id ID]\n"
+      "        [--trace HEX16]\n"
       "  ping | stats | shutdown\n"
+      "  stats-stream [--interval-ms N] [--count N]\n"
       "common: --json (raw frames), --version\n");
   return 2;
 }
@@ -137,9 +146,12 @@ double numField(const Frame& f, const char* key) {
 /// when the frame is terminal for this interaction, -1 otherwise.
 int handleFrame(const Frame& f, bool print) {
   if (f.event == "accepted") {
-    if (print)
-      std::printf("accepted (queue depth %.0f)\n",
-                  numField(f, "queue_depth"));
+    if (print) {
+      std::string trace = strField(f, "trace_id");
+      std::printf("accepted (queue depth %.0f)%s%s\n",
+                  numField(f, "queue_depth"),
+                  trace.empty() ? "" : " trace=", trace.c_str());
+    }
   } else if (f.event == "loaded") {
     if (print)
       std::printf("loaded: cache=%s read_micros=%.0f\n",
@@ -160,6 +172,7 @@ int handleFrame(const Frame& f, bool print) {
     if (print) {
       std::string cache = "?";
       double wall = 0.0;
+      std::string stages;  // "queue=1 parse=2 ..." in frame order
       if (const auto* stats = field(f, "stats");
           stats != nullptr && stats->isObject()) {
         if (const auto* c =
@@ -170,11 +183,24 @@ int handleFrame(const Frame& f, bool print) {
                 hsis::obs::jsonlite::find(stats->object(), "wall_s");
             w != nullptr && w->isNumber())
           wall = w->number();
+        if (const auto* st =
+                hsis::obs::jsonlite::find(stats->object(), "stages");
+            st != nullptr && st->isObject()) {
+          for (const auto& [key, value] : st->object()) {
+            if (!value.isNumber()) continue;
+            if (!stages.empty()) stages += ' ';
+            stages += key + "=" + std::to_string(
+                                      static_cast<long long>(value.number()));
+          }
+        }
       }
       std::string detail = strField(f, "detail");
-      std::printf("verdict: %s cache=%s wall_s=%.3f%s%s\n", verdict.c_str(),
-                  cache.c_str(), wall,
+      std::string trace = strField(f, "trace_id");
+      std::printf("verdict: %s cache=%s wall_s=%.3f%s%s%s%s\n",
+                  verdict.c_str(), cache.c_str(), wall,
+                  trace.empty() ? "" : " trace=", trace.c_str(),
                   detail.empty() ? "" : " detail=", detail.c_str());
+      if (!stages.empty()) std::printf("stages_us: %s\n", stages.c_str());
     }
     if (verdict == "pass") return 0;
     if (verdict == "fail") return 1;
@@ -201,8 +227,11 @@ int main(int argc, char** argv) {
   std::string socketPath;
   std::string command;
   std::string model, verilog, blifmv, pif, top, name, id = "req-1";
+  std::string traceId;
   double wallS = 0.0;
   uint64_t rssMb = 0;
+  uint64_t intervalMs = 1000;
+  uint64_t tickCount = 0;
   bool wantTrace = true;
   bool rawJson = false;
 
@@ -229,6 +258,12 @@ int main(int argc, char** argv) {
       wallS = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(a, "--rss-mb") == 0 && hasValue) {
       rssMb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--trace") == 0 && hasValue) {
+      traceId = argv[++i];
+    } else if (std::strcmp(a, "--interval-ms") == 0 && hasValue) {
+      intervalMs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--count") == 0 && hasValue) {
+      tickCount = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(a, "--no-trace") == 0) {
       wantTrace = false;
     } else if (std::strcmp(a, "--json") == 0) {
@@ -253,6 +288,9 @@ int main(int argc, char** argv) {
     req.op = Request::Op::Ping;
   } else if (command == "stats") {
     req.op = Request::Op::Stats;
+  } else if (command == "stats-stream") {
+    req.op = Request::Op::StatsStream;
+    req.statsIntervalMs = intervalMs;
   } else if (command == "shutdown") {
     req.op = Request::Op::Shutdown;
   } else if (command == "check") {
@@ -261,6 +299,7 @@ int main(int argc, char** argv) {
     c.id = id;
     c.budget = {wallS, rssMb};
     c.wantTrace = wantTrace;
+    c.traceId = traceId;
     if (!model.empty()) {
       const hsis::models::ModelDef* m = hsis::models::find(model);
       if (m == nullptr) {
@@ -305,6 +344,7 @@ int main(int argc, char** argv) {
 
   std::string buf, line;
   int exitCode = 2;  // EOF before a terminal frame = server died
+  uint64_t ticksSeen = 0;
   while (readLine(fd, buf, line)) {
     if (line.empty()) continue;
     if (rawJson) std::printf("%s\n", line.c_str());
@@ -320,12 +360,25 @@ int main(int argc, char** argv) {
       exitCode = 0;
       break;
     }
+    if (frame.event == "stats-tick") {
+      if (!rawJson) std::printf("%s\n", line.c_str());  // JSON either way
+      std::fflush(stdout);  // consumers pipe the stream; don't batch it
+      if (tickCount > 0 && ++ticksSeen >= tickCount) {
+        exitCode = 0;
+        break;
+      }
+      continue;
+    }
     int r = handleFrame(frame, !rawJson);
     if (r >= 0) {
       exitCode = r;
       break;
     }
   }
+  // An unbounded stats-stream ends at server EOF; that is a clean exit as
+  // long as the subscription actually delivered frames.
+  if (command == "stats-stream" && exitCode == 2 && ticksSeen > 0)
+    exitCode = 0;
   ::close(fd);
   return exitCode;
 }

@@ -7,6 +7,12 @@
 //                                            between two commits
 //   hsis_report regressions [--threshold PCT] [--mem-threshold PCT]
 //                           [--report-only]  latest run vs the previous one
+//   hsis_report requests [--threshold SECONDS] [--limit N] [--report-only]
+//                                            per-request stage breakdowns
+//                                            (hsis_serve records carrying
+//                                            trace ids + stage timings);
+//                                            rows past the threshold are
+//                                            flagged SLOW
 //
 // Common flags: --ledger PATH (default $HSIS_LEDGER or ~/.hsis/ledger.jsonl),
 // --markdown (tables render as GitHub markdown).
@@ -33,6 +39,8 @@ void usage() {
                "  show RUN\n"
                "  diff SHA1 SHA2 [--threshold PCT] [--mem-threshold PCT]\n"
                "  regressions [--threshold PCT] [--mem-threshold PCT] "
+               "[--report-only]\n"
+               "  requests [--threshold SECONDS] [--limit N] "
                "[--report-only]\n");
 }
 
@@ -132,6 +140,22 @@ int main(int argc, char** argv) {
     std::fputs(ledger::renderDiff(diff, markdown).c_str(), stdout);
     return diff.wallRegressions + diff.rssRegressions > 0 && !reportOnly ? 1
                                                                          : 0;
+  }
+  if (cmd == "requests") {
+    // --threshold is SECONDS here (a latency bar), not a percentage: a
+    // request slower than it is flagged SLOW and counted as an outlier.
+    size_t outliers = 0;
+    std::string out =
+        ledger::renderRequests(records, wallPct, limit, &outliers);
+    if (out.empty()) {
+      std::fprintf(stderr,
+                   "hsis_report: no per-request records (stage timings) "
+                   "in %s\n",
+                   path.c_str());
+      return 2;
+    }
+    std::fputs(out.c_str(), stdout);
+    return outliers > 0 && !reportOnly ? 1 : 0;
   }
   if (cmd == "regressions") {
     std::optional<ledger::DiffResult> diff =

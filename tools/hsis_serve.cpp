@@ -3,6 +3,11 @@
 //   hsis_serve --socket PATH [--workers N] [--max-queue N]
 //              [--default-wall-s S] [--default-rss-mb M]
 //              [--max-wall-s S] [--max-rss-mb M]
+//              [--slow-threshold-s S --artifact-dir DIR]
+//
+// --slow-threshold-s/--artifact-dir arm slow-request auto-capture: any
+// request whose enqueue->done wall time exceeds S gets its trace/profile/
+// census bundle written under DIR/<trace-id>/ (telemetry.hpp).
 //
 // Boots a SessionPool (one hsis::Session per worker — one BddManager, one
 // resident compiled design), binds a Unix-domain socket speaking the
@@ -40,6 +45,7 @@ int usage() {
                "[--max-queue N]\n"
                "                  [--default-wall-s S] [--default-rss-mb M]\n"
                "                  [--max-wall-s S] [--max-rss-mb M]\n"
+               "                  [--slow-threshold-s S --artifact-dir DIR]\n"
                "plus the shared obs flags (--ledger, --log-level, ...)\n");
   return 2;
 }
@@ -76,6 +82,10 @@ int main(int argc, char** argv) {
       opts.pool.maxBudget.wallSeconds = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(a, "--max-rss-mb") == 0 && hasValue) {
       opts.pool.maxBudget.rssMb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--slow-threshold-s") == 0 && hasValue) {
+      opts.pool.slowThresholdSeconds = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(a, "--artifact-dir") == 0 && hasValue) {
+      opts.pool.artifactDir = argv[++i];
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage();
       return 0;

@@ -1,0 +1,231 @@
+// hsis_top — live terminal dashboard for a running hsis_serve daemon.
+//
+//   hsis_top --socket PATH [--interval-ms N] [--count N] [--no-ansi]
+//
+// Subscribes to the daemon's stats-stream and redraws a one-screen summary
+// on every hsis-serve-stats-v1 tick: request counters, worker/queue
+// occupancy, cache hit rate, RSS, and the per-stage latency quantiles
+// (p50/p90/p99/max of the serve.latency.* histograms, in microseconds).
+//
+// On a TTY each tick repaints in place (ANSI home+clear); when stdout is
+// redirected — or with --no-ansi — frames are printed one after another,
+// so piping to a file keeps every snapshot. --count N exits 0 after N
+// ticks (CI smoke); 0 streams until the server goes away or Ctrl-C.
+//
+// Exit codes: 0 clean (count reached, or EOF after at least one tick),
+// 2 usage/connection error or EOF before any tick arrived.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/jsonlite.hpp"
+#include "obs/version.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+namespace jl = hsis::obs::jsonlite;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hsis_top --socket PATH [--interval-ms N] "
+               "[--count N] [--no-ansi]\n");
+  return 2;
+}
+
+int connectTo(const std::string& socketPath) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "hsis_top: socket path too long\n");
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("hsis_top: socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "hsis_top: connect(%s): %s\n", socketPath.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool sendLine(int fd, std::string line) {
+  line += '\n';
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool readLine(int fd, std::string& buf, std::string& line) {
+  for (;;) {
+    size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+const jl::Object* objField(const jl::Object& obj, const char* key) {
+  const jl::Value* v = jl::find(obj, key);
+  return v != nullptr && v->isObject() ? &v->object() : nullptr;
+}
+
+double numField(const jl::Object& obj, const char* key) {
+  const jl::Value* v = jl::find(obj, key);
+  return v != nullptr && v->isNumber() ? v->number() : 0.0;
+}
+
+void renderLatencyRow(const jl::Object& latency, const char* stage) {
+  const jl::Object* row = objField(latency, stage);
+  if (row == nullptr) return;
+  std::printf("  %-8s %8.0f %10.0f %10.0f %10.0f %10.0f\n", stage,
+              numField(*row, "count"), numField(*row, "p50"),
+              numField(*row, "p90"), numField(*row, "p99"),
+              numField(*row, "max"));
+}
+
+void renderTick(const std::string& socketPath, double seq,
+                const jl::Object& stats) {
+  std::printf("hsis_top — %s   up %.1fs   tick #%.0f\n", socketPath.c_str(),
+              numField(stats, "t_s"), seq);
+  std::printf("workers: %.0f/%.0f busy   queue: %.0f   rss: %.1f MB\n",
+              numField(stats, "busy_workers"), numField(stats, "workers"),
+              numField(stats, "queue_depth"),
+              numField(stats, "rss_kb") / 1024.0);
+  if (const jl::Object* req = objField(stats, "requests")) {
+    std::printf(
+        "requests: accepted=%.0f completed=%.0f failed=%.0f aborted=%.0f "
+        "rejected=%.0f\n",
+        numField(*req, "accepted"), numField(*req, "completed"),
+        numField(*req, "failed"), numField(*req, "aborted"),
+        numField(*req, "rejected"));
+  }
+  if (const jl::Object* cache = objField(stats, "cache")) {
+    std::printf("cache: hits=%.0f misses=%.0f evictions=%.0f hit_rate=%.2f\n",
+                numField(*cache, "hits"), numField(*cache, "misses"),
+                numField(*cache, "evictions"),
+                numField(*cache, "hit_rate"));
+  }
+  if (const jl::Object* latency = objField(stats, "latency_us")) {
+    std::printf("  %-8s %8s %10s %10s %10s %10s\n", "stage", "count", "p50",
+                "p90", "p99", "max");
+    for (const char* stage :
+         {"queue", "parse", "tr", "reach", "check", "render", "total"}) {
+      renderLatencyRow(*latency, stage);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (hsis::obs::handleVersionFlag(argc, argv, "hsis_top")) return 0;
+
+  std::string socketPath;
+  uint64_t intervalMs = 1000;
+  uint64_t count = 0;
+  bool ansi = ::isatty(STDOUT_FILENO) != 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const bool hasValue = i + 1 < argc;
+    if (std::strcmp(a, "--socket") == 0 && hasValue) {
+      socketPath = argv[++i];
+    } else if (std::strcmp(a, "--interval-ms") == 0 && hasValue) {
+      intervalMs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--count") == 0 && hasValue) {
+      count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--no-ansi") == 0) {
+      ansi = false;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "hsis_top: unknown argument %s\n", a);
+      return usage();
+    }
+  }
+  if (socketPath.empty()) return usage();
+
+  int fd = connectTo(socketPath);
+  if (fd < 0) return 2;
+
+  hsis::serve::Request req;
+  req.id = "hsis-top";
+  req.op = hsis::serve::Request::Op::StatsStream;
+  req.statsIntervalMs = intervalMs;
+  if (!sendLine(fd, renderRequest(req))) {
+    std::fprintf(stderr, "hsis_top: send failed\n");
+    ::close(fd);
+    return 2;
+  }
+
+  std::string buf, line;
+  uint64_t seen = 0;
+  while (readLine(fd, buf, line)) {
+    if (line.empty()) continue;
+    jl::Value doc;
+    try {
+      doc = jl::parse(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hsis_top: bad frame: %s\n", e.what());
+      continue;
+    }
+    if (!doc.isObject()) continue;
+    const jl::Object& frame = doc.object();
+    const jl::Value* event = jl::find(frame, "event");
+    if (event == nullptr || !event->isString()) continue;
+    if (event->str() == "error") {
+      const jl::Value* msg = jl::find(frame, "message");
+      std::fprintf(stderr, "hsis_top: server error: %s\n",
+                   msg != nullptr && msg->isString() ? msg->str().c_str()
+                                                     : "?");
+      ::close(fd);
+      return 2;
+    }
+    if (event->str() != "stats-tick") continue;
+    const jl::Object* stats = objField(frame, "stats");
+    if (stats == nullptr) continue;
+    if (ansi) std::printf("\x1b[H\x1b[2J");  // home + clear, repaint in place
+    renderTick(socketPath, numField(frame, "seq"), *stats);
+    if (!ansi) std::printf("\n");
+    std::fflush(stdout);
+    ++seen;
+    if (count > 0 && seen >= count) break;
+  }
+  ::close(fd);
+  if (seen == 0) {
+    std::fprintf(stderr, "hsis_top: no stats frames received\n");
+    return 2;
+  }
+  return 0;
+}
