@@ -33,6 +33,7 @@
 #include "minimize/bisim.hpp"
 #include "models/models.hpp"
 #include "obs/control.hpp"
+#include "obs/version.hpp"
 #include "vl2mv/vl2mv.hpp"
 
 namespace {
@@ -284,6 +285,7 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (hsis::obs::handleVersionFlag(argc, argv, "hsis_bench")) return 0;
   // hsis_bench owns --stats-json (it means the BENCH baseline, not a bare
   // obs snapshot) and its own ledger records (one per case, not one per
   // process).

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "bench_schema.hpp"
+#include "obs/version.hpp"
 
 namespace {
 
@@ -45,6 +46,7 @@ bool readFile(const char* path, std::string& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (hsis::obs::handleVersionFlag(argc, argv, "perf_compare")) return 0;
   const char* oldPath = nullptr;
   const char* newPath = nullptr;
   double threshold = 10.0;

@@ -20,6 +20,11 @@
 //   --ledger PATH        run-ledger file (default $HSIS_LEDGER or
 //                        ~/.hsis/ledger.jsonl; "none" disables)
 //   --flight-dir DIR     crash flight recorder dumps into DIR
+//   --cov-json FILE      write an hsis-cov-v1 coverage artifact (latch
+//                        occupancy, coverpoint bins, frontier series) for
+//                        `hsis_report coverage`
+//   --cov-spec FILE      coverpoint/bin spec (see docs/coverage.md);
+//                        default is one auto coverpoint per latch
 // A watchdog abort still writes the --stats-json snapshot (its "aborted"
 // field carries the reason and breaching phase) and the --profile files,
 // and exits with code 3. Every invocation appends one hsis-ledger-v1
@@ -30,6 +35,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cov/cov.hpp"
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
 #include "obs/control.hpp"
@@ -60,7 +66,8 @@ int usage() {
                "           --timeout-s S | --mem-limit-mb M | --profile |\n"
                "           --profile-out BASE | --profile-interval-ms N |\n"
                "           --log-level LVL | --log-file F | --ledger PATH |\n"
-               "           --flight-dir DIR\n");
+               "           --flight-dir DIR | --cov-json FILE | "
+               "--cov-spec FILE\n");
   return 2;
 }
 
@@ -84,6 +91,19 @@ int main(int argc, char** argv) {
   // exporters, with the verdict set via noteRunResult below.
   hsis::obs::ObsCliOptions obsOpts = hsis::obs::initDriverObs(
       argc, argv, {.driverName = "hsis_cli", .ownStatsJson = true});
+
+  // --cov-spec is cli-local (the shared strip covers --cov-json only).
+  std::string covSpecPath;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--cov-spec") == 0 && i + 1 < argc) {
+      covSpecPath = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    } else {
+      ++i;
+    }
+  }
+
   hsis::Environment env;
 
   if (argc == 3 && std::strcmp(argv[1], "--model") == 0) {
@@ -129,6 +149,45 @@ int main(int argc, char** argv) {
                 "(%.2fs), %d failing\n",
                 m.numCtlFormulas, m.mcSeconds, m.numLcProps, m.lcSeconds,
                 failures);
+
+    if (!obsOpts.covJsonPath.empty() || !covSpecPath.empty()) {
+      hsis::cov::Options co;
+      if (!covSpecPath.empty())
+        co.points =
+            hsis::cov::parseCoverSpec(slurp(covSpecPath.c_str()), env.fsm());
+      // Concrete differential pass, capped so huge designs degrade to
+      // symbolic-only instead of enumerating forever.
+      co.simMaxStates = 5000;
+      hsis::cov::Report rep = env.coverage(std::move(co));
+      if (rep.enabled) {
+        std::printf(
+            "coverage: %.1f%% of state space, latch values %llu/%llu, "
+            "bins %llu/%llu%s\n",
+            rep.stateFraction() * 100.0,
+            static_cast<unsigned long long>(rep.valuesReached),
+            static_cast<unsigned long long>(rep.valuesTotal),
+            static_cast<unsigned long long>(rep.binsHit),
+            static_cast<unsigned long long>(rep.binsTotal),
+            rep.simExhaustive
+                ? (rep.simAgrees ? ", sim agrees" : ", SIM MISMATCH")
+                : "");
+      } else {
+        std::printf("coverage: disabled (HSIS_OBS_DISABLE build or "
+                    "HSIS_COV_DISABLE set)\n");
+      }
+      if (!obsOpts.covJsonPath.empty()) {
+        std::ofstream out(obsOpts.covJsonPath);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n",
+                       obsOpts.covJsonPath.c_str());
+        } else {
+          out << hsis::cov::reportToJson(rep) << "\n";
+          std::printf("coverage report written to %s\n",
+                      obsOpts.covJsonPath.c_str());
+        }
+      }
+    }
+
     writeStats(env, obsOpts.statsJsonPath);
     if (failures == 0) {
       hsis::obs::noteRunResult("pass", "");

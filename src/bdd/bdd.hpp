@@ -171,8 +171,15 @@ class BddManager {
 
   std::vector<BddVar> support(const Bdd& f);
   Bdd supportCube(const Bdd& f);
-  /// Number of satisfying assignments over `nvars` variables.
+  /// Number of satisfying assignments over an `nvars`-variable space.
+  /// support(f) must fit inside that space: throws std::invalid_argument
+  /// when f depends on more than `nvars` variables (the density recursion
+  /// is level-independent, so a too-small space would silently undercount).
   double satCount(const Bdd& f, uint32_t nvars);
+  /// satCount over an explicit variable set: the assignment space is
+  /// exactly `vars` (each variable at most once). Throws
+  /// std::invalid_argument when support(f) is not a subset of `vars`.
+  double satCount(const Bdd& f, std::span<const BddVar> vars);
   /// One satisfying cube as a vector indexed by variable id:
   /// -1 don't-care, 0 negative, 1 positive. Empty if f == 0.
   std::vector<int8_t> pickCube(const Bdd& f);
@@ -358,6 +365,9 @@ class BddManager {
   uint32_t permuteRec(uint32_t f, const std::vector<BddVar>& map, uint32_t mapId);
   bool leqRec(uint32_t f, uint32_t g);
   void supportRec(uint32_t f, std::vector<bool>& seen, std::vector<bool>& inSupp);
+  /// Shared satCount core: the memoized density of `rootEdge`, marking
+  /// every support variable in `inSupp` (sized numVars()) along the way.
+  double satDensity(uint32_t rootEdge, std::vector<char>& inSupp);
 
   // reordering internals
   size_t swapAdjacentLevels(uint32_t l);

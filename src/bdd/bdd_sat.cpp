@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>  // toDot only
 
@@ -42,10 +44,15 @@ Bdd BddManager::supportCube(const Bdd& f) {
   return cube;
 }
 
-double BddManager::satCount(const Bdd& f, uint32_t nvars) {
-  // count(f) over variables at levels [0, nvars); each skipped level doubles.
-  // The density is memoized per *node*; a complemented edge reads 1 - d, so
-  // f and !f share the memo table.
+double BddManager::satDensity(uint32_t rootEdge, std::vector<char>& inSupp) {
+  // The satisfying-assignment *density* of the function: the fraction of
+  // all assignments (over any space covering the support) that satisfy it.
+  // Level-independent — each node contributes 0.5*(lo + hi) regardless of
+  // how many levels its children skip — which is why the caller must check
+  // that the requested space actually covers the support. The density is
+  // memoized per *node*; a complemented edge reads 1 - d, so f and !f
+  // share the memo table. Support variables are marked as a side effect,
+  // giving the caller the validity check for free (same walk).
   std::unordered_map<uint32_t, double> memo;
   auto rec = [&](auto&& self, uint32_t e) -> double {
     uint32_t n = eIdx(e);
@@ -56,13 +63,49 @@ double BddManager::satCount(const Bdd& f, uint32_t nvars) {
     if (it != memo.end()) {
       d = it->second;
     } else {
+      inSupp[nodes_[n].var] = 1;
       d = 0.5 * (self(self, nodes_[n].lo) + self(self, nodes_[n].hi));
       memo.emplace(n, d);
     }
     return neg ? 1.0 - d : d;
   };
-  double density = rec(rec, f.index());
-  return density * std::pow(2.0, static_cast<double>(nvars));
+  return rec(rec, rootEdge);
+}
+
+double BddManager::satCount(const Bdd& f, uint32_t nvars) {
+  std::vector<char> inSupp(numVars(), 0);
+  double density = satDensity(f.index(), inSupp);
+  uint32_t suppSize = 0;
+  for (char c : inSupp) suppSize += c != 0 ? 1u : 0u;
+  if (suppSize > nvars)
+    throw std::invalid_argument(
+        "BddManager::satCount: function depends on " +
+        std::to_string(suppSize) + " variables, more than the " +
+        std::to_string(nvars) + "-variable space requested");
+  // ldexp, not pow: exact scaling by a power of two up to the full double
+  // exponent range (pow accumulates rounding above 2^53-ish inputs).
+  return std::ldexp(density, static_cast<int>(nvars));
+}
+
+double BddManager::satCount(const Bdd& f, std::span<const BddVar> vars) {
+  std::vector<char> allowed(numVars(), 0);
+  uint32_t nvars = 0;
+  for (BddVar v : vars) {
+    if (v >= numVars())
+      throw std::invalid_argument("BddManager::satCount: unknown variable " +
+                                  std::to_string(v));
+    if (allowed[v] == 0) ++nvars;  // duplicates count once
+    allowed[v] = 1;
+  }
+  std::vector<char> inSupp(numVars(), 0);
+  double density = satDensity(f.index(), inSupp);
+  for (BddVar v = 0; v < numVars(); ++v) {
+    if (inSupp[v] != 0 && allowed[v] == 0)
+      throw std::invalid_argument(
+          "BddManager::satCount: support variable " + std::to_string(v) +
+          " is outside the given variable set");
+  }
+  return std::ldexp(density, static_cast<int>(nvars));
 }
 
 std::vector<int8_t> BddManager::pickCube(const Bdd& f) {

@@ -1,0 +1,224 @@
+// hsis-cov-v1 serialization and the matching reader used by
+// `hsis_report coverage`.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "cov/cov.hpp"
+#include "obs/jsonlite.hpp"
+
+namespace hsis::cov {
+
+namespace {
+
+/// Format a double compactly: integral values (state counts) print without
+/// a fraction, everything else with enough digits to round-trip.
+std::string num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string reportToJson(const Report& r) {
+  std::string out = "{\"schema\": \"hsis-cov-v1\"";
+  out += ", \"enabled\": ";
+  out += r.enabled ? "true" : "false";
+  out += ", \"design\": " + quoted(r.design);
+  out += ", \"reachable_states\": " + num(r.reachableStates);
+  out += ", \"state_space\": " + num(r.stateSpace);
+  out += ", \"state_fraction\": " + num(r.stateFraction());
+  out += ", \"depth\": " + std::to_string(r.depth);
+  out += ", \"values\": {\"reached\": " + std::to_string(r.valuesReached) +
+         ", \"total\": " + std::to_string(r.valuesTotal) + "}";
+  out += ", \"bins\": {\"hit\": " + std::to_string(r.binsHit) +
+         ", \"total\": " + std::to_string(r.binsTotal) + "}";
+
+  out += ", \"latches\": [";
+  for (size_t l = 0; l < r.latches.size(); ++l) {
+    const LatchOccupancy& occ = r.latches[l];
+    if (l) out += ", ";
+    out += "{\"name\": " + quoted(occ.latch);
+    out += ", \"domain\": " + std::to_string(occ.domain);
+    out += ", \"reached_values\": " + std::to_string(occ.reachedValues);
+    out += ", \"pct\": " + num(occ.pct());
+    out += ", \"values\": [";
+    for (size_t k = 0; k < occ.valueNames.size(); ++k) {
+      if (k) out += ", ";
+      out += "{\"name\": " + quoted(occ.valueNames[k]);
+      out += ", \"reached\": ";
+      out += occ.valueReached[k] ? "true" : "false";
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+
+  out += ", \"frontier\": [";
+  for (size_t d = 0; d < r.frontier.size(); ++d) {
+    if (d) out += ", ";
+    out += "{\"depth\": " + std::to_string(r.frontier[d].depth);
+    out += ", \"new_states\": " + num(r.frontier[d].newStates);
+    out += ", \"total_states\": " + num(r.frontier[d].totalStates);
+    out += "}";
+  }
+  out += "]";
+
+  out += ", \"coverpoints\": [";
+  for (size_t p = 0; p < r.points.size(); ++p) {
+    const PointResult& pr = r.points[p];
+    if (p) out += ", ";
+    out += "{\"name\": " + quoted(pr.name);
+    out += ", \"bins_hit\": " + std::to_string(pr.binsHit);
+    out += ", \"bins\": [";
+    for (size_t i = 0; i < pr.bins.size(); ++i) {
+      const BinResult& br = pr.bins[i];
+      if (i) out += ", ";
+      out += "{\"name\": " + quoted(br.name);
+      out += ", \"expr\": " + quoted(br.expr);
+      out += ", \"hit\": ";
+      out += br.symbolicHit ? "true" : "false";
+      out += ", \"states\": " + num(br.symbolicStates);
+      out += ", \"sim_evaluable\": ";
+      out += br.simEvaluable ? "true" : "false";
+      out += ", \"sim_hits\": ";
+      out += br.simHits < 0 ? "null" : std::to_string(br.simHits);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+
+  out += ", \"sim\": {\"states\": " + std::to_string(r.simStates);
+  out += ", \"exhaustive\": ";
+  out += r.simExhaustive ? "true" : "false";
+  out += ", \"agrees\": ";
+  out += r.simAgrees ? "true" : "false";
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+namespace jl = obs::jsonlite;
+
+const jl::Value& need(const jl::Object& obj, const std::string& key) {
+  const jl::Value* v = jl::find(obj, key);
+  if (!v)
+    throw std::runtime_error("hsis-cov-v1: missing field '" + key + "'");
+  return *v;
+}
+
+}  // namespace
+
+Report parseReportJson(const std::string& text) {
+  jl::Value doc = jl::parse(text);
+  if (!doc.isObject())
+    throw std::runtime_error("hsis-cov-v1: document is not an object");
+  const jl::Object& obj = doc.object();
+  const jl::Value& schema = need(obj, "schema");
+  if (!schema.isString() || schema.str() != "hsis-cov-v1")
+    throw std::runtime_error("hsis-cov-v1: unexpected schema tag");
+
+  Report r;
+  r.enabled = need(obj, "enabled").boolean();
+  r.design = need(obj, "design").str();
+  r.reachableStates = need(obj, "reachable_states").number();
+  r.stateSpace = need(obj, "state_space").number();
+  r.depth = static_cast<size_t>(need(obj, "depth").number());
+  const jl::Object& values = need(obj, "values").object();
+  r.valuesReached = static_cast<uint64_t>(need(values, "reached").number());
+  r.valuesTotal = static_cast<uint64_t>(need(values, "total").number());
+  const jl::Object& bins = need(obj, "bins").object();
+  r.binsHit = static_cast<uint64_t>(need(bins, "hit").number());
+  r.binsTotal = static_cast<uint64_t>(need(bins, "total").number());
+
+  for (const jl::Value& lv : need(obj, "latches").array()) {
+    const jl::Object& lo = lv.object();
+    LatchOccupancy occ;
+    occ.latch = need(lo, "name").str();
+    occ.domain = static_cast<uint32_t>(need(lo, "domain").number());
+    occ.reachedValues =
+        static_cast<uint32_t>(need(lo, "reached_values").number());
+    for (const jl::Value& vv : need(lo, "values").array()) {
+      const jl::Object& vo = vv.object();
+      occ.valueNames.push_back(need(vo, "name").str());
+      occ.valueReached.push_back(need(vo, "reached").boolean());
+    }
+    r.latches.push_back(std::move(occ));
+  }
+
+  for (const jl::Value& fv : need(obj, "frontier").array()) {
+    const jl::Object& fo = fv.object();
+    FrontierPoint fp;
+    fp.depth = static_cast<size_t>(need(fo, "depth").number());
+    fp.newStates = need(fo, "new_states").number();
+    fp.totalStates = need(fo, "total_states").number();
+    r.frontier.push_back(fp);
+  }
+
+  for (const jl::Value& pv : need(obj, "coverpoints").array()) {
+    const jl::Object& po = pv.object();
+    PointResult pr;
+    pr.name = need(po, "name").str();
+    pr.binsHit = static_cast<size_t>(need(po, "bins_hit").number());
+    for (const jl::Value& bv : need(po, "bins").array()) {
+      const jl::Object& bo = bv.object();
+      BinResult br;
+      br.name = need(bo, "name").str();
+      br.expr = need(bo, "expr").str();
+      br.symbolicHit = need(bo, "hit").boolean();
+      br.symbolicStates = need(bo, "states").number();
+      br.simEvaluable = need(bo, "sim_evaluable").boolean();
+      const jl::Value& sh = need(bo, "sim_hits");
+      br.simHits = sh.isNull() ? -1 : static_cast<int64_t>(sh.number());
+      pr.bins.push_back(std::move(br));
+    }
+    r.points.push_back(std::move(pr));
+  }
+
+  const jl::Object& sim = need(obj, "sim").object();
+  r.simStates = static_cast<uint64_t>(need(sim, "states").number());
+  r.simExhaustive = need(sim, "exhaustive").boolean();
+  r.simAgrees = need(sim, "agrees").boolean();
+  return r;
+}
+
+}  // namespace hsis::cov

@@ -1,0 +1,134 @@
+// Markdown rendering of coverage reports (`hsis_report coverage`).
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "cov/cov.hpp"
+
+namespace hsis::cov {
+
+namespace {
+
+std::string pctStr(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", pct);
+  return buf;
+}
+
+std::string countStr(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+size_t latchesBelow(const Report& r, double thresholdPct) {
+  size_t below = 0;
+  for (const LatchOccupancy& occ : r.latches)
+    if (occ.pct() < thresholdPct) ++below;
+  return below;
+}
+
+std::string renderReport(const Report& r, const RenderOptions& opts) {
+  std::string out = "# Coverage report: " + r.design + "\n\n";
+  if (!r.enabled) {
+    out += "_coverage was disabled (HSIS_OBS_DISABLE build or "
+           "HSIS_COV_DISABLE set); no data._\n";
+    return out;
+  }
+
+  out += "- reachable states: " + countStr(r.reachableStates) + " / " +
+         countStr(r.stateSpace) + " (" + pctStr(100.0 * r.stateFraction()) +
+         " of state space)\n";
+  out += "- latch values reached: " + std::to_string(r.valuesReached) + "/" +
+         std::to_string(r.valuesTotal);
+  if (r.valuesTotal > 0) {
+    out += " (" + pctStr(100.0 * static_cast<double>(r.valuesReached) /
+                         static_cast<double>(r.valuesTotal)) + ")";
+  }
+  out += "\n";
+  out += "- coverpoint bins hit: " + std::to_string(r.binsHit) + "/" +
+         std::to_string(r.binsTotal) + "\n";
+  out += "- reachability depth: " + std::to_string(r.depth) + "\n";
+  if (r.simStates > 0) {
+    out += "- sim differential: " + std::to_string(r.simStates) +
+           " states enumerated, ";
+    if (!r.simExhaustive) {
+      out += "not exhaustive (comparison skipped)\n";
+    } else {
+      out += r.simAgrees ? "agrees with symbolic counts\n"
+                         : "**DISAGREES with symbolic counts**\n";
+    }
+  }
+
+  out += "\n## Latch occupancy\n\n";
+  out += "| latch | domain | reached | occupancy | missing values |\n";
+  out += "|---|---:|---:|---:|---|\n";
+  for (const LatchOccupancy& occ : r.latches) {
+    std::string missing;
+    for (size_t k = 0; k < occ.valueNames.size(); ++k) {
+      if (occ.valueReached[k]) continue;
+      if (!missing.empty()) missing += ", ";
+      missing += occ.valueNames[k];
+    }
+    if (missing.empty()) missing = "—";
+    out += "| " + occ.latch + " | " + std::to_string(occ.domain) + " | " +
+           std::to_string(occ.reachedValues) + " | " + pctStr(occ.pct()) +
+           " | " + missing + " |\n";
+  }
+
+  if (!r.points.empty()) {
+    out += "\n## Coverpoints\n\n";
+    out += "| coverpoint | bin | expr | hit | states | sim hits |\n";
+    out += "|---|---|---|---|---:|---:|\n";
+    for (const PointResult& pr : r.points) {
+      for (const BinResult& br : pr.bins) {
+        std::string sim;
+        if (!br.simEvaluable) {
+          sim = "n/a";
+        } else if (br.simHits < 0) {
+          sim = "—";
+        } else {
+          sim = std::to_string(br.simHits);
+        }
+        out += "| " + pr.name + " | " + br.name + " | `" + br.expr +
+               "` | " + (br.symbolicHit ? "yes" : "**no**") + " | " +
+               countStr(br.symbolicStates) + " | " + sim + " |\n";
+      }
+    }
+  }
+
+  if (!r.frontier.empty()) {
+    out += "\n## Frontier occupancy\n\n";
+    out += "| depth | new states | total states |\n";
+    out += "|---:|---:|---:|\n";
+    for (const FrontierPoint& fp : r.frontier) {
+      out += "| " + std::to_string(fp.depth) + " | " +
+             countStr(fp.newStates) + " | " + countStr(fp.totalStates) +
+             " |\n";
+    }
+  }
+
+  if (opts.threshold >= 0.0) {
+    size_t below = latchesBelow(r, opts.threshold);
+    out += "\n## Threshold gate (" + pctStr(opts.threshold) + ")\n\n";
+    if (below == 0) {
+      out += "All latches meet the occupancy threshold.\n";
+    } else {
+      out += "**" + std::to_string(below) +
+             " latch(es) below threshold:**\n\n";
+      for (const LatchOccupancy& occ : r.latches) {
+        if (occ.pct() >= opts.threshold) continue;
+        out += "- " + occ.latch + ": " + pctStr(occ.pct()) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hsis::cov

@@ -1,5 +1,6 @@
 #include "ctl/mc.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/control.hpp"
@@ -13,6 +14,10 @@ CtlChecker::CtlChecker(const Fsm& fsm, const TransitionRelation& tr,
     : fsm_(&fsm), tr_(&tr), fair_(std::move(fairnessConstraints)), opts_(options) {
   if (fair_.empty()) fair_.push_back(fsm.mgr().bddOne());
   activeTr_ = tr_;
+  // Coverage's frontier series folds to a no-op in disabled builds and
+  // under the HSIS_COV_DISABLE runtime toggle.
+  opts_.recordFrontierStates = opts_.recordFrontierStates && obs::kEnabled &&
+                               std::getenv("HSIS_COV_DISABLE") == nullptr;
 }
 
 const Bdd& CtlChecker::reached() {
@@ -20,9 +25,11 @@ const Bdd& CtlChecker::reached() {
     obs::Span span("ctl.reach");
     ReachOptions ro;
     ro.keepOnionRings = opts_.wantTrace;
+    ro.recordFrontierStates = opts_.recordFrontierStates;
     ReachResult r = reachableStates(*tr_, fsm_->initialStates(), ro);
     reached_ = r.reached;
     onionRings_ = std::move(r.onionRings);
+    frontierStates_ = std::move(r.frontierStates);
     stats_.reachabilitySteps = r.depth;
     if (opts_.useReachedDontCares) {
       minimizedTr_ = tr_->minimized(reached_);

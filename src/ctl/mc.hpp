@@ -23,6 +23,13 @@ struct McOptions {
   bool earlyFailureDetection = true;
   /// Generate a counterexample/witness trace when available.
   bool wantTrace = true;
+  /// Record per-depth new-state counts during the reachability fixpoint
+  /// (the hsis_cov frontier time series, ReachOptions::
+  /// recordFrontierStates). The constructor downgrades this to false under
+  /// HSIS_OBS_DISABLE or when HSIS_COV_DISABLE is set in the environment —
+  /// the latter is the runtime A/B toggle the EXPERIMENTS.md overhead
+  /// measurement flips.
+  bool recordFrontierStates = true;
 };
 
 struct McStats {
@@ -62,6 +69,12 @@ class CtlChecker {
   const Bdd& fairStates();
 
   [[nodiscard]] const Bdd& reached();
+  /// New-state count per reachability depth (frontierStates of the reach
+  /// fixpoint). Empty before reached() ran, or when frontier recording is
+  /// off (HSIS_OBS_DISABLE / HSIS_COV_DISABLE).
+  [[nodiscard]] const std::vector<double>& frontierNewStates() const {
+    return frontierStates_;
+  }
   [[nodiscard]] const McStats& lastStats() const { return stats_; }
   [[nodiscard]] const Fsm& fsm() const { return *fsm_; }
   [[nodiscard]] const TransitionRelation& tr() const { return *tr_; }
@@ -92,6 +105,7 @@ class CtlChecker {
   const TransitionRelation* activeTr_ = nullptr;
   Bdd reached_;
   std::vector<Bdd> onionRings_;
+  std::vector<double> frontierStates_;
   Bdd fairStates_;
   bool fairStatesComputed_ = false;
   McStats stats_;

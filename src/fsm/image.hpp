@@ -64,11 +64,20 @@ struct ReachOptions {
   std::function<bool(const Bdd& frontier, size_t depth)> watch;
   /// If nonzero, stop after this many steps (bounded reachability).
   size_t maxSteps = 0;
+  /// Record per-depth *state* counts of each frontier (the hsis_cov
+  /// frontier time series): frontierStates[d] = states first reached at
+  /// depth d, via Fsm::countStates. One extra linear walk per step, the
+  /// same order of cost as the frontier node counts already recorded;
+  /// off by default so bounded/early-exit callers pay nothing.
+  bool recordFrontierStates = false;
 };
 
 struct ReachResult {
   Bdd reached;
   std::vector<Bdd> onionRings;  ///< rings[d] = states first reached at depth d
+  /// New-state count per depth (recordFrontierStates); sums to the total
+  /// reachable state count when the fixpoint ran to completion.
+  std::vector<double> frontierStates;
   size_t depth = 0;
   bool stoppedEarly = false;
 };

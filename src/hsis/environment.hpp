@@ -84,6 +84,10 @@ class Environment {
   }
   /// Reachable state count (computed on demand).
   double reachedStates();
+  /// Coverage analysis of the reachable states (hsis_cov; see cov/cov.hpp).
+  cov::Report coverage(cov::Options options = {}) {
+    return session_.coverage(std::move(options));
+  }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   /// Full observability snapshot as JSON (hsis-obs-v1): the metrics
   /// registry (bdd.*, fsm.*, ctl.*, lc.*, env.*) plus the nested span

@@ -242,6 +242,14 @@ double Session::reachedStates() {
   return states;
 }
 
+cov::Report Session::coverage(cov::Options options) {
+  CtlChecker& mc = checker();
+  const Bdd& reached = mc.reached();  // cached fixpoint
+  if (options.frontierNewStates.empty())
+    options.frontierNewStates = mc.frontierNewStates();
+  return cov::analyze(*fsm_, *tr_, reached, options);
+}
+
 BugReport Session::checkCtl(const std::string& name, const CtlRef& formula) {
   BugReport report;
   report.paradigm = BugReport::Paradigm::ModelChecking;

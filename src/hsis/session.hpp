@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "blifmv/blifmv.hpp"
+#include "cov/cov.hpp"
 #include "ctl/mc.hpp"
 #include "debug/report.hpp"
 #include "fsm/fsm.hpp"
@@ -130,6 +131,10 @@ class Session {
   Simulator makeSimulator(uint64_t seed = 1);
   /// Reachable state count (computed on demand, cached in the checker).
   double reachedStates();
+  /// Coverage analysis of the reachable state set (hsis_cov). Reuses the
+  /// checker's cached fixpoint and its frontier series; returns a
+  /// valid-empty disabled report under HSIS_OBS_DISABLE/HSIS_COV_DISABLE.
+  cov::Report coverage(cov::Options options = {});
   [[nodiscard]] size_t linesVerilog() const { return linesVerilog_; }
   [[nodiscard]] size_t linesBlifMv() const { return linesBlifMv_; }
   [[nodiscard]] const std::vector<std::string>& notes() const {

@@ -600,6 +600,9 @@ ObsCliOptions stripObsCliFlags(int& argc, char** argv) {
     } else if (std::strcmp(a, "--flight-dir") == 0 && hasValue) {
       opts.flightDir = argv[i + 1];
       eraseArgs(argc, argv, i, 2);
+    } else if (std::strcmp(a, "--cov-json") == 0 && hasValue) {
+      opts.covJsonPath = argv[i + 1];
+      eraseArgs(argc, argv, i, 2);
     } else {
       ++i;
     }

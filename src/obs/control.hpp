@@ -300,6 +300,11 @@ struct ObsCliOptions {
   std::string logFile;             ///< "" = no JSONL log sink
   std::string ledgerPath;          ///< "" = default resolution, "none" = off
   std::string flightDir;           ///< "" = $HSIS_FLIGHT_DIR or off
+  /// --cov-json FILE: where the driver writes its hsis-cov-v1 coverage
+  /// report. Parsed here so every driver spells the flag the same way, but
+  /// always driver-owned (obs cannot depend on cov): the exit exporters
+  /// never touch it.
+  std::string covJsonPath;
 };
 
 /// Scan argv, remove every recognized flag (and value), return the result.

@@ -123,6 +123,15 @@ std::string toJsonl(const Record& r) {
     }
     out += "}";
   }
+  if (r.hasCoverage) {
+    out += ", \"coverage\": {\"state_fraction\": " +
+           jsonDouble(r.covStateFraction);
+    out += ", \"values_reached\": " + std::to_string(r.covValuesReached);
+    out += ", \"values_total\": " + std::to_string(r.covValuesTotal);
+    out += ", \"bins_hit\": " + std::to_string(r.covBinsHit);
+    out += ", \"bins_total\": " + std::to_string(r.covBinsTotal);
+    out += "}";
+  }
   out += ", \"obs_enabled\": ";
   out += r.obsEnabled ? "true" : "false";
   out += ", \"signal\": ";
@@ -223,6 +232,20 @@ bool parseLine(std::string_view line, Record& r) {
       if (val.isNumber())
         r.stages.emplace_back(name, static_cast<uint64_t>(val.number()));
     }
+  }
+  if (const jl::Value* v = jl::find(o, "coverage");
+      v != nullptr && v->isObject()) {
+    const jl::Object& cov = v->object();
+    r.hasCoverage = true;
+    auto num = [&](const char* key) -> double {
+      const jl::Value* f = jl::find(cov, key);
+      return f != nullptr && f->isNumber() ? f->number() : 0.0;
+    };
+    r.covStateFraction = num("state_fraction");
+    r.covValuesReached = static_cast<uint64_t>(num("values_reached"));
+    r.covValuesTotal = static_cast<uint64_t>(num("values_total"));
+    r.covBinsHit = static_cast<uint64_t>(num("bins_hit"));
+    r.covBinsTotal = static_cast<uint64_t>(num("bins_total"));
   }
   if (const jl::Value* v = jl::find(o, "wall_s"); v != nullptr && v->isNumber())
     r.wallSeconds = v->number();
@@ -500,6 +523,18 @@ std::string renderShow(const std::vector<Record>& records,
                "ms";
       }
       out += "\n";
+    }
+    if (r.hasCoverage) {
+      char cov[160];
+      std::snprintf(cov, sizeof cov,
+                    "  coverage: %.1f%% of state space, values %llu/%llu, "
+                    "bins %llu/%llu\n",
+                    r.covStateFraction * 100.0,
+                    static_cast<unsigned long long>(r.covValuesReached),
+                    static_cast<unsigned long long>(r.covValuesTotal),
+                    static_cast<unsigned long long>(r.covBinsHit),
+                    static_cast<unsigned long long>(r.covBinsTotal));
+      out += cov;
     }
     out += "  obs:      " + std::string(r.obsEnabled ? "enabled" : "disabled") +
            "\n";

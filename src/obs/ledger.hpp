@@ -55,6 +55,14 @@ struct Record {
   /// Per-stage wall micros (e.g. "queue", "parse", "tr", "reach", "check",
   /// "render"), in stage order. Empty for drivers without stage timing.
   std::vector<std::pair<std::string, uint64_t>> stages;
+  /// Coverage summary (hsis_cov); rendered only when hasCoverage is set so
+  /// pre-coverage records keep their exact byte shape.
+  bool hasCoverage = false;
+  double covStateFraction = 0.0;
+  uint64_t covValuesReached = 0;
+  uint64_t covValuesTotal = 0;
+  uint64_t covBinsHit = 0;
+  uint64_t covBinsTotal = 0;
   bool obsEnabled = true;
   std::string signalName; ///< "SIGSEGV" etc. for crashed records, else ""
 };

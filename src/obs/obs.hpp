@@ -414,6 +414,13 @@ struct HistogramSummary {
 
 HistogramSummary summarizeHistogram(const Histogram& h);
 
+/// Render a summary as a JSON object with the fixed key set
+/// {"count", "p50", "p90", "p99", "max"}. An empty histogram (count == 0)
+/// has no quantiles, so p50/p90/p99/max render as `null` rather than a
+/// misleading 0 — the serve.latency.* rows before the first request, and
+/// every row under HSIS_OBS_DISABLE, read as "no data", not "instant".
+std::string histogramSummaryJson(const HistogramSummary& s);
+
 // ------------------------------------------------------------ wall clock
 
 /// Plain monotonic stopwatch. NOT instrumentation: it works identically

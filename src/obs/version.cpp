@@ -16,6 +16,9 @@ const std::vector<std::string>& schemaVersions() {
       "hsis-flight-v1", // crash flight-recorder dumps (log.hpp)
       "hsis-ledger-v1", // cross-run verification ledger (ledger.hpp)
       "hsis-serve-v1",  // hsis_serve wire protocol (serve/protocol.hpp)
+      "hsis-serve-stats-v1",   // stats-stream ticks (serve/protocol.hpp)
+      "hsis-slow-request-v1",  // slow-request capture (serve/telemetry.hpp)
+      "hsis-cov-v1",    // coverage reports (cov/cov.hpp)
   };
   return kSchemas;
 }

@@ -247,6 +247,18 @@ void SessionPool::runJob(Worker& worker, Job& job) {
       stageTimer.restart();
       obs::Span reachSpan("serve.stage.reach");
       (void)worker.session.checker().reached();
+      // Coverage rides on the just-computed fixpoint (symbolic-only here:
+      // no simulator enumeration on the serve path). A disabled report
+      // leaves hasCoverage false, so legacy frame/ledger shapes survive.
+      cov::Report covRep = worker.session.coverage();
+      if (covRep.enabled) {
+        stats.hasCoverage = true;
+        stats.covStateFraction = covRep.stateFraction();
+        stats.covValuesReached = covRep.valuesReached;
+        stats.covValuesTotal = covRep.valuesTotal;
+        stats.covBinsHit = covRep.binsHit;
+        stats.covBinsTotal = covRep.binsTotal;
+      }
       stats.stages.reach = stageTimer.micros();
     }
 
@@ -303,6 +315,14 @@ void SessionPool::runJob(Worker& worker, Job& job) {
     } else {
       ++counters_.failed;
     }
+    if (stats.hasCoverage) {
+      ++counters_.covReports;
+      counters_.covLastStateFraction = stats.covStateFraction;
+      counters_.covLastValuesReached = stats.covValuesReached;
+      counters_.covLastValuesTotal = stats.covValuesTotal;
+      counters_.covLastBinsHit = stats.covBinsHit;
+      counters_.covLastBinsTotal = stats.covBinsTotal;
+    }
   }
   obs::counter(verdict == "aborted"  ? "serve.requests.aborted"
                : verdict == "error" ? "serve.requests.failed"
@@ -341,6 +361,14 @@ void SessionPool::runJob(Worker& worker, Job& job) {
                   {"reach", stats.stages.reach},
                   {"check", stats.stages.check},
                   {"render", stats.stages.render}};
+    if (stats.hasCoverage) {
+      rec.hasCoverage = true;
+      rec.covStateFraction = stats.covStateFraction;
+      rec.covValuesReached = stats.covValuesReached;
+      rec.covValuesTotal = stats.covValuesTotal;
+      rec.covBinsHit = stats.covBinsHit;
+      rec.covBinsTotal = stats.covBinsTotal;
+    }
     rec.obsEnabled = obs::kEnabled;
     obs::ledger::append(opts_.ledgerPath, rec);
   }
@@ -480,14 +508,17 @@ std::string SessionPool::statsStreamJson() const {
     obs::HistogramSummary sum = obs::summarizeHistogram(*hist);
     if (!first) out += ", ";
     first = false;
-    out += std::string("\"") + name + "\": {\"count\": " +
-           std::to_string(sum.count);
-    out += ", \"p50\": " + std::to_string(sum.p50);
-    out += ", \"p90\": " + std::to_string(sum.p90);
-    out += ", \"p99\": " + std::to_string(sum.p99);
-    out += ", \"max\": " + std::to_string(sum.max);
-    out += "}";
+    out += std::string("\"") + name +
+           "\": " + obs::histogramSummaryJson(sum);
   }
+  // Constant-shape coverage summary (last report wins); all zeros until a
+  // CTL request completed with coverage enabled.
+  out += "}, \"coverage\": {\"reports\": " + std::to_string(s.covReports);
+  out += ", \"state_fraction\": " + obs::jsonDouble(s.covLastStateFraction);
+  out += ", \"values_reached\": " + std::to_string(s.covLastValuesReached);
+  out += ", \"values_total\": " + std::to_string(s.covLastValuesTotal);
+  out += ", \"bins_hit\": " + std::to_string(s.covLastBinsHit);
+  out += ", \"bins_total\": " + std::to_string(s.covLastBinsTotal);
   out += "}}";
   return out;
 }

@@ -90,6 +90,15 @@ class SessionPool {
     size_t queueDepth = 0;
     size_t workers = 0;
     size_t busyWorkers = 0;
+    /// Coverage summaries (hsis_cov): count of requests that produced one,
+    /// plus the most recent summary (all 0 until the first CTL request
+    /// completes with coverage enabled).
+    uint64_t covReports = 0;
+    double covLastStateFraction = 0.0;
+    uint64_t covLastValuesReached = 0;
+    uint64_t covLastValuesTotal = 0;
+    uint64_t covLastBinsHit = 0;
+    uint64_t covLastBinsTotal = 0;
     std::vector<std::string> resident;  ///< digest per worker ("" = empty)
   };
   [[nodiscard]] Stats stats() const;

@@ -265,7 +265,17 @@ std::string doneFrame(std::string_view id, std::string_view verdict,
   out += ", \"reach\": " + std::to_string(st.reach);
   out += ", \"check\": " + std::to_string(st.check);
   out += ", \"render\": " + std::to_string(st.render);
-  out += "}}";
+  out += "}";
+  if (stats.hasCoverage) {
+    out += ", \"coverage\": {\"state_fraction\": " +
+           obs::jsonDouble(stats.covStateFraction);
+    out += ", \"values_reached\": " + std::to_string(stats.covValuesReached);
+    out += ", \"values_total\": " + std::to_string(stats.covValuesTotal);
+    out += ", \"bins_hit\": " + std::to_string(stats.covBinsHit);
+    out += ", \"bins_total\": " + std::to_string(stats.covBinsTotal);
+    out += "}";
+  }
+  out += "}";
   appendTraceId(out, traceId);
   out += "}";
   return out;

@@ -27,7 +27,9 @@
 //   {"event": "done",     "id": ID, "verdict": "pass"|"fail"|"aborted"|
 //    "error", "detail": TEXT, "stats": {"cache": ..., "read_micros": N,
 //    "wall_s": S, "properties": N, "failures": N, "stages": {"queue": US,
-//    "parse": US, "tr": US, "reach": US, "check": US, "render": US}},
+//    "parse": US, "tr": US, "reach": US, "check": US, "render": US}
+//    [, "coverage": {"state_fraction": F, "values_reached": N,
+//    "values_total": N, "bins_hit": N, "bins_total": N}]},
 //    "trace_id": HEX}
 //   {"event": "pong",     "id": ID, "version": TEXT}
 //   {"event": "stats",    "id": ID, "server": {...}}
@@ -40,7 +42,9 @@
 //    "seq": N, "stats": {"t_s": S, "queue_depth": N, "workers": N,
 //    "busy_workers": N, "rss_kb": N, "requests": {...}, "cache": {...},
 //    "latency_us": {STAGE: {"count": N, "p50": N, "p90": N, "p99": N,
-//    "max": N}, ...}}}
+//    "max": N}, ...} (quantiles null while count is 0),
+//    "coverage": {"reports": N, "state_fraction": F, "values_reached": N,
+//    "values_total": N, "bins_hit": N, "bins_total": N}}}
 //
 // Parsing reuses obs/jsonlite; rendering is direct (same idiom as the
 // heartbeat/ledger JSONL writers). All functions are pure — no sockets
@@ -133,6 +137,15 @@ struct DoneStats {
   size_t properties = 0;
   size_t failures = 0;
   StageMicros stages;
+  /// Coverage summary (hsis_cov), computed during the reach stage for CTL
+  /// requests. Rendered as a "coverage" object inside "stats" only when
+  /// hasCoverage is set, so pre-coverage clients see the legacy shape.
+  bool hasCoverage = false;
+  double covStateFraction = 0.0;
+  uint64_t covValuesReached = 0;
+  uint64_t covValuesTotal = 0;
+  uint64_t covBinsHit = 0;
+  uint64_t covBinsTotal = 0;
 };
 
 /// Request-scoped frame builders take the request's trace id (hex, "" =

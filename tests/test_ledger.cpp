@@ -121,6 +121,41 @@ TEST(LedgerSerialize, EscapesHostileStrings) {
   EXPECT_EQ(back[0].detail, r.detail);
 }
 
+TEST(LedgerSerialize, CoverageFieldsRoundTrip) {
+  Record r = sampleRecord();
+  r.hasCoverage = true;
+  r.covStateFraction = 0.75;
+  r.covValuesReached = 5;
+  r.covValuesTotal = 6;
+  r.covBinsHit = 3;
+  r.covBinsTotal = 4;
+  std::string line = toJsonl(r);
+  EXPECT_NE(line.find("\"coverage\""), std::string::npos);
+  std::vector<Record> back = parse(line + "\n");
+  ASSERT_EQ(back.size(), 1u);
+  const Record& b = back[0];
+  EXPECT_TRUE(b.hasCoverage);
+  EXPECT_DOUBLE_EQ(b.covStateFraction, 0.75);
+  EXPECT_EQ(b.covValuesReached, 5u);
+  EXPECT_EQ(b.covValuesTotal, 6u);
+  EXPECT_EQ(b.covBinsHit, 3u);
+  EXPECT_EQ(b.covBinsTotal, 4u);
+  // The show renderer surfaces the coverage line.
+  EXPECT_NE(renderShow(back, b.runId).find("coverage:"), std::string::npos);
+}
+
+TEST(LedgerSerialize, RecordWithoutCoverageOmitsTheKey) {
+  // Records from drivers that never ran coverage must serialize exactly as
+  // before the field existed (crash-armed records split the line on the
+  // rendered suffix, so byte layout matters).
+  Record r = sampleRecord();
+  std::string line = toJsonl(r);
+  EXPECT_EQ(line.find("\"coverage\""), std::string::npos);
+  std::vector<Record> back = parse(line + "\n");
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_FALSE(back[0].hasCoverage);
+}
+
 TEST(LedgerParse, SkipsTornAndForeignLines) {
   Record r = sampleRecord();
   std::string text;

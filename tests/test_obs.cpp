@@ -760,6 +760,35 @@ TEST(ObsExport, TraceWithNonFiniteCountersRoundTrips) {
   EXPECT_TRUE(sawNullRate);
 }
 
+// ------------------------------------------------- histogram summary json
+
+TEST(ObsHistogram, SummaryJsonRendersNullQuantilesWhenEmpty) {
+  // Regression: an untouched histogram used to render quantiles as 0,
+  // which reads as "instant" in the serve stats stream. Empty must be
+  // explicit: count 0, everything else null.
+  Histogram& h = histogram("test.obs.summary.empty");
+  h.reset();
+  HistogramSummary empty = summarizeHistogram(h);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(histogramSummaryJson(empty),
+            "{\"count\": 0, \"p50\": null, \"p90\": null, \"p99\": null, "
+            "\"max\": null}");
+
+  h.record(3);
+  h.record(1000);
+  HistogramSummary s = summarizeHistogram(h);
+  std::string json = histogramSummaryJson(s);
+  if (kEnabled) {
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"max\": 1000"), std::string::npos);
+    EXPECT_EQ(json.find("null"), std::string::npos);
+  } else {
+    // Disabled builds record nothing, so the summary stays empty-shaped.
+    EXPECT_NE(json.find("\"p50\": null"), std::string::npos);
+  }
+}
+
 // ----------------------------------------------------- jsonlite strings
 
 TEST(ObsJsonlite, DecodesUnicodeEscapes) {

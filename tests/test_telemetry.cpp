@@ -378,8 +378,18 @@ TEST(ServeTelemetry, StatsStreamTicksMatchSchema) {
       const jl::Value* row = jl::find(latency->object(), stage);
       ASSERT_NE(row, nullptr) << stage;
       ASSERT_TRUE(row->isObject()) << stage;
-      for (const char* field : {"count", "p50", "p90", "p99", "max"}) {
-        EXPECT_GE(numAt(row->object(), field), 0.0) << stage << field;
+      // Quantiles of an empty histogram render as null ("no data"), not 0
+      // ("instant"); every disabled-build row is empty by construction.
+      double rowCount = numAt(row->object(), "count");
+      EXPECT_GE(rowCount, 0.0) << stage;
+      for (const char* field : {"p50", "p90", "p99", "max"}) {
+        const jl::Value* qv = jl::find(row->object(), field);
+        ASSERT_NE(qv, nullptr) << stage << field;
+        if (rowCount > 0.0) {
+          EXPECT_GE(numAt(row->object(), field), 0.0) << stage << field;
+        } else {
+          EXPECT_TRUE(qv->isNull()) << stage << field;
+        }
       }
       if (obs::kEnabled) {
         // The warm-up check recorded into every stage histogram (they are
@@ -390,6 +400,16 @@ TEST(ServeTelemetry, StatsStreamTicksMatchSchema) {
     if (obs::kEnabled) {
       const jl::Value* total = jl::find(latency->object(), "total");
       EXPECT_GT(numAt(total->object(), "max"), 0.0);
+    }
+    // The coverage rollup is constant-shape: present on every tick, zeros
+    // until a request produces an enabled coverage report.
+    const jl::Value* cov = jl::find(stats, "coverage");
+    ASSERT_NE(cov, nullptr);
+    ASSERT_TRUE(cov->isObject());
+    EXPECT_GE(numAt(cov->object(), "reports"), 0.0);
+    EXPECT_GE(numAt(cov->object(), "bins_total"), 0.0);
+    if (obs::kEnabled) {
+      EXPECT_GE(numAt(cov->object(), "reports"), 1.0);  // warm-up check ran
     }
   }
   EXPECT_EQ(lastSeq, 1u);

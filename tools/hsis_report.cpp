@@ -13,6 +13,12 @@
 //                                            trace ids + stage timings);
 //                                            rows past the threshold are
 //                                            flagged SLOW
+//   hsis_report coverage FILE... [--threshold PCT] [--report-only]
+//                                            render hsis-cov-v1 coverage
+//                                            artifacts (hsis_cli --cov-json)
+//                                            as markdown; with --threshold,
+//                                            exit 1 when any latch's value
+//                                            occupancy is below PCT
 //
 // Common flags: --ledger PATH (default $HSIS_LEDGER or ~/.hsis/ledger.jsonl),
 // --markdown (tables render as GitHub markdown).
@@ -24,9 +30,12 @@
 // tests cover it without spawning this binary.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cov/cov.hpp"
 #include "obs/ledger.hpp"
 #include "obs/version.hpp"
 
@@ -41,7 +50,37 @@ void usage() {
                "  regressions [--threshold PCT] [--mem-threshold PCT] "
                "[--report-only]\n"
                "  requests [--threshold SECONDS] [--limit N] "
-               "[--report-only]\n");
+               "[--report-only]\n"
+               "  coverage FILE... [--threshold PCT] [--report-only]\n");
+}
+
+/// `hsis_report coverage`: render hsis-cov-v1 artifacts; exit 1 when a
+/// --threshold gate fails (unless --report-only), 2 on I/O/parse errors.
+int runCoverage(const std::vector<std::string>& files, bool thresholdSet,
+                double thresholdPct, bool reportOnly) {
+  size_t gated = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "hsis_report: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    hsis::cov::Report rep;
+    try {
+      rep = hsis::cov::parseReportJson(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hsis_report: %s: %s\n", file.c_str(), e.what());
+      return 2;
+    }
+    hsis::cov::RenderOptions ro;
+    if (thresholdSet) ro.threshold = thresholdPct;
+    std::fputs(hsis::cov::renderReport(rep, ro).c_str(), stdout);
+    std::fputs("\n", stdout);
+    if (thresholdSet) gated += hsis::cov::latchesBelow(rep, thresholdPct);
+  }
+  return gated > 0 && !reportOnly ? 1 : 0;
 }
 
 }  // namespace
@@ -54,6 +93,7 @@ int main(int argc, char** argv) {
   bool markdown = false;
   double wallPct = 10.0;
   double rssPct = 10.0;
+  bool thresholdSet = false;
   bool reportOnly = false;
   size_t limit = 20;
   std::vector<std::string> pos;
@@ -67,6 +107,7 @@ int main(int argc, char** argv) {
       markdown = true;
     } else if (std::strcmp(a, "--threshold") == 0 && hasValue) {
       wallPct = std::strtod(argv[++i], nullptr);
+      thresholdSet = true;
     } else if (std::strcmp(a, "--mem-threshold") == 0 && hasValue) {
       rssPct = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(a, "--report-only") == 0) {
@@ -87,6 +128,18 @@ int main(int argc, char** argv) {
   if (pos.empty()) {
     usage();
     return 2;
+  }
+
+  // `coverage` reads hsis-cov-v1 artifacts, not the ledger — dispatch it
+  // before any ledger resolution so it works with no ledger configured.
+  if (pos[0] == "coverage") {
+    if (pos.size() < 2) {
+      std::fprintf(stderr, "hsis_report: coverage needs at least one file\n");
+      usage();
+      return 2;
+    }
+    return runCoverage({pos.begin() + 1, pos.end()}, thresholdSet, wallPct,
+                       reportOnly);
   }
 
   const std::string path = ledger::resolvePath(ledgerFlag);

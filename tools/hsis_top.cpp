@@ -143,6 +143,15 @@ void renderTick(const std::string& socketPath, double seq,
       renderLatencyRow(*latency, stage);
     }
   }
+  if (const jl::Object* cov = objField(stats, "coverage")) {
+    std::printf(
+        "coverage: reports=%.0f state=%.1f%% values=%.0f/%.0f "
+        "bins=%.0f/%.0f\n",
+        numField(*cov, "reports"),
+        numField(*cov, "state_fraction") * 100.0,
+        numField(*cov, "values_reached"), numField(*cov, "values_total"),
+        numField(*cov, "bins_hit"), numField(*cov, "bins_total"));
+  }
 }
 
 }  // namespace
