@@ -25,16 +25,21 @@
 //                        `hsis_report coverage`
 //   --cov-spec FILE      coverpoint/bin spec (see docs/coverage.md);
 //                        default is one auto coverpoint per latch
+//   --cex-dir DIR        write a replayable hsis-cex-v1 counterexample
+//                        artifact (JSON + VCD) into DIR for every failing
+//                        CTL check with a trace (see docs/debugging.md)
 // A watchdog abort still writes the --stats-json snapshot (its "aborted"
 // field carries the reason and breaching phase) and the --profile files,
 // and exits with code 3. Every invocation appends one hsis-ledger-v1
 // record (pass/fail/aborted/crashed, wall, peak RSS) that hsis_report
 // queries.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "cex/cex.hpp"
 #include "cov/cov.hpp"
 #include "hsis/environment.hpp"
 #include "models/models.hpp"
@@ -67,7 +72,8 @@ int usage() {
                "           --profile-out BASE | --profile-interval-ms N |\n"
                "           --log-level LVL | --log-file F | --ledger PATH |\n"
                "           --flight-dir DIR | --cov-json FILE | "
-               "--cov-spec FILE\n");
+               "--cov-spec FILE |\n"
+               "           --cex-dir DIR\n");
   return 2;
 }
 
@@ -92,11 +98,17 @@ int main(int argc, char** argv) {
   hsis::obs::ObsCliOptions obsOpts = hsis::obs::initDriverObs(
       argc, argv, {.driverName = "hsis_cli", .ownStatsJson = true});
 
-  // --cov-spec is cli-local (the shared strip covers --cov-json only).
+  // --cov-spec and --cex-dir are cli-local (the shared strip covers
+  // --cov-json only).
   std::string covSpecPath;
+  std::string cexDir;
   for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--cov-spec") == 0 && i + 1 < argc) {
       covSpecPath = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    } else if (std::strcmp(argv[i], "--cex-dir") == 0 && i + 1 < argc) {
+      cexDir = argv[i + 1];
       for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
     } else {
@@ -105,20 +117,33 @@ int main(int argc, char** argv) {
   }
 
   hsis::Environment env;
+  // Remembered for --cex-dir: artifacts embed the design source so they
+  // replay standalone.
+  hsis::Session::DesignSource designSrc;
+  std::string designName;
 
   if (argc == 3 && std::strcmp(argv[1], "--model") == 0) {
     const hsis::models::ModelDef* m = hsis::models::find(argv[2]);
     if (m == nullptr) return usage();
     hsis::obs::noteRunSubject(argv[2]);
-    env.readVerilog(std::string(m->verilog), std::string(m->top));
+    designName = argv[2];
+    designSrc = {hsis::Session::DesignSource::Kind::Verilog,
+                 std::string(m->verilog), std::string(m->top)};
+    env.readVerilog(designSrc.text, designSrc.top);
     env.readPif(std::string(m->pif));
   } else if (argc == 4 && std::strcmp(argv[1], "--blifmv") == 0) {
     hsis::obs::noteRunSubject(argv[2]);
-    env.readBlifMv(slurp(argv[2]));
+    designName = argv[2];
+    designSrc = {hsis::Session::DesignSource::Kind::BlifMv, slurp(argv[2]),
+                 ""};
+    env.readBlifMv(designSrc.text);
     env.readPif(slurp(argv[3]));
   } else if (argc == 3) {
     hsis::obs::noteRunSubject(argv[1]);
-    env.readVerilog(slurp(argv[1]));
+    designName = argv[1];
+    designSrc = {hsis::Session::DesignSource::Kind::Verilog, slurp(argv[1]),
+                 ""};
+    env.readVerilog(designSrc.text);
     env.readPif(slurp(argv[2]));
   } else {
     return usage();
@@ -135,12 +160,51 @@ int main(int argc, char** argv) {
       std::printf("note: %s\n", n.c_str());
     std::printf("reachable states: %.0f\n\n", env.reachedStates());
 
+    bool cexDisabledNoted = false;
     for (const hsis::BugReport& report : env.verifyAll()) {
       std::printf("%s\n", renderBugReport(report, env.fsm()).c_str());
       if (!report.holds) {
         ++failures;
         if (!failing.empty()) failing += ", ";
         failing += report.propertyName;
+      }
+      if (!cexDir.empty() && !report.holds && report.trace.has_value() &&
+          report.paradigm == hsis::BugReport::Paradigm::ModelChecking) {
+        if (!hsis::cex::cexEnabled()) {
+          if (!cexDisabledNoted)
+            std::printf("cex: disabled (HSIS_OBS_DISABLE build or "
+                        "HSIS_CEX_DISABLE set)\n");
+          cexDisabledNoted = true;
+          continue;
+        }
+        hsis::cex::BuildInputs bi;
+        bi.propertyName = report.propertyName;
+        bi.propertyText = report.propertyText;
+        bi.designName = designName;
+        bi.designDigest = designSrc.digest();
+        bi.designKind =
+            designSrc.kind == hsis::Session::DesignSource::Kind::Verilog
+                ? "verilog"
+                : "blifmv";
+        bi.designTop = designSrc.top;
+        bi.designText = designSrc.text;
+        hsis::cex::Artifact art =
+            hsis::cex::build(env.fsm(), *report.trace, bi);
+        hsis::cex::verifyAndStamp(art, env.fsm(), env.tr());
+        std::string base = report.propertyName.empty() ? "unnamed"
+                                                       : report.propertyName;
+        for (char& c : base)
+          if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+              c != '_')
+            c = '_';
+        std::string jsonPath = cexDir + "/" + base + ".cex.json";
+        std::string vcdPath = cexDir + "/" + base + ".cex.vcd";
+        if (hsis::cex::writeFiles(art, jsonPath, vcdPath)) {
+          std::printf("cex: %s (replay %s)\n     %s\n", jsonPath.c_str(),
+                      art.replay.c_str(), vcdPath.c_str());
+        } else {
+          std::fprintf(stderr, "cex: cannot write %s\n", jsonPath.c_str());
+        }
       }
     }
 

@@ -1,0 +1,100 @@
+// Artifact assembly: decode a failing check's Trace into the hsis-cex-v1
+// signal/step shape, with source-line attribution and run identity.
+#include "cex/cex.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/control.hpp"
+#include "obs/ledger.hpp"
+#include "obs/obs.hpp"
+
+namespace hsis::cex {
+
+bool cexEnabled() {
+  return obs::kEnabled && std::getenv("HSIS_CEX_DISABLE") == nullptr;
+}
+
+namespace {
+
+SignalInfo signalInfoOf(const MvSpace& space, MvVarId v, int sourceLine) {
+  SignalInfo info;
+  info.name = space.name(v);
+  info.domain = space.domain(v);
+  info.bits = MvSpace::bitsFor(info.domain);
+  info.valueNames = space.valueNames(v);
+  info.sourceLine = sourceLine;
+  return info;
+}
+
+}  // namespace
+
+Artifact build(const Fsm& fsm, const Trace& trace, const BuildInputs& in) {
+  obs::Span span("cex.build");
+  Artifact a;
+  a.traceId = in.traceId;
+  a.gitSha = obs::gitSha();
+  a.designName = in.designName.empty() ? fsm.name() : in.designName;
+  a.designDigest = in.designDigest;
+  a.designKind = in.designKind;
+  a.designTop = in.designTop;
+  a.designText = in.designText;
+  a.propertyName = in.propertyName;
+  a.propertyText = in.propertyText;
+  a.propertyDigest = obs::ledger::digestOf(in.propertyText);
+  a.cycleStart = trace.cycleStart;
+
+  const MvSpace& space = fsm.space();
+  a.latches.reserve(fsm.numLatches());
+  for (size_t l = 0; l < fsm.numLatches(); ++l)
+    a.latches.push_back(
+        signalInfoOf(space, fsm.stateVar(l), fsm.latchLine(l)));
+  if (!trace.inputs.empty()) {
+    a.inputs.reserve(fsm.inputVars().size());
+    for (MvVarId v : fsm.inputVars())
+      a.inputs.push_back(signalInfoOf(space, v, 0));
+  }
+
+  a.steps.reserve(trace.states.size());
+  for (size_t i = 0; i < trace.states.size(); ++i) {
+    Step step;
+    step.latchValues = fsm.decodeState(trace.states[i]);
+    if (i < trace.inputs.size()) step.inputValues = trace.inputs[i];
+    a.steps.push_back(std::move(step));
+  }
+  // A lasso's back-edge stimulus rides on the final step (its outgoing
+  // transition is the back edge).
+  if (trace.isLasso() && trace.inputs.size() == trace.states.size() &&
+      !a.steps.empty())
+    a.steps.back().inputValues = trace.inputs.back();
+  return a;
+}
+
+void verifyAndStamp(Artifact& a, const Fsm& fsm,
+                    const TransitionRelation& tr) {
+  ReplayResult r = replay(a, fsm, tr);
+  a.replay = r.verified ? "verified" : "unverified";
+  a.replayNote = r.note;
+  obs::counter(r.verified ? "cex.replay.verified" : "cex.replay.failed")
+      .add();
+}
+
+bool writeFiles(const Artifact& a, const std::string& jsonPath,
+                const std::string& vcdPath) {
+  auto writeOne = [](const std::string& path, const std::string& text) {
+    std::error_code ec;
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+      std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(path);
+    if (!out) return false;
+    out << text;
+    return static_cast<bool>(out);
+  };
+  bool ok = writeOne(jsonPath, toJson(a) + "\n");
+  ok = writeOne(vcdPath, toVcd(a)) && ok;
+  return ok;
+}
+
+}  // namespace hsis::cex

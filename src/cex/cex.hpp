@@ -1,0 +1,158 @@
+// hsis_cex: replayable counterexample artifacts (schema hsis-cex-v1).
+//
+// The paper's Section 6 pitch is that short error traces make verification
+// usable; this layer turns a failing check's Trace into a self-contained
+// artifact a user can open anywhere:
+//
+//  1. Artifact assembly — the path/lasso with per-step latch *and* input
+//     bindings decoded through the MvSpace, Verilog source-line attribution
+//     via the .lineinfo chain (Fsm::latchLine), the violated property text
+//     + digest, and the run's trace_id / git sha / design digest for the
+//     ledger join. The design source itself is embedded, so replay and
+//     re-rendering need nothing but the file.
+//  2. VCD export — IEEE 1364 $var/value-change output so any standard
+//     waveform viewer opens the failure; a lasso's cycle is unrolled twice
+//     and marked with a $comment.
+//  3. Replay verification — the trace is driven through the state-based
+//     simulator (src/sim) step by step: the first state must be initial,
+//     every transition admissible (with the recorded inputs pinned against
+//     the raw relations), and the final state/cycle must violate the
+//     property. Artifacts are stamped `replay: verified|unverified`.
+//
+// Everything folds to a no-op under HSIS_OBS_DISABLE builds or when
+// HSIS_CEX_DISABLE is set (the cov/slow-capture gating pattern); disabled
+// paths build no artifacts and write no files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fsm/image.hpp"
+#include "fsm/trace.hpp"
+
+namespace hsis::cex {
+
+inline constexpr std::string_view kSchema = "hsis-cex-v1";
+
+/// Master switch: true when the obs layer is compiled in and
+/// HSIS_CEX_DISABLE is not set. Callers gate artifact building on this so
+/// the disabled configuration costs one getenv per failing property.
+bool cexEnabled();
+
+/// One signal column of the artifact: a latch or a free primary input,
+/// with enough metadata to decode values and render a VCD $var.
+struct SignalInfo {
+  std::string name;
+  uint32_t domain = 0;
+  uint32_t bits = 0;  ///< binary encoding width (VCD vector width)
+  std::vector<std::string> valueNames;  ///< symbolic names ({} = numeric)
+  int sourceLine = 0;  ///< HDL line via .lineinfo (0 = unknown; inputs 0)
+};
+
+/// One trace step: decoded values aligned with Artifact::latches, plus the
+/// input stimulus driving the *outgoing* transition (empty on the final
+/// step of a plain path, and whenever the model has no free inputs).
+struct Step {
+  std::vector<uint32_t> latchValues;
+  std::vector<uint32_t> inputValues;
+};
+
+struct Artifact {
+  // ---- run identity (ledger join) ----
+  std::string traceId;  ///< 16-hex request trace id ("" = none)
+  std::string gitSha;
+  // ---- design, embedded so the artifact is self-contained ----
+  std::string designName;
+  std::string designDigest;
+  std::string designKind;  ///< "verilog" | "blifmv" | "" (not embedded)
+  std::string designTop;
+  std::string designText;
+  // ---- the violated property ----
+  std::string propertyName;
+  std::string propertyText;    ///< CTL text (CtlFormula::toString shape)
+  std::string propertyDigest;  ///< FNV-1a of propertyText
+  // ---- the trace ----
+  int cycleStart = -1;  ///< lasso re-entry step; -1 = plain path
+  std::vector<SignalInfo> latches;
+  std::vector<SignalInfo> inputs;  ///< empty when no stimulus was recorded
+  std::vector<Step> steps;
+  // ---- replay stamp ----
+  std::string replay = "unverified";  ///< "verified" | "unverified"
+  std::string replayNote;  ///< why unverified ("" when verified)
+
+  [[nodiscard]] bool isLasso() const { return cycleStart >= 0; }
+};
+
+/// Everything build() needs beyond the machine itself. The design source
+/// fields may stay empty (artifact still renders; replayFromSource won't).
+struct BuildInputs {
+  std::string propertyName;
+  std::string propertyText;
+  std::string traceId;
+  std::string designName;
+  std::string designDigest;
+  std::string designKind;
+  std::string designTop;
+  std::string designText;
+};
+
+/// Assemble an artifact from a failing check's trace (does not replay —
+/// call verifyAndStamp or replay* for the stamp). Wrapped in a "cex.build"
+/// span; the caller must have checked cexEnabled().
+Artifact build(const Fsm& fsm, const Trace& trace, const BuildInputs& in);
+
+// ---- serialization ----
+
+/// One-line hsis-cex-v1 JSON document (no trailing newline).
+std::string toJson(const Artifact& a);
+/// Parse an hsis-cex-v1 document. Throws std::runtime_error on malformed
+/// input or a schema mismatch.
+Artifact parseJson(const std::string& text);
+
+// ---- VCD export ----
+
+/// Render the trace as an IEEE 1364 value-change dump: one $var per latch
+/// and recorded input, multi-bit signals as b-vectors, one timestep per
+/// trace step. A lasso's cycle is unrolled twice, the re-entry marked with
+/// a $comment, so viewers show the repeating suffix.
+std::string toVcd(const Artifact& a);
+
+// ---- replay verification ----
+
+struct ReplayResult {
+  bool verified = false;
+  std::string note;  ///< first failed check ("" when verified)
+};
+
+/// Drive the artifact's trace through the simulator against an
+/// already-built machine: initial-state membership, per-step admissibility
+/// (inputs pinned when recorded), and property violation at the end state
+/// (AG) or on every cycle state (AF lasso). Properties outside those
+/// replayable shapes verify the trace dynamics only and come back
+/// unverified with an explanatory note.
+ReplayResult replay(const Artifact& a, const Fsm& fsm,
+                    const TransitionRelation& tr);
+
+/// Recompile the embedded design source and replay against it — the
+/// `hsis_report cex --replay` path. Unverified (with a note) when no
+/// source is embedded or it no longer compiles.
+ReplayResult replayFromSource(const Artifact& a);
+
+/// replay() + stamp the artifact, bumping the cex.replay.verified /
+/// cex.replay.failed counters.
+void verifyAndStamp(Artifact& a, const Fsm& fsm,
+                    const TransitionRelation& tr);
+
+// ---- reporting ----
+
+/// Markdown step table with per-signal source lines (hsis_report cex).
+std::string renderMarkdown(const Artifact& a);
+
+/// Write the JSON + VCD pair. Returns false on I/O failure (never
+/// throws); creates parent directories.
+bool writeFiles(const Artifact& a, const std::string& jsonPath,
+                const std::string& vcdPath);
+
+}  // namespace hsis::cex

@@ -1,0 +1,185 @@
+// hsis-cex-v1 serialization and the matching reader used by
+// `hsis_report cex` and `hsis_client --cex-out`.
+#include <cstdio>
+#include <stdexcept>
+
+#include "cex/cex.hpp"
+#include "obs/jsonlite.hpp"
+
+namespace hsis::cex {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void appendSignals(std::string& out, const std::vector<SignalInfo>& sigs) {
+  out += "[";
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    const SignalInfo& s = sigs[i];
+    if (i) out += ", ";
+    out += "{\"name\": " + quoted(s.name);
+    out += ", \"domain\": " + std::to_string(s.domain);
+    out += ", \"bits\": " + std::to_string(s.bits);
+    out += ", \"values\": [";
+    for (size_t k = 0; k < s.valueNames.size(); ++k) {
+      if (k) out += ", ";
+      out += quoted(s.valueNames[k]);
+    }
+    out += "], \"line\": " + std::to_string(s.sourceLine);
+    out += "}";
+  }
+  out += "]";
+}
+
+void appendValues(std::string& out, const std::vector<uint32_t>& vals) {
+  out += "[";
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(vals[i]);
+  }
+  out += "]";
+}
+
+}  // namespace
+
+std::string toJson(const Artifact& a) {
+  std::string out = "{\"schema\": \"hsis-cex-v1\"";
+  out += ", \"trace_id\": " + quoted(a.traceId);
+  out += ", \"git_sha\": " + quoted(a.gitSha);
+  out += ", \"design\": {\"name\": " + quoted(a.designName);
+  out += ", \"digest\": " + quoted(a.designDigest);
+  out += ", \"kind\": " + quoted(a.designKind);
+  out += ", \"top\": " + quoted(a.designTop);
+  out += ", \"text\": " + quoted(a.designText);
+  out += "}, \"property\": {\"name\": " + quoted(a.propertyName);
+  out += ", \"text\": " + quoted(a.propertyText);
+  out += ", \"digest\": " + quoted(a.propertyDigest);
+  out += "}, \"replay\": " + quoted(a.replay);
+  out += ", \"replay_note\": " + quoted(a.replayNote);
+  out += ", \"cycle_start\": " + std::to_string(a.cycleStart);
+  out += ", \"latches\": ";
+  appendSignals(out, a.latches);
+  out += ", \"inputs\": ";
+  appendSignals(out, a.inputs);
+  out += ", \"steps\": [";
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    if (i) out += ", ";
+    out += "{\"latches\": ";
+    appendValues(out, a.steps[i].latchValues);
+    out += ", \"inputs\": ";
+    appendValues(out, a.steps[i].inputValues);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+namespace jl = obs::jsonlite;
+
+const jl::Value& need(const jl::Object& obj, const std::string& key) {
+  const jl::Value* v = jl::find(obj, key);
+  if (!v)
+    throw std::runtime_error("hsis-cex-v1: missing field '" + key + "'");
+  return *v;
+}
+
+std::vector<SignalInfo> parseSignals(const jl::Value& v) {
+  std::vector<SignalInfo> sigs;
+  for (const jl::Value& sv : v.array()) {
+    const jl::Object& so = sv.object();
+    SignalInfo s;
+    s.name = need(so, "name").str();
+    s.domain = static_cast<uint32_t>(need(so, "domain").number());
+    s.bits = static_cast<uint32_t>(need(so, "bits").number());
+    for (const jl::Value& nv : need(so, "values").array())
+      s.valueNames.push_back(nv.str());
+    s.sourceLine = static_cast<int>(need(so, "line").number());
+    sigs.push_back(std::move(s));
+  }
+  return sigs;
+}
+
+std::vector<uint32_t> parseValues(const jl::Value& v) {
+  std::vector<uint32_t> vals;
+  for (const jl::Value& nv : v.array())
+    vals.push_back(static_cast<uint32_t>(nv.number()));
+  return vals;
+}
+
+}  // namespace
+
+Artifact parseJson(const std::string& text) {
+  jl::Value doc = jl::parse(text);
+  if (!doc.isObject())
+    throw std::runtime_error("hsis-cex-v1: document is not an object");
+  const jl::Object& obj = doc.object();
+  const jl::Value& schema = need(obj, "schema");
+  if (!schema.isString() || schema.str() != kSchema)
+    throw std::runtime_error("hsis-cex-v1: unexpected schema tag");
+
+  Artifact a;
+  a.traceId = need(obj, "trace_id").str();
+  a.gitSha = need(obj, "git_sha").str();
+  const jl::Object& design = need(obj, "design").object();
+  a.designName = need(design, "name").str();
+  a.designDigest = need(design, "digest").str();
+  a.designKind = need(design, "kind").str();
+  a.designTop = need(design, "top").str();
+  a.designText = need(design, "text").str();
+  const jl::Object& prop = need(obj, "property").object();
+  a.propertyName = need(prop, "name").str();
+  a.propertyText = need(prop, "text").str();
+  a.propertyDigest = need(prop, "digest").str();
+  a.replay = need(obj, "replay").str();
+  a.replayNote = need(obj, "replay_note").str();
+  a.cycleStart = static_cast<int>(need(obj, "cycle_start").number());
+  a.latches = parseSignals(need(obj, "latches"));
+  a.inputs = parseSignals(need(obj, "inputs"));
+  for (const jl::Value& sv : need(obj, "steps").array()) {
+    const jl::Object& so = sv.object();
+    Step step;
+    step.latchValues = parseValues(need(so, "latches"));
+    step.inputValues = parseValues(need(so, "inputs"));
+    if (step.latchValues.size() != a.latches.size())
+      throw std::runtime_error("hsis-cex-v1: step width != latch count");
+    a.steps.push_back(std::move(step));
+  }
+  if (a.cycleStart >= static_cast<int>(a.steps.size()))
+    throw std::runtime_error("hsis-cex-v1: cycle_start out of range");
+  return a;
+}
+
+}  // namespace hsis::cex

@@ -1,0 +1,79 @@
+// Markdown rendering of an artifact — the `hsis_report cex` view: a step
+// table with source-line column headers and cycle marking.
+#include <sstream>
+
+#include "cex/cex.hpp"
+
+namespace hsis::cex {
+
+namespace {
+
+std::string valueText(const SignalInfo& sig, uint32_t val) {
+  if (val < sig.valueNames.size() && !sig.valueNames[val].empty())
+    return sig.valueNames[val];
+  return std::to_string(val);
+}
+
+}  // namespace
+
+std::string renderMarkdown(const Artifact& a) {
+  std::ostringstream os;
+  os << "# Counterexample: "
+     << (a.propertyName.empty() ? std::string("(unnamed)") : a.propertyName)
+     << "\n\n";
+  os << "- property: `" << a.propertyText << "`\n";
+  os << "- replay: **" << a.replay << "**";
+  if (!a.replayNote.empty()) os << " — " << a.replayNote;
+  os << "\n";
+  os << "- design: " << a.designName;
+  if (!a.designKind.empty()) os << " (" << a.designKind << ")";
+  if (!a.designDigest.empty()) os << ", digest `" << a.designDigest << "`";
+  os << "\n";
+  if (!a.traceId.empty()) os << "- trace_id: `" << a.traceId << "`\n";
+  if (!a.gitSha.empty()) os << "- git sha: `" << a.gitSha << "`\n";
+  os << "- trace: " << a.steps.size() << " step"
+     << (a.steps.size() == 1 ? "" : "s");
+  if (a.isLasso())
+    os << ", lasso re-entering step " << a.cycleStart;
+  else
+    os << ", plain path";
+  os << "\n\n";
+
+  if (a.steps.empty()) return os.str();
+
+  os << "| step |";
+  for (const SignalInfo& s : a.latches) {
+    os << " " << s.name;
+    if (s.sourceLine > 0) os << " (line " << s.sourceLine << ")";
+    os << " |";
+  }
+  for (const SignalInfo& s : a.inputs) os << " in: " << s.name << " |";
+  os << "\n|---|";
+  for (size_t i = 0; i < a.latches.size() + a.inputs.size(); ++i) os << "---|";
+  os << "\n";
+
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    const Step& step = a.steps[i];
+    os << "| " << i;
+    if (a.cycleStart == static_cast<int>(i)) os << " (cycle)";
+    os << " |";
+    for (size_t l = 0; l < a.latches.size(); ++l)
+      os << " "
+         << (l < step.latchValues.size()
+                 ? valueText(a.latches[l], step.latchValues[l])
+                 : std::string("?"))
+         << " |";
+    for (size_t k = 0; k < a.inputs.size(); ++k)
+      os << " "
+         << (k < step.inputValues.size()
+                 ? valueText(a.inputs[k], step.inputValues[k])
+                 : std::string("-"))
+         << " |";
+    os << "\n";
+  }
+  if (a.isLasso())
+    os << "\nThe final step loops back to step " << a.cycleStart << ".\n";
+  return os.str();
+}
+
+}  // namespace hsis::cex

@@ -1,0 +1,108 @@
+// IEEE 1364 value-change-dump export of an hsis-cex-v1 artifact, so any
+// standard waveform viewer (gtkwave etc.) opens the failure.
+#include <algorithm>
+#include <sstream>
+
+#include "cex/cex.hpp"
+
+namespace hsis::cex {
+
+namespace {
+
+/// Printable VCD identifier codes: '!'..'~', then two-char codes. The
+/// spec allows any string of printable characters.
+std::string idCode(size_t index) {
+  const char lo = '!';
+  const size_t range = '~' - '!' + 1;
+  std::string id;
+  do {
+    id += static_cast<char>(lo + index % range);
+    index /= range;
+  } while (index > 0);
+  return id;
+}
+
+struct Column {
+  const SignalInfo* sig;
+  std::string id;
+  bool isInput;
+  size_t index;  ///< position inside latchValues / inputValues
+};
+
+uint32_t valueAt(const Artifact& a, const Column& c, size_t step,
+                 uint32_t prev) {
+  const Step& s = a.steps[step];
+  if (!c.isInput) return s.latchValues[c.index];
+  // The final step of a plain path has no outgoing transition, so no
+  // stimulus was recorded; hold the previous value for the viewer.
+  if (c.index >= s.inputValues.size()) return prev;
+  return s.inputValues[c.index];
+}
+
+void emitValue(std::ostringstream& os, const Column& c, uint32_t val) {
+  uint32_t width = std::max<uint32_t>(c.sig->bits, 1);
+  if (width == 1) {
+    os << (val & 1u) << c.id << "\n";
+    return;
+  }
+  os << "b";
+  for (uint32_t b = width; b-- > 0;) os << ((val >> b) & 1u);
+  os << " " << c.id << "\n";
+}
+
+}  // namespace
+
+std::string toVcd(const Artifact& a) {
+  std::ostringstream os;
+  os << "$date\n    (hsis)\n$end\n";
+  os << "$version\n    hsis_cex " << kSchema << "\n$end\n";
+  os << "$comment\n    property: " << a.propertyName;
+  if (!a.traceId.empty()) os << "\n    trace_id: " << a.traceId;
+  if (a.isLasso())
+    os << "\n    lasso: cycle starts at step " << a.cycleStart
+       << ", unrolled twice";
+  os << "\n$end\n";
+  os << "$timescale 1ns $end\n";
+  os << "$scope module "
+     << (a.designName.empty() ? std::string("design") : a.designName)
+     << " $end\n";
+
+  std::vector<Column> cols;
+  for (size_t i = 0; i < a.latches.size(); ++i)
+    cols.push_back({&a.latches[i], idCode(cols.size()), false, i});
+  for (size_t i = 0; i < a.inputs.size(); ++i)
+    cols.push_back({&a.inputs[i], idCode(cols.size()), true, i});
+  for (const Column& c : cols)
+    os << "$var wire " << std::max<uint32_t>(c.sig->bits, 1) << " " << c.id
+       << " " << c.sig->name << " $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+  if (a.steps.empty()) return os.str();
+
+  // Timeline: the trace's steps, then — for a lasso — the cycle replayed a
+  // second time so the repetition is visible in the waveform.
+  std::vector<size_t> timeline;
+  for (size_t i = 0; i < a.steps.size(); ++i) timeline.push_back(i);
+  size_t unrollAt = timeline.size();
+  if (a.isLasso())
+    for (size_t i = static_cast<size_t>(a.cycleStart); i < a.steps.size(); ++i)
+      timeline.push_back(i);
+
+  std::vector<uint32_t> prev(cols.size(), 0);
+  for (size_t t = 0; t < timeline.size(); ++t) {
+    if (a.isLasso() && t == unrollAt)
+      os << "$comment lasso: cycle re-enters step " << a.cycleStart
+         << " $end\n";
+    os << "#" << t << "\n";
+    if (t == 0) os << "$dumpvars\n";
+    for (size_t k = 0; k < cols.size(); ++k) {
+      uint32_t val = valueAt(a, cols[k], timeline[t], prev[k]);
+      if (t == 0 || val != prev[k]) emitValue(os, cols[k], val);
+      prev[k] = val;
+    }
+    if (t == 0) os << "$end\n";
+  }
+  os << "#" << timeline.size() << "\n";
+  return os.str();
+}
+
+}  // namespace hsis::cex

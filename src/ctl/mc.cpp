@@ -208,6 +208,7 @@ McResult CtlChecker::checkInvariantEarly(const CtlRef& formula) {
       rev.push_back(curAssign);
     }
     for (size_t i = rev.size(); i-- > 0;) trace.states.push_back(rev[i]);
+    attachInputs(fsm, trace);
     res.counterexample = std::move(trace);
   }
   return res;

@@ -64,6 +64,22 @@ std::optional<std::vector<int8_t>> pathWithin(
   return out.back();
 }
 
+/// Smallest in-domain value of `v` consistent with the picked bits
+/// (don't-care bits are free). Mirrors the concretizeState normalization.
+uint32_t inDomainValue(const MvSpace& space, MvVarId v,
+                       const std::vector<int8_t>& pick) {
+  const std::vector<BddVar>& bits = space.bits(v);
+  for (uint32_t val = 0; val < space.domain(v); ++val) {
+    bool ok = true;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      int8_t b = pick[bits[i]];
+      if (b >= 0 && b != static_cast<int8_t>((val >> i) & 1u)) ok = false;
+    }
+    if (ok) return val;
+  }
+  return 0;
+}
+
 std::string stateKey(const Fsm& fsm, const std::vector<int8_t>& assign) {
   std::string key;
   for (uint32_t v : fsm.decodeState(assign)) {
@@ -98,6 +114,45 @@ std::vector<int8_t> concretizeState(const Fsm& fsm, const Bdd& set) {
   return pick;
 }
 
+void attachInputs(const Fsm& fsm, Trace& trace) {
+  trace.inputs.clear();
+  if (fsm.inputVars().empty() || trace.states.empty()) return;
+  const size_t transitions =
+      trace.states.size() - 1 + (trace.isLasso() ? 1 : 0);
+  if (transitions == 0) return;
+  BddManager& mgr = fsm.mgr();
+  const MvSpace& space = fsm.space();
+  trace.inputs.reserve(transitions);
+  for (size_t i = 0; i < transitions; ++i) {
+    const std::vector<int8_t>& nxtAssign =
+        i + 1 < trace.states.size()
+            ? trace.states[i + 1]
+            : trace.states[static_cast<size_t>(trace.cycleStart)];
+    // Both endpoints are concrete single states, so the conjunction with
+    // the raw relations collapses immediately — no early quantification
+    // needed on this debug-only path.
+    Bdd rel = fsm.stateFromValues(fsm.decodeState(trace.states[i])) &
+              fsm.presentToNext(
+                  fsm.stateFromValues(fsm.decodeState(nxtAssign)));
+    for (const Bdd& r : fsm.relations()) {
+      rel &= r;
+      if (rel.isZero()) break;
+    }
+    if (rel.isZero()) {
+      // A trace produced by the search routines always has consistent
+      // transitions; an inconsistent one (hand-built) records nothing.
+      trace.inputs.clear();
+      return;
+    }
+    std::vector<int8_t> pick = mgr.pickCube(rel);
+    std::vector<uint32_t> vals;
+    vals.reserve(fsm.inputVars().size());
+    for (MvVarId v : fsm.inputVars())
+      vals.push_back(inDomainValue(space, v, pick));
+    trace.inputs.push_back(std::move(vals));
+  }
+}
+
 std::optional<Trace> shortestPathTo(const TransitionRelation& tr,
                                     const Bdd& init, const Bdd& target) {
   const Fsm& fsm = tr.fsm();
@@ -125,6 +180,7 @@ std::optional<Trace> shortestPathTo(const TransitionRelation& tr,
     rev.push_back(curAssign);
   }
   for (size_t i = rev.size(); i-- > 0;) trace.states.push_back(rev[i]);
+  attachInputs(fsm, trace);
   return trace;
 }
 
@@ -206,6 +262,7 @@ std::optional<Trace> fairLasso(const TransitionRelation& tr, const Bdd& init,
         trace.states.push_back(cur);
         trace.cycleStart = static_cast<int>(trace.states.size()) - 1;
       }
+      attachInputs(fsm, trace);
       return trace;
     }
     boundarySeen[key] = static_cast<int>(trace.states.size()) - 1;
@@ -227,6 +284,7 @@ std::optional<Trace> fairLasso(const TransitionRelation& tr, const Bdd& init,
         if (hit != boundarySeen.end()) {
           trace.cycleStart = hit->second;
           trace.states.pop_back();
+          attachInputs(fsm, trace);
           return trace;
         }
         curCube = fsm.stateFromValues(fsm.decodeState(cur));

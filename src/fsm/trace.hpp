@@ -19,6 +19,11 @@ struct Trace {
   /// states[0..n-1] followed by a back edge from states[n-1] to
   /// states[cycleStart].
   int cycleStart = -1;
+  /// Per-transition input stimulus: inputs[i] holds one decoded value per
+  /// Fsm::inputVars() entry that drives states[i] -> states[i+1]; a lasso
+  /// carries one extra entry for the back edge. Empty when the model has
+  /// no free inputs (closed system) or recording was skipped.
+  std::vector<std::vector<uint32_t>> inputs;
 
   [[nodiscard]] bool isLasso() const { return cycleStart >= 0; }
   [[nodiscard]] size_t length() const { return states.size(); }
@@ -46,5 +51,11 @@ std::optional<Trace> fairLasso(const TransitionRelation& tr, const Bdd& init,
                                const Bdd& Z,
                                const std::vector<Bdd>& stateConstraints,
                                const std::vector<Bdd>& edgeConstraints = {});
+
+/// Solve each transition of the trace against the raw relation conjuncts
+/// (Fsm::relations(); the clustered TR pre-quantifies input rails) and
+/// record one concrete input assignment per step in Trace::inputs. A no-op
+/// for closed systems; clears inputs on an inconsistent trace.
+void attachInputs(const Fsm& fsm, Trace& trace);
 
 }  // namespace hsis

@@ -132,6 +132,13 @@ std::string toJsonl(const Record& r) {
     out += ", \"bins_total\": " + std::to_string(r.covBinsTotal);
     out += "}";
   }
+  if (!r.cexPath.empty()) {
+    out += ", \"cex\": {\"path\": ";
+    appendEscaped(out, r.cexPath);
+    out += ", \"replay\": ";
+    appendEscaped(out, r.cexReplay);
+    out += "}";
+  }
   out += ", \"obs_enabled\": ";
   out += r.obsEnabled ? "true" : "false";
   out += ", \"signal\": ";
@@ -246,6 +253,15 @@ bool parseLine(std::string_view line, Record& r) {
     r.covValuesTotal = static_cast<uint64_t>(num("values_total"));
     r.covBinsHit = static_cast<uint64_t>(num("bins_hit"));
     r.covBinsTotal = static_cast<uint64_t>(num("bins_total"));
+  }
+  if (const jl::Value* v = jl::find(o, "cex"); v != nullptr && v->isObject()) {
+    const jl::Object& cex = v->object();
+    if (const jl::Value* f = jl::find(cex, "path");
+        f != nullptr && f->isString())
+      r.cexPath = f->str();
+    if (const jl::Value* f = jl::find(cex, "replay");
+        f != nullptr && f->isString())
+      r.cexReplay = f->str();
   }
   if (const jl::Value* v = jl::find(o, "wall_s"); v != nullptr && v->isNumber())
     r.wallSeconds = v->number();
@@ -536,6 +552,8 @@ std::string renderShow(const std::vector<Record>& records,
                     static_cast<unsigned long long>(r.covBinsTotal));
       out += cov;
     }
+    if (!r.cexPath.empty())
+      out += "  cex:      " + r.cexPath + " (replay " + r.cexReplay + ")\n";
     out += "  obs:      " + std::string(r.obsEnabled ? "enabled" : "disabled") +
            "\n";
   }

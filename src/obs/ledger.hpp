@@ -63,6 +63,11 @@ struct Record {
   uint64_t covValuesTotal = 0;
   uint64_t covBinsHit = 0;
   uint64_t covBinsTotal = 0;
+  /// Counterexample artifact pointer (hsis_cex): the directory holding
+  /// cex.json/cex.vcd for this request's failing check, and the replay
+  /// stamp. Both "" when no artifact was captured.
+  std::string cexPath;
+  std::string cexReplay;  ///< "verified" | "unverified" | ""
   bool obsEnabled = true;
   std::string signalName; ///< "SIGSEGV" etc. for crashed records, else ""
 };

@@ -19,6 +19,7 @@ const std::vector<std::string>& schemaVersions() {
       "hsis-serve-stats-v1",   // stats-stream ticks (serve/protocol.hpp)
       "hsis-slow-request-v1",  // slow-request capture (serve/telemetry.hpp)
       "hsis-cov-v1",    // coverage reports (cov/cov.hpp)
+      "hsis-cex-v1",    // counterexample artifacts (cex/cex.hpp)
   };
   return kSchemas;
 }

@@ -3,6 +3,7 @@
 #include <deque>
 #include <thread>
 
+#include "cex/cex.hpp"
 #include "debug/report.hpp"
 #include "obs/control.hpp"
 #include "obs/ledger.hpp"
@@ -289,6 +290,45 @@ void SessionPool::runJob(Worker& worker, Job& job) {
         if (!detail.empty()) detail += ", ";
         detail += r.propertyName;
       }
+      // Counterexample capture: the first failing CTL check with a trace
+      // gets a replay-verified cex.json/cex.vcd pair under the artifact
+      // dir, keyed by the request's trace id. Unlike slow capture this
+      // runs before the done frame, so the done stats and the ledger
+      // record both carry the pointer. LC failures live in the product
+      // FSM, whose states don't decode against the design — excluded.
+      if (!r.holds && r.trace.has_value() &&
+          r.paradigm == BugReport::Paradigm::ModelChecking && !stats.hasCex &&
+          !opts_.artifactDir.empty() && cex::cexEnabled()) {
+        cex::BuildInputs bi;
+        bi.propertyName = r.propertyName;
+        bi.propertyText = r.propertyText;
+        bi.traceId = traceHex;
+        bi.designName = req.name.empty() ? job.digest : req.name;
+        bi.designDigest = job.digest;
+        bi.designKind =
+            req.design.kind == Session::DesignSource::Kind::Verilog
+                ? "verilog"
+                : "blifmv";
+        bi.designTop = req.design.top;
+        bi.designText = req.design.text;
+        cex::Artifact art = cex::build(worker.session.fsm(), *r.trace, bi);
+        cex::verifyAndStamp(art, worker.session.fsm(), worker.session.tr());
+        std::string dir = opts_.artifactDir + "/" + traceHex;
+        if (cex::writeFiles(art, dir + "/cex.json", dir + "/cex.vcd")) {
+          stats.hasCex = true;
+          stats.cexPath = dir;
+          stats.cexReplay = art.replay;
+          obs::counter("serve.cex_captures").add();
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.cexCaptures;
+          }
+          HSIS_LOG_INFO("serve.request", "counterexample captured",
+                        {{"property", std::string_view(r.propertyName)},
+                         {"replay", std::string_view(art.replay)},
+                         {"artifact_dir", std::string_view(dir)}});
+        }
+      }
       job.sink(verdictFrame(req.id, v, traceHex));
     }
     verdict = stats.failures == 0 ? "pass" : "fail";
@@ -368,6 +408,10 @@ void SessionPool::runJob(Worker& worker, Job& job) {
       rec.covValuesTotal = stats.covValuesTotal;
       rec.covBinsHit = stats.covBinsHit;
       rec.covBinsTotal = stats.covBinsTotal;
+    }
+    if (stats.hasCex) {
+      rec.cexPath = stats.cexPath;
+      rec.cexReplay = stats.cexReplay;
     }
     rec.obsEnabled = obs::kEnabled;
     obs::ledger::append(opts_.ledgerPath, rec);
@@ -463,6 +507,7 @@ std::string SessionPool::statsJsonObject() const {
   out += ", \"cache_hits\": " + std::to_string(s.cacheHits);
   out += ", \"cache_misses\": " + std::to_string(s.cacheMisses);
   out += ", \"evictions\": " + std::to_string(s.evictions);
+  out += ", \"cex_captures\": " + std::to_string(s.cexCaptures);
   out += ", \"resident\": [";
   for (size_t i = 0; i < s.resident.size(); ++i) {
     if (i != 0) out += ", ";
@@ -519,6 +564,7 @@ std::string SessionPool::statsStreamJson() const {
   out += ", \"values_total\": " + std::to_string(s.covLastValuesTotal);
   out += ", \"bins_hit\": " + std::to_string(s.covLastBinsHit);
   out += ", \"bins_total\": " + std::to_string(s.covLastBinsTotal);
+  out += "}, \"cex\": {\"captures\": " + std::to_string(s.cexCaptures);
   out += "}}";
   return out;
 }

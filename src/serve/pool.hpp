@@ -99,6 +99,9 @@ class SessionPool {
     uint64_t covLastValuesTotal = 0;
     uint64_t covLastBinsHit = 0;
     uint64_t covLastBinsTotal = 0;
+    /// Requests whose failing check produced a counterexample artifact
+    /// (hsis_cex) under the artifact dir.
+    uint64_t cexCaptures = 0;
     std::vector<std::string> resident;  ///< digest per worker ("" = empty)
   };
   [[nodiscard]] Stats stats() const;

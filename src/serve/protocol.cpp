@@ -275,6 +275,10 @@ std::string doneFrame(std::string_view id, std::string_view verdict,
     out += ", \"bins_total\": " + std::to_string(stats.covBinsTotal);
     out += "}";
   }
+  if (stats.hasCex) {
+    out += ", \"cex\": {\"path\": \"" + escapeJson(stats.cexPath) + "\"";
+    out += ", \"replay\": \"" + escapeJson(stats.cexReplay) + "\"}";
+  }
   out += "}";
   appendTraceId(out, traceId);
   out += "}";

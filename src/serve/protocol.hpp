@@ -29,7 +29,8 @@
 //    "wall_s": S, "properties": N, "failures": N, "stages": {"queue": US,
 //    "parse": US, "tr": US, "reach": US, "check": US, "render": US}
 //    [, "coverage": {"state_fraction": F, "values_reached": N,
-//    "values_total": N, "bins_hit": N, "bins_total": N}]},
+//    "values_total": N, "bins_hit": N, "bins_total": N}]
+//    [, "cex": {"path": DIR, "replay": "verified"|"unverified"}]},
 //    "trace_id": HEX}
 //   {"event": "pong",     "id": ID, "version": TEXT}
 //   {"event": "stats",    "id": ID, "server": {...}}
@@ -146,6 +147,12 @@ struct DoneStats {
   uint64_t covValuesTotal = 0;
   uint64_t covBinsHit = 0;
   uint64_t covBinsTotal = 0;
+  /// Counterexample artifact pointer (hsis_cex), set when a failing check
+  /// wrote a cex.json/cex.vcd pair under the server's artifact dir.
+  /// Rendered as a "cex" object inside "stats" only when hasCex is set.
+  bool hasCex = false;
+  std::string cexPath;    ///< artifact directory (holds cex.json + cex.vcd)
+  std::string cexReplay;  ///< "verified" | "unverified"
 };
 
 /// Request-scoped frame builders take the request's trace id (hex, "" =

@@ -24,6 +24,23 @@ void Simulator::reset() {
 
 std::string Simulator::show() const { return fsm_->formatState(current_); }
 
+bool Simulator::setState(const std::vector<int8_t>& cube) {
+  Bdd s = fsm_->stateFromValues(fsm_->decodeState(cube));
+  if (s.isZero()) return false;
+  current_ = concretizeState(*fsm_, s);
+  steps_ = 0;
+  return true;
+}
+
+bool Simulator::stepTo(const std::vector<int8_t>& next) {
+  Bdd cur = fsm_->stateFromValues(fsm_->decodeState(current_));
+  Bdd nxt = fsm_->stateFromValues(fsm_->decodeState(next));
+  if (nxt.isZero() || (tr_->image(cur) & nxt).isZero()) return false;
+  current_ = concretizeState(*fsm_, nxt);
+  ++steps_;
+  return true;
+}
+
 std::vector<std::vector<int8_t>> Simulator::statesOf(const Bdd& set,
                                                      size_t limit) const {
   std::vector<std::vector<int8_t>> out;

@@ -20,6 +20,15 @@ class Simulator {
   /// Return to an initial state (the first one, deterministically).
   void reset();
 
+  /// Teleport to an explicit state (an assignment cube over the
+  /// present-state variables, as carried by Trace::states). Returns false
+  /// when the cube does not encode a well-formed state. Resets stepsTaken.
+  bool setState(const std::vector<int8_t>& cube);
+  /// Step to the given explicit successor. Returns false when the
+  /// transition current -> next is not admissible under the transition
+  /// relation — the primitive behind counterexample replay (hsis_cex).
+  bool stepTo(const std::vector<int8_t>& next);
+
   [[nodiscard]] const std::vector<int8_t>& currentState() const { return current_; }
   [[nodiscard]] std::string show() const;
 

@@ -139,6 +139,22 @@ TEST_F(DebugFixture, LassoRendering) {
   EXPECT_NE(text.find("loops back to step 1"), std::string::npos);
 }
 
+TEST_F(DebugFixture, SourceRenderingOnLassoWithoutLineInfo) {
+  // AF s=3 fails: the 0-1-2 cycle never visits 3, so the checker yields a
+  // fair lasso. BLIF-MV input carries no .lineinfo, so the source-level
+  // renderer must fall back to bare change annotations — no "(line N)".
+  McResult r = mc->check(parseCtl("AF s=3"));
+  ASSERT_FALSE(r.holds);
+  ASSERT_TRUE(r.counterexample.has_value());
+  ASSERT_TRUE(r.counterexample->isLasso());
+  std::string text = renderTraceWithSource(*r.counterexample, *fsm);
+  EXPECT_NE(text.find("-- cycle --"), std::string::npos);
+  EXPECT_NE(text.find("(loops back to step"), std::string::npos);
+  EXPECT_NE(text.find("back-edge changes"), std::string::npos);
+  EXPECT_NE(text.find("changes:"), std::string::npos);
+  EXPECT_EQ(text.find("(line"), std::string::npos);
+}
+
 
 // ---- source-level debugging (paper Section 8, item 7) ----
 
@@ -180,6 +196,38 @@ endmodule
   std::string annotated = renderTraceWithSource(*r.counterexample, fsm);
   EXPECT_NE(annotated.find("changes:"), std::string::npos);
   EXPECT_NE(annotated.find("(line 5)"), std::string::npos);
+}
+
+TEST(SourceLevel, LassoRenderingCarriesLineInfo) {
+  // b advances only under the free input en, so AF b=2 fails: the lasso
+  // holds en=0 forever while a keeps toggling. The cycle's change
+  // annotations must carry a's declaration line.
+  auto design = vl2mv::compile(R"(
+module m;
+  wire clk;
+  wire en;
+  reg a;
+  reg [1:0] b;
+  always @(posedge clk) begin
+    a <= !a;
+    if (en) b <= b + 1;
+  end
+  initial a = 0;
+  initial b = 0;
+endmodule
+)");
+  auto flat = blifmv::flatten(design);
+  BddManager mgr;
+  Fsm fsm(mgr, flat);
+  auto tr = TransitionRelation::monolithic(fsm);
+  CtlChecker mc(fsm, tr);
+  McResult r = mc.check(parseCtl("AF b=2"));
+  ASSERT_FALSE(r.holds);
+  ASSERT_TRUE(r.counterexample.has_value());
+  ASSERT_TRUE(r.counterexample->isLasso());
+  std::string text = renderTraceWithSource(*r.counterexample, fsm);
+  EXPECT_NE(text.find("-- cycle --"), std::string::npos);
+  EXPECT_NE(text.find("(line 5)"), std::string::npos);  // reg a
 }
 
 TEST(SourceLevel, PrefixedLinesAcrossHierarchy) {

@@ -8,11 +8,15 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "cex/cex.hpp"
 #include "models/models.hpp"
 #include "serve/cache.hpp"
 #include "serve/pool.hpp"
@@ -297,6 +301,54 @@ TEST(ServePool, ShutdownRejectsLateSubmissions) {
   EXPECT_FALSE(pool.submit(modelCheck("pingpong", "late"), late.sink()));
   ASSERT_TRUE(late.waitDone(5));
   EXPECT_NE(late.find("error"), nullptr);
+}
+
+TEST(ServePool, FailingCheckCapturesCexArtifact) {
+  if (!hsis::cex::cexEnabled()) GTEST_SKIP() << "cex disabled";
+  PoolOptions opts;
+  opts.workers = 1;
+  opts.artifactDir = ::testing::TempDir() + "hsis_cex_pool_" +
+                     std::to_string(::getpid());
+  SessionPool pool(opts);
+
+  // philos ships a deliberately failing property (no_deadlock), so the
+  // request must come back "fail" with a replay-verified artifact pointed
+  // at by the done frame.
+  FrameLog log;
+  ASSERT_TRUE(pool.submit(modelCheck("philos", "cex1"), log.sink()));
+  ASSERT_TRUE(log.waitDone());
+  EXPECT_EQ(log.doneVerdict(), "fail");
+
+  const Frame* done = log.find("done");
+  ASSERT_NE(done, nullptr);
+  const auto* stats = hsis::obs::jsonlite::find(done->body.object(), "stats");
+  ASSERT_NE(stats, nullptr);
+  const auto* cexObj = hsis::obs::jsonlite::find(stats->object(), "cex");
+  ASSERT_NE(cexObj, nullptr) << "done frame carries no cex pointer";
+  ASSERT_TRUE(cexObj->isObject());
+  const auto* path = hsis::obs::jsonlite::find(cexObj->object(), "path");
+  const auto* replay = hsis::obs::jsonlite::find(cexObj->object(), "replay");
+  ASSERT_NE(path, nullptr);
+  ASSERT_NE(replay, nullptr);
+  EXPECT_EQ(replay->str(), "verified");
+
+  // The artifact pair exists on disk and the JSON parses back.
+  std::string jsonPath = path->str() + "/cex.json";
+  std::ifstream in(jsonPath);
+  ASSERT_TRUE(in.good()) << jsonPath;
+  std::ostringstream text;
+  text << in.rdbuf();
+  hsis::cex::Artifact art = hsis::cex::parseJson(text.str());
+  EXPECT_EQ(art.propertyName, "no_deadlock");
+  EXPECT_FALSE(art.steps.empty());
+  EXPECT_EQ(art.replay, "verified");
+  std::ifstream vcd(path->str() + "/cex.vcd");
+  EXPECT_TRUE(vcd.good());
+
+  EXPECT_EQ(pool.stats().cexCaptures, 1u);
+  pool.shutdown(false);
+  std::remove((path->str() + "/cex.json").c_str());
+  std::remove((path->str() + "/cex.vcd").c_str());
 }
 
 // ------------------------------------------------------------ socket e2e

@@ -4,7 +4,7 @@
 //   hsis_client --socket PATH check --verilog F --pif F [--top M] [options]
 //   hsis_client --socket PATH check --blifmv F --pif F [options]
 //       options: [--name SUBJECT] [--wall-s S] [--rss-mb M] [--no-trace]
-//                [--id ID] [--trace HEX16] [--json]
+//                [--id ID] [--trace HEX16] [--json] [--cex-out FILE]
 //   hsis_client --socket PATH ping
 //   hsis_client --socket PATH stats
 //   hsis_client --socket PATH stats-stream [--interval-ms N] [--count N]
@@ -19,6 +19,11 @@
 // shows it with the per-stage breakdown on the done line. stats-stream
 // subscribes to hsis-serve-stats-v1 ticks and prints each frame as one
 // JSON line; --count N exits 0 after N ticks (0 = stream until EOF).
+//
+// When the server captured a counterexample artifact (hsis_cex, requires
+// the daemon's --artifact-dir), the done rendering prints its server-side
+// path and replay status; --cex-out FILE additionally copies the cex.json
+// to FILE (same-host daemon — the socket is local anyway).
 //
 // Exit codes: 0 all properties pass, 1 some property failed, 2 usage /
 // connection / server error, 3 the request was aborted (budget breach).
@@ -51,10 +56,13 @@ int usage() {
       " --blifmv F --pif F\n"
       "        [--name SUBJECT] [--wall-s S] [--rss-mb M] [--no-trace]"
       " [--id ID]\n"
-      "        [--trace HEX16]\n"
+      "        [--trace HEX16] [--cex-out FILE]\n"
       "  ping | stats | shutdown\n"
       "  stats-stream [--interval-ms N] [--count N]\n"
-      "common: --json (raw frames), --version\n");
+      "common: --json (raw frames), --version\n"
+      "exit codes: 0 all properties pass, 1 some property failed,\n"
+      "            2 usage / connection / server error, 3 request aborted\n"
+      "            (budget breach)\n");
   return 2;
 }
 
@@ -143,8 +151,10 @@ double numField(const Frame& f, const char* key) {
 
 /// Handle one frame, printing the human rendering when `print` (--json
 /// suppresses it — the raw line was already echoed). Returns the exit code
-/// when the frame is terminal for this interaction, -1 otherwise.
-int handleFrame(const Frame& f, bool print) {
+/// when the frame is terminal for this interaction, -1 otherwise. When the
+/// done frame carries a cex pointer its server-side directory is written
+/// to `cexDirOut` (for --cex-out).
+int handleFrame(const Frame& f, bool print, std::string* cexDirOut) {
   if (f.event == "accepted") {
     if (print) {
       std::string trace = strField(f, "trace_id");
@@ -169,6 +179,21 @@ int handleFrame(const Frame& f, bool print) {
     }
   } else if (f.event == "done") {
     std::string verdict = strField(f, "verdict");
+    std::string cexPath, cexReplay;
+    if (const auto* stats = field(f, "stats");
+        stats != nullptr && stats->isObject()) {
+      if (const auto* cex = hsis::obs::jsonlite::find(stats->object(), "cex");
+          cex != nullptr && cex->isObject()) {
+        if (const auto* p = hsis::obs::jsonlite::find(cex->object(), "path");
+            p != nullptr && p->isString())
+          cexPath = p->str();
+        if (const auto* r =
+                hsis::obs::jsonlite::find(cex->object(), "replay");
+            r != nullptr && r->isString())
+          cexReplay = r->str();
+      }
+    }
+    if (cexDirOut != nullptr) *cexDirOut = cexPath;
     if (print) {
       std::string cache = "?";
       double wall = 0.0;
@@ -201,6 +226,9 @@ int handleFrame(const Frame& f, bool print) {
                   trace.empty() ? "" : " trace=", trace.c_str(),
                   detail.empty() ? "" : " detail=", detail.c_str());
       if (!stages.empty()) std::printf("stages_us: %s\n", stages.c_str());
+      if (!cexPath.empty())
+        std::printf("cex: %s replay=%s\n", cexPath.c_str(),
+                    cexReplay.c_str());
     }
     if (verdict == "pass") return 0;
     if (verdict == "fail") return 1;
@@ -228,6 +256,7 @@ int main(int argc, char** argv) {
   std::string command;
   std::string model, verilog, blifmv, pif, top, name, id = "req-1";
   std::string traceId;
+  std::string cexOut;
   double wallS = 0.0;
   uint64_t rssMb = 0;
   uint64_t intervalMs = 1000;
@@ -260,6 +289,8 @@ int main(int argc, char** argv) {
       rssMb = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(a, "--trace") == 0 && hasValue) {
       traceId = argv[++i];
+    } else if (std::strcmp(a, "--cex-out") == 0 && hasValue) {
+      cexOut = argv[++i];
     } else if (std::strcmp(a, "--interval-ms") == 0 && hasValue) {
       intervalMs = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(a, "--count") == 0 && hasValue) {
@@ -345,6 +376,7 @@ int main(int argc, char** argv) {
   std::string buf, line;
   int exitCode = 2;  // EOF before a terminal frame = server died
   uint64_t ticksSeen = 0;
+  std::string cexServerDir;
   while (readLine(fd, buf, line)) {
     if (line.empty()) continue;
     if (rawJson) std::printf("%s\n", line.c_str());
@@ -369,10 +401,29 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    int r = handleFrame(frame, !rawJson);
+    int r = handleFrame(frame, !rawJson, &cexServerDir);
     if (r >= 0) {
       exitCode = r;
       break;
+    }
+  }
+  // --cex-out: copy the server-side artifact locally (the daemon is on
+  // this host — the transport is a unix socket).
+  if (!cexOut.empty()) {
+    if (cexServerDir.empty()) {
+      std::fprintf(stderr,
+                   "hsis_client: no counterexample artifact captured "
+                   "(server needs --artifact-dir and a failing check)\n");
+    } else {
+      std::ifstream in(cexServerDir + "/cex.json");
+      std::ofstream out(cexOut);
+      if (!in || !out) {
+        std::fprintf(stderr, "hsis_client: cannot copy %s/cex.json to %s\n",
+                     cexServerDir.c_str(), cexOut.c_str());
+      } else {
+        out << in.rdbuf();
+        std::printf("cex copied to %s\n", cexOut.c_str());
+      }
     }
   }
   // An unbounded stats-stream ends at server EOF; that is a clean exit as

@@ -19,6 +19,15 @@
 //                                            as markdown; with --threshold,
 //                                            exit 1 when any latch's value
 //                                            occupancy is below PCT
+//   hsis_report cex FILE... [--replay]       render hsis-cex-v1
+//                                            counterexample artifacts
+//                                            (hsis_cli --cex-dir, hsis_serve
+//                                            --artifact-dir) as a markdown
+//                                            step table with source lines;
+//                                            with --replay, recompile the
+//                                            embedded design and re-verify
+//                                            the trace (exit 1 when any
+//                                            artifact fails to replay)
 //
 // Common flags: --ledger PATH (default $HSIS_LEDGER or ~/.hsis/ledger.jsonl),
 // --markdown (tables render as GitHub markdown).
@@ -35,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "cex/cex.hpp"
 #include "cov/cov.hpp"
 #include "obs/ledger.hpp"
 #include "obs/version.hpp"
@@ -51,7 +61,8 @@ void usage() {
                "[--report-only]\n"
                "  requests [--threshold SECONDS] [--limit N] "
                "[--report-only]\n"
-               "  coverage FILE... [--threshold PCT] [--report-only]\n");
+               "  coverage FILE... [--threshold PCT] [--report-only]\n"
+               "  cex FILE... [--replay]\n");
 }
 
 /// `hsis_report coverage`: render hsis-cov-v1 artifacts; exit 1 when a
@@ -83,6 +94,39 @@ int runCoverage(const std::vector<std::string>& files, bool thresholdSet,
   return gated > 0 && !reportOnly ? 1 : 0;
 }
 
+/// `hsis_report cex`: render hsis-cex-v1 artifacts; with --replay,
+/// recompile the embedded design source and re-verify the trace. Exit 0
+/// when everything (re-)verifies, 1 when any replay fails, 2 on I/O/parse
+/// errors.
+int runCex(const std::vector<std::string>& files, bool replay) {
+  size_t unverified = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "hsis_report: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    hsis::cex::Artifact art;
+    try {
+      art = hsis::cex::parseJson(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hsis_report: %s: %s\n", file.c_str(), e.what());
+      return 2;
+    }
+    if (replay) {
+      hsis::cex::ReplayResult r = hsis::cex::replayFromSource(art);
+      art.replay = r.verified ? "verified" : "unverified";
+      art.replayNote = r.note;
+      if (!r.verified) ++unverified;
+    }
+    std::fputs(hsis::cex::renderMarkdown(art).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  return unverified > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,6 +139,7 @@ int main(int argc, char** argv) {
   double rssPct = 10.0;
   bool thresholdSet = false;
   bool reportOnly = false;
+  bool replay = false;
   size_t limit = 20;
   std::vector<std::string> pos;
 
@@ -112,6 +157,8 @@ int main(int argc, char** argv) {
       rssPct = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(a, "--report-only") == 0) {
       reportOnly = true;
+    } else if (std::strcmp(a, "--replay") == 0) {
+      replay = true;
     } else if (std::strcmp(a, "--limit") == 0 && hasValue) {
       limit = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
@@ -140,6 +187,17 @@ int main(int argc, char** argv) {
     }
     return runCoverage({pos.begin() + 1, pos.end()}, thresholdSet, wallPct,
                        reportOnly);
+  }
+
+  // `cex` reads hsis-cex-v1 artifacts, not the ledger — same early
+  // dispatch.
+  if (pos[0] == "cex") {
+    if (pos.size() < 2) {
+      std::fprintf(stderr, "hsis_report: cex needs at least one file\n");
+      usage();
+      return 2;
+    }
+    return runCex({pos.begin() + 1, pos.end()}, replay);
   }
 
   const std::string path = ledger::resolvePath(ledgerFlag);

@@ -9,6 +9,12 @@
 // request whose enqueue->done wall time exceeds S gets its trace/profile/
 // census bundle written under DIR/<trace-id>/ (telemetry.hpp).
 //
+// --artifact-dir alone also arms counterexample capture (hsis_cex): the
+// first failing CTL check of a request writes a replay-verified
+// DIR/<trace-id>/cex.json + cex.vcd pair, pointed at by the done frame and
+// the ledger record (disable with HSIS_CEX_DISABLE=1; see
+// docs/debugging.md).
+//
 // Boots a SessionPool (one hsis::Session per worker — one BddManager, one
 // resident compiled design), binds a Unix-domain socket speaking the
 // hsis-serve-v1 line protocol, prints a readiness line
