@@ -25,6 +25,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +67,20 @@ struct CaseResult {
       first = false;
     }
     return best;
+  }
+  /// Within-run relative spread (max/min - 1, in percent): the case's own
+  /// measured wall-time noise. Threaded cases on a loaded host show double
+  /// digits here while the serial micros stay in low single digits.
+  [[nodiscard]] double wallNoisePct() const {
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const RunStats& r : runs) {
+      if (r.aborted) continue;
+      if (first || r.wallMs < lo) lo = r.wallMs;
+      if (first || r.wallMs > hi) hi = r.wallMs;
+      first = false;
+    }
+    return lo > 0.0 ? (hi / lo - 1.0) * 100.0 : 0.0;
   }
   /// Minimum peak RSS over the non-aborted runs — the same least-noise
   /// statistic as wallMsMin (peak RSS only over-reports under interference,
@@ -341,6 +356,7 @@ struct CompareRow {
   uint64_t newRssKb = 0;
   double rssRatio = 0.0;  ///< newRss / oldRss (0 when either side missing)
   bool memRegression = false;
+  double noisePct = 0.0;  ///< per-case slack applied on top of the threshold
   std::string note;      ///< "", "only in old", "only in new", "aborted"
 };
 
@@ -353,13 +369,18 @@ struct CompareResult {
 /// Case-by-case diff of two BENCH docs on min wall time and min peak RSS.
 /// `thresholdPct` is the allowed slowdown (10 flags a wall ratio above
 /// 1.10); `memThresholdPct` the allowed RSS growth (<= 0 disables the
-/// memory dimension).
+/// memory dimension). `noiseCapPct` > 0 grants each case extra slack equal
+/// to its own measured within-run spread (the larger of the two sides'
+/// wallNoisePct), capped at noiseCapPct — so a case whose repeats already
+/// scatter by 15% is not flagged at a 10% threshold, while tight serial
+/// micros keep the strict limit. Meant for the threaded suites, where
+/// scheduler jitter dominates the min statistic.
 inline CompareResult compareBench(const BenchDoc& oldDoc,
                                   const BenchDoc& newDoc,
                                   double thresholdPct,
-                                  double memThresholdPct = 0.0) {
+                                  double memThresholdPct = 0.0,
+                                  double noiseCapPct = 0.0) {
   CompareResult result;
-  double limit = 1.0 + thresholdPct / 100.0;
   double memLimit = 1.0 + memThresholdPct / 100.0;
   for (const CaseResult& oldCase : oldDoc.cases) {
     CompareRow row;
@@ -377,9 +398,15 @@ inline CompareResult compareBench(const BenchDoc& oldDoc,
     }
     row.oldMs = oldCase.wallMsMin();
     row.newMs = newCase->wallMsMin();
+    if (noiseCapPct > 0.0) {
+      row.noisePct = std::min(
+          noiseCapPct,
+          std::max(oldCase.wallNoisePct(), newCase->wallNoisePct()));
+    }
     if (row.oldMs > 0.0) {
       row.ratio = row.newMs / row.oldMs;
-      row.regression = row.ratio > limit;
+      row.regression =
+          row.ratio > 1.0 + (thresholdPct + row.noisePct) / 100.0;
     }
     row.oldRssKb = oldCase.peakRssKbMin();
     row.newRssKb = newCase->peakRssKbMin();

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench_schema.hpp"
 #include "hsis/environment.hpp"
 #include "hsis/session.hpp"
@@ -34,6 +36,8 @@
 #include "models/models.hpp"
 #include "obs/control.hpp"
 #include "obs/version.hpp"
+#include "par/batch.hpp"
+#include "par/fj.hpp"
 #include "vl2mv/vl2mv.hpp"
 
 namespace {
@@ -90,7 +94,7 @@ hsis::Bdd randomFunction(hsis::BddManager& m, std::mt19937& rng, uint32_t vars,
 
 // --------------------------------------------------------------- the table
 
-std::vector<Case> makeSuite(const std::string& suite) {
+std::vector<Case> makeSuite(const std::string& suite, int maxThreads = 4) {
   std::vector<Case> cases;
   auto add = [&](std::string name, std::function<void()> body) {
     cases.push_back({std::move(name), std::move(body)});
@@ -261,23 +265,103 @@ std::vector<Case> makeSuite(const std::string& suite) {
         for (int i = 0; i < 4096; ++i) f = !f;
       });
     }
+  } else if (suite == "parallel") {
+    // The multi-core engine, both grains, swept over a thread count list
+    // (1, 2, 4, ... up to --threads). t1/j1 rows are the serial anchors a
+    // sweep is read against.
+    std::vector<int> ks{1};
+    for (int k = 2; k <= maxThreads; k *= 2) ks.push_back(k);
+    if (ks.back() != maxThreads) ks.push_back(maxThreads);
+
+    // Coarse grain: the property batch of one design fanned out onto k
+    // replica-owning workers (exactly hsis_cli --jobs k).
+    for (const char* name : {"philos", "gigamax"}) {
+      const auto* model = hsis::models::find(name);
+      for (int k : ks) {
+        add("parallel/batch/" + std::string(name) + "/j" + std::to_string(k),
+            [model, k] {
+              hsis::Session session;
+              hsis::Session::DesignSource src;
+              src.kind = hsis::Session::DesignSource::Kind::Verilog;
+              src.text = std::string(model->verilog);
+              src.top = std::string(model->top);
+              session.load(src);
+              session.build();
+              hsis::PifFile pif = hsis::parsePif(std::string(model->pif));
+              session.setFairness(pif.fairness);
+              (void)hsis::par::checkBatch(session, pif.properties,
+                                          {.jobs = k});
+            });
+      }
+    }
+
+    // Fine grain, shared table: k threads hammer one manager concurrently
+    // (lock-free unique-table inserts, per-thread caches).
+    for (int k : ks) {
+      add("parallel/shared-apply/t" + std::to_string(k), [k] {
+        hsis::BddManager m(24);
+        std::mt19937 rng(7);
+        std::vector<hsis::Bdd> fs, gs;
+        for (int i = 0; i < 8; ++i) {
+          fs.push_back(randomFunction(m, rng, 24, 24));
+          gs.push_back(randomFunction(m, rng, 24, 24));
+        }
+        hsis::Bdd cube = m.bddOne();
+        for (hsis::BddVar v = 0; v < 24; v += 2) cube &= m.bddVar(v);
+        m.beginShared();
+        std::vector<std::thread> threads;
+        for (int t = 0; t < k; ++t) {
+          threads.emplace_back([&, t] {
+            for (int i = 0; i < 16; ++i)
+              (void)m.andExists(fs[(t + i) % 8], gs[(t * 3 + i) % 8], cube);
+          });
+        }
+        for (auto& th : threads) th.join();
+        m.endShared();
+      });
+    }
+
+    // Fine grain, fork-join apply: one big ite split on cofactor
+    // subproblems across k threads total (caller + k-1 pool workers).
+    for (int k : ks) {
+      add("parallel/fj-ite/t" + std::to_string(k), [k] {
+        hsis::BddManager m(32);
+        std::mt19937 rng(5);
+        hsis::Bdd f = randomFunction(m, rng, 32, 48);
+        hsis::Bdd g = randomFunction(m, rng, 32, 48);
+        hsis::Bdd h = randomFunction(m, rng, 32, 48);
+        hsis::par::ForkJoin fj(k - 1);
+        m.beginShared();
+        m.setParallel(&fj, 512, 4);
+        for (int i = 0; i < 8; ++i) {
+          (void)m.ite(f, g, h);
+          m.clearCaches();
+        }
+        m.setParallel(nullptr);
+        m.endShared();
+      });
+    }
   }
   return cases;
 }
 
-const char* const kSuites[] = {"smoke",    "table1",   "reach", "quantify",
-                               "efd",      "dontcare", "lc_vs_mc", "bdd"};
+const char* const kSuites[] = {"smoke",    "table1",   "reach",
+                               "quantify", "efd",      "dontcare",
+                               "lc_vs_mc", "bdd",      "parallel"};
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--suite NAME] [--repeat N] [--warmup N] [--filter SUBSTR]\n"
-      "          [--stats-json DIR-or-FILE.json] [--trace-out DIR] [--list]\n"
+      "          [--threads N] [--stats-json DIR-or-FILE.json]\n"
+      "          [--trace-out DIR] [--list]\n"
       "          [--heartbeat MS] [--heartbeat-file F] [--timeout-s S]\n"
       "          [--mem-limit-mb M] [--profile] [--profile-out BASE]\n"
       "          [--profile-interval-ms N] [--log-level LVL] [--log-file F]\n"
       "          [--ledger PATH] [--flight-dir DIR]\n"
-      "suites: smoke table1 reach quantify efd dontcare lc_vs_mc bdd\n",
+      "suites: smoke table1 reach quantify efd dontcare lc_vs_mc bdd "
+      "parallel\n"
+      "--threads caps the parallel suite's thread sweep (default 4)\n",
       argv0);
   return 2;
 }
@@ -298,6 +382,7 @@ int main(int argc, char** argv) {
   std::string traceOut;
   int repeat = 3;
   int warmup = 1;
+  int threads = 4;
   bool list = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -312,17 +397,20 @@ int main(int argc, char** argv) {
     else if (arg == "--repeat") repeat = std::atoi(value());
     else if (arg == "--warmup") warmup = std::atoi(value());
     else if (arg == "--filter") filter = value();
+    else if (arg == "--threads") threads = std::atoi(value());
     else if (arg == "--trace-out") traceOut = value();
     else if (arg == "--list") list = true;
     else return usage(argv[0]);
   }
   if (repeat < 1) repeat = 1;
   if (warmup < 0) warmup = 0;
+  if (threads < 1) threads = 1;
 
   if (list) {
     for (const char* s : kSuites) {
       std::printf("%s\n", s);
-      for (const Case& c : makeSuite(s)) std::printf("  %s\n", c.name.c_str());
+      for (const Case& c : makeSuite(s, threads))
+        std::printf("  %s\n", c.name.c_str());
     }
     return 0;
   }
@@ -334,7 +422,7 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  std::vector<Case> cases = makeSuite(suite);
+  std::vector<Case> cases = makeSuite(suite, threads);
   if (!filter.empty()) {
     std::erase_if(cases, [&](const Case& c) {
       return c.name.find(filter) == std::string::npos;

@@ -4,6 +4,7 @@
 //   perf_compare BENCH_old.json BENCH_new.json --threshold 10
 //   perf_compare BENCH_old.json BENCH_new.json --mem-threshold 20
 //   perf_compare BENCH_old.json BENCH_new.json --report-only
+//   perf_compare BENCH_old.json BENCH_new.json --noise-pct 15
 //
 // The wall statistic is the per-case MINIMUM wall time; a case regresses
 // when new/old exceeds 1 + threshold% (default 10). With --mem-threshold
@@ -11,8 +12,12 @@
 // RSS is a process-wide high-water mark, so only the first case of a
 // process carries a clean signal — hsis_bench runs cases in-process in
 // suite order, which keeps the comparison like-for-like across runs).
-// Aborted cases and cases present on only one side are listed but never
-// fail the comparison.
+// --noise-pct P grants each case extra slack equal to its own measured
+// within-run spread (max/min across repeats, larger of the two sides),
+// capped at P points — the threaded `parallel` suite scatters with
+// scheduler jitter, and this keeps the serial micros strict while not
+// flagging jitter as a regression. Aborted cases and cases present on
+// only one side are listed but never fail the comparison.
 //
 // Exit codes: 0 ok / 1 regression (suppressed by --report-only) / 2 usage
 // or I/O or parse error.
@@ -30,7 +35,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: perf_compare OLD.json NEW.json [--threshold PCT] "
-               "[--mem-threshold PCT] [--report-only]\n");
+               "[--mem-threshold PCT] [--noise-pct PCT] [--report-only]\n");
   return 2;
 }
 
@@ -51,6 +56,7 @@ int main(int argc, char** argv) {
   const char* newPath = nullptr;
   double threshold = 10.0;
   double memThreshold = 0.0;
+  double noisePct = 0.0;
   bool reportOnly = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0) {
@@ -59,6 +65,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--mem-threshold") == 0) {
       if (i + 1 >= argc) return usage();
       memThreshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--noise-pct") == 0) {
+      if (i + 1 >= argc) return usage();
+      noisePct = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--report-only") == 0) {
       reportOnly = true;
     } else if (!oldPath) {
@@ -95,18 +104,22 @@ int main(int argc, char** argv) {
         "note: comparing an obs-enabled build against an obs-disabled one; "
         "absolute times are not like-for-like\n");
   }
+  char memBuf[32] = "off";
+  if (memThreshold > 0.0)
+    std::snprintf(memBuf, sizeof memBuf, "%.1f%%", memThreshold);
+  char noiseBuf[32] = "off";
+  if (noisePct > 0.0)
+    std::snprintf(noiseBuf, sizeof noiseBuf, "%.1f%%", noisePct);
   std::printf("old: suite=%s sha=%s   new: suite=%s sha=%s   "
-              "threshold=%.1f%% mem-threshold=%s\n",
+              "threshold=%.1f%% mem-threshold=%s noise-cap=%s\n",
               oldDoc.suite.c_str(), oldDoc.gitSha.c_str(),
               newDoc.suite.c_str(), newDoc.gitSha.c_str(), threshold,
-              memThreshold > 0.0
-                  ? (std::to_string(memThreshold) + "%").c_str()
-                  : "off");
+              memBuf, noiseBuf);
   std::printf("%-40s %11s %11s %7s %11s %11s %7s\n", "case", "old(ms)",
               "new(ms)", "wall", "old-rss(K)", "new-rss(K)", "rss");
 
-  hsisbench::CompareResult cmp =
-      hsisbench::compareBench(oldDoc, newDoc, threshold, memThreshold);
+  hsisbench::CompareResult cmp = hsisbench::compareBench(
+      oldDoc, newDoc, threshold, memThreshold, noisePct);
   for (const hsisbench::CompareRow& row : cmp.rows) {
     if (!row.note.empty()) {
       std::printf("%-40s %34s\n", row.name.c_str(),
@@ -114,6 +127,11 @@ int main(int argc, char** argv) {
       continue;
     }
     std::string flags;
+    if (row.noisePct > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "  (noise %.1f%%)", row.noisePct);
+      flags += buf;
+    }
     if (row.regression) flags += "  WALL-REGRESSION";
     if (row.memRegression) flags += "  RSS-REGRESSION";
     std::printf("%-40s %11.3f %11.3f %6.2fx %11llu %11llu %6.2fx%s\n",

@@ -5,6 +5,7 @@
 //   hsis_cli design.v properties.pif
 //   hsis_cli --blifmv design.mv properties.pif
 //   hsis_cli --model philos          # run a bundled Table-1 design
+//   hsis_cli --jobs 4 --model table1 # property batch on 4 worker threads
 //
 // Every form also accepts the shared observability flags:
 //   --stats-json FILE    dump the full snapshot after verification
@@ -45,6 +46,7 @@
 #include "models/models.hpp"
 #include "obs/control.hpp"
 #include "obs/version.hpp"
+#include "par/batch.hpp"
 
 namespace {
 
@@ -73,7 +75,7 @@ int usage() {
                "           --log-level LVL | --log-file F | --ledger PATH |\n"
                "           --flight-dir DIR | --cov-json FILE | "
                "--cov-spec FILE |\n"
-               "           --cex-dir DIR\n");
+               "           --cex-dir DIR | --jobs N\n");
   return 2;
 }
 
@@ -98,10 +100,11 @@ int main(int argc, char** argv) {
   hsis::obs::ObsCliOptions obsOpts = hsis::obs::initDriverObs(
       argc, argv, {.driverName = "hsis_cli", .ownStatsJson = true});
 
-  // --cov-spec and --cex-dir are cli-local (the shared strip covers
-  // --cov-json only).
+  // --cov-spec, --cex-dir, and --jobs are cli-local (the shared strip
+  // covers --cov-json only).
   std::string covSpecPath;
   std::string cexDir;
+  int jobs = 1;
   for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--cov-spec") == 0 && i + 1 < argc) {
       covSpecPath = argv[i + 1];
@@ -109,6 +112,11 @@ int main(int argc, char** argv) {
       argc -= 2;
     } else if (std::strcmp(argv[i], "--cex-dir") == 0 && i + 1 < argc) {
       cexDir = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[i + 1]);
+      if (jobs < 1) jobs = 1;
       for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
     } else {
@@ -160,8 +168,25 @@ int main(int argc, char** argv) {
       std::printf("note: %s\n", n.c_str());
     std::printf("reachable states: %.0f\n\n", env.reachedStates());
 
+    // --jobs N>1: check the property batch on a worker-thread pool, each
+    // worker on its own replica manager; reports come back in input order
+    // so everything downstream (rendering, cex artifacts) is unchanged.
+    std::vector<hsis::BugReport> reports;
+    if (jobs > 1) {
+      hsis::par::BatchReport batch = hsis::par::checkBatch(
+          env.session(), env.properties(), {.jobs = jobs});
+      std::printf("parallel batch: %zu properties on %d workers, "
+                  "%.2fs wall (%.2fs replica setup), busy speedup %.2fx\n\n",
+                  env.properties().size(), batch.jobs,
+                  batch.wallMicros / 1e6, batch.transferMicros / 1e6,
+                  batch.theoreticalSpeedup());
+      reports = std::move(batch.reports);
+    } else {
+      reports = env.verifyAll();
+    }
+
     bool cexDisabledNoted = false;
-    for (const hsis::BugReport& report : env.verifyAll()) {
+    for (const hsis::BugReport& report : reports) {
       std::printf("%s\n", renderBugReport(report, env.fsm()).c_str());
       if (!report.holds) {
         ++failures;
@@ -208,11 +233,25 @@ int main(int argc, char** argv) {
       }
     }
 
-    const auto& m = env.metrics();
+    // The parallel path bypasses Environment::verify*, so fold the batch
+    // reports into the same Table-1 shape the serial path accumulates.
+    size_t nCtl = env.metrics().numCtlFormulas;
+    size_t nLc = env.metrics().numLcProps;
+    double sCtl = env.metrics().mcSeconds, sLc = env.metrics().lcSeconds;
+    if (jobs > 1) {
+      for (const hsis::BugReport& r : reports) {
+        if (r.paradigm == hsis::BugReport::Paradigm::ModelChecking) {
+          ++nCtl;
+          sCtl += r.seconds;
+        } else {
+          ++nLc;
+          sLc += r.seconds;
+        }
+      }
+    }
     std::printf("summary: %zu CTL formulas (%.2fs), %zu LC properties "
                 "(%.2fs), %d failing\n",
-                m.numCtlFormulas, m.mcSeconds, m.numLcProps, m.lcSeconds,
-                failures);
+                nCtl, sCtl, nLc, sLc, failures);
 
     if (!obsOpts.covJsonPath.empty() || !covSpecPath.empty()) {
       hsis::cov::Options co;

@@ -1,5 +1,9 @@
 // Node arena, unique table, computed cache, reference counting, and
 // mark-and-sweep garbage collection with a cache keep-alive sweep.
+//
+// The shared-phase machinery (thread contexts, CAS insertion, the
+// stop-the-world protocol) lives in bdd_concurrent.cpp; this file is the
+// serial core plus the structural passes (GC, census) that both modes share.
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -29,6 +33,7 @@ inline uint32_t uniqueBucketOf(uint32_t var, uint32_t lo, uint32_t hi,
 BddManager::BddManager(uint32_t numVars)
     : obsCacheLookups_(obs::counter("bdd.cache.lookups")),
       obsCacheHits_(obs::counter("bdd.cache.hits")),
+      obsCacheAged_(obs::counter("bdd.cache.aged")),
       obsNodesCreated_(obs::counter("bdd.nodes.created")),
       obsGcRuns_(obs::counter("bdd.gc.runs")),
       obsGcReclaimed_(obs::counter("bdd.gc.reclaimed")),
@@ -49,15 +54,21 @@ BddManager::BddManager(uint32_t numVars)
   uniqueTable_.assign(1 << 12, kNil);
   uniqueMask_ = static_cast<uint32_t>(uniqueTable_.size() - 1);
   obsUniqueBuckets_.set(static_cast<int64_t>(uniqueTable_.size()));
-  cache_.assign(1 << 14, CacheEntry{});
-  cacheMask_ = static_cast<uint32_t>(cache_.size() - 1);
+
+  mainCtx_.cache.assign(size_t{1} << 13, CacheSet{});  // 2^14 entries
+  mainCtx_.cacheMask = static_cast<uint32_t>(mainCtx_.cache.size() - 1);
 
   for (uint32_t i = 0; i < numVars; ++i) newVar();
 }
 
-BddManager::~BddManager() { flushObs(); }
+BddManager::~BddManager() {
+  assert(!sharedMode_ && "destroying a BddManager while in a shared phase");
+  flushObs(mainCtx_);
+  for (auto& c : workerCtxs_) flushObs(*c);
+}
 
 BddVar BddManager::newVar() {
+  assert(!sharedMode_ && "newVar during a shared phase is not supported");
   BddVar v = static_cast<BddVar>(perm_.size());
   perm_.push_back(v);
   invPerm_.push_back(v);
@@ -105,6 +116,7 @@ uint32_t BddManager::mkNode(BddVar var, uint32_t lo, uint32_t hi) {
     lo = eNot(lo);
     hi = eNot(hi);
   }
+  if (sharedMode_) return mkNodeShared(ctx(), var, lo, hi) | outSign;
   uint32_t bucket = uniqueBucketOf(var, lo, hi, uniqueMask_);
   for (uint32_t n = uniqueTable_[bucket]; n != kNil; n = nodes_[n].next) {
     const Node& nd = nodes_[n];
@@ -124,23 +136,36 @@ uint32_t BddManager::mkNode(BddVar var, uint32_t lo, uint32_t hi) {
   nodes_[idx].next = uniqueTable_[bucket];
   uniqueTable_[bucket] = idx;
   ++uniqueCount_;
-  ++createdTotal_;
+  ++mainCtx_.created;
   if (uniqueCount_ > stats_.peakLiveNodes) stats_.peakLiveNodes = uniqueCount_;
   if (uniqueCount_ > uniqueTable_.size()) growUnique();
   // Keep the operation cache proportional to the node count, or deep
   // recursions degenerate into exponential recomputation.
-  if (uniqueCount_ > cache_.size()) growCache();
+  if (uniqueCount_ > mainCtx_.cache.size() * 2) growCache(mainCtx_);
   return idx | outSign;
 }
 
-void BddManager::growCache() {
-  std::vector<CacheEntry> old = std::move(cache_);
-  cache_.assign(old.size() * 2, CacheEntry{});
-  cacheMask_ = static_cast<uint32_t>(cache_.size() - 1);
-  ++cacheGen_;  // slot numbering changed: outstanding probes must rehash
-  for (const CacheEntry& e : old) {
-    if (e.k1 == ~0ull && e.k2 == ~0ull) continue;
-    cache_[cacheSlotOf(e.k1, e.k2)] = e;
+void BddManager::growCache(ThreadCtx& tc) {
+  // The cache is private to `tc`, so growth needs no coordination even in a
+  // shared phase — only the owner's outstanding probes are invalidated, and
+  // they rehash via the generation check.
+  std::vector<CacheSet> old = std::move(tc.cache);
+  tc.cache.assign(old.size() * 2, CacheSet{});
+  tc.cacheMask = static_cast<uint32_t>(tc.cache.size() - 1);
+  ++tc.cacheGen;  // slot numbering changed: outstanding probes must rehash
+  for (const CacheSet& s : old) {
+    for (const CacheEntry& e : s.way) {
+      if (e.k1 == ~0ull && e.k2 == ~0ull) continue;
+      // Re-inserted entries land in way 0 of their new set; collisions
+      // during the rebuild fall back to the normal 2-way replacement.
+      uint32_t slot = cacheSlotOf(e.k1, e.k2 & ~kCacheAgeBit, tc.cacheMask);
+      CacheEntry* set = tc.cache[slot].way;
+      if (set[0].k1 == ~0ull && set[0].k2 == ~0ull) {
+        set[0] = e;
+      } else {
+        set[1] = e;
+      }
+    }
   }
 }
 
@@ -191,41 +216,96 @@ void BddManager::growUnique() {
 }
 
 void BddManager::maybeGcOrSift() {
-  if (opDepth_ > 0) return;
+  ThreadCtx& tc = ctx();
+  if (tc.opDepth > 0) return;
   // Cooperative cancellation point: we are at a public-op boundary with no
   // raw node indices live on any recursion stack, so unwinding here cannot
   // corrupt manager state.
   obs::checkAbort();
-  // Census rendezvous with the sampling profiler: it raised a flag from
-  // its own thread; we answer here, where nothing is mid-mutation, so the
-  // sampler never reads manager structures concurrently. One relaxed load
-  // when no profiler is running.
-  if (obs::prof::censusRequested()) obs::prof::publishCensus(census());
-  if (nodes_.size() - freeList_.size() > gcThreshold_) {
-    size_t freed = gc();
-    size_t live = nodes_.size() - freeList_.size();
-    if (freed < live / 3) {
-      gcThreshold_ = live * 2;
-      HSIS_LOG_DEBUG("bdd.gc", "sweep reclaimed little, threshold raised",
-                     {{"freed", freed},
-                      {"live", live},
-                      {"threshold", gcThreshold_}});
-    } else {
-      HSIS_LOG_DEBUG("bdd.gc", "sweep complete",
-                     {{"freed", freed}, {"live", live}});
+  if (!sharedMode_) {
+    // Census rendezvous with the sampling profiler: it raised a flag from
+    // its own thread; we answer here, where nothing is mid-mutation, so the
+    // sampler never reads manager structures concurrently. One relaxed load
+    // when no profiler is running.
+    if (obs::prof::censusRequested()) obs::prof::publishCensus(census());
+    if (nodes_.size() - freeList_.size() > gcThreshold_) {
+      size_t freed = gcImpl();
+      size_t live = nodes_.size() - freeList_.size();
+      if (freed < live / 3) {
+        gcThreshold_ = live * 2;
+        HSIS_LOG_DEBUG("bdd.gc", "sweep reclaimed little, threshold raised",
+                       {{"freed", freed},
+                        {"live", live},
+                        {"threshold", gcThreshold_}});
+      } else {
+        HSIS_LOG_DEBUG("bdd.gc", "sweep complete",
+                       {{"freed", freed}, {"live", live}});
+      }
     }
+    return;
+  }
+  // Shared phase: both the census rendezvous and GC are deep stop-the-world
+  // events — any one worker at an op boundary can win the election and run
+  // them; losers just continue (the winner is doing the work, and a new op
+  // entry parks until it finishes). The coordinator itself must skip these
+  // triggers or gc() inside sift() would try to elect twice.
+  if (tc.stwCoordinator) return;
+  if (obs::prof::censusRequested()) {
+    stwDeepRun(tc, [&] {
+      if (obs::prof::censusRequested()) obs::prof::publishCensus(census());
+    });
+  }
+  if (approxLive() > gcThreshold_) {
+    stwDeepRun(tc, [&] {
+      size_t live = approxLive();
+      if (live <= gcThreshold_) return;  // someone collected before us
+      size_t freed = gcImpl();
+      live = approxLive();
+      if (freed < live / 3) gcThreshold_ = live * 2;
+      HSIS_LOG_DEBUG("bdd.gc", "shared sweep complete",
+                     {{"freed", freed}, {"live", live}});
+    });
   }
 }
 
-void BddManager::flushObs() {
-  obsCacheLookups_.add(stats_.cacheLookups - flushedLookups_);
-  flushedLookups_ = stats_.cacheLookups;
-  obsCacheHits_.add(stats_.cacheHits - flushedHits_);
-  flushedHits_ = stats_.cacheHits;
-  obsNodesCreated_.add(createdTotal_ - flushedCreated_);
-  flushedCreated_ = createdTotal_;
-  obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
-  obsUniquePeak_.updateMax(static_cast<int64_t>(stats_.peakLiveNodes));
+void BddManager::flushObs(ThreadCtx& tc) {
+  // Satellite of the threading work: these adds land on relaxed atomics in
+  // the obs registry, so a flush racing another thread's flush (or a reader
+  // snapshotting the registry) is race-free by construction.
+  obsCacheLookups_.add(tc.cacheLookups - tc.flushedLookups);
+  tc.flushedLookups = tc.cacheLookups;
+  obsCacheHits_.add(tc.cacheHits - tc.flushedHits);
+  tc.flushedHits = tc.cacheHits;
+  obsCacheAged_.add(tc.cacheAged - tc.flushedAged);
+  tc.flushedAged = tc.cacheAged;
+  obsNodesCreated_.add(tc.created - tc.flushedCreated);
+  tc.flushedCreated = tc.created;
+  if (!sharedMode_) {
+    // Structure gauges describe shared state; in a shared phase they are
+    // refreshed at stop-the-world points (gc, growth, endShared) instead of
+    // on every worker's op exit.
+    obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
+    obsUniquePeak_.updateMax(static_cast<int64_t>(stats_.peakLiveNodes));
+  }
+}
+
+const BddStats& BddManager::stats() const {
+  stats_.liveNodes = sharedMode_ ? approxLive() : uniqueCount_;
+  stats_.allocatedNodes = arenaEnd();
+  uint64_t lookups = retiredLookups_, hits = retiredHits_;
+  {
+    std::unique_lock<std::mutex> lock(ctxMu_, std::defer_lock);
+    if (sharedMode_) lock.lock();
+    lookups += mainCtx_.cacheLookups;
+    hits += mainCtx_.cacheHits;
+    for (const auto& c : workerCtxs_) {
+      lookups += c->cacheLookups;
+      hits += c->cacheHits;
+    }
+  }
+  stats_.cacheLookups = lookups;
+  stats_.cacheHits = hits;
+  return stats_;
 }
 
 // ----------------------------------------------------------------- GC core
@@ -234,7 +314,9 @@ std::vector<uint8_t> BddManager::markReachable() const {
   // Every node reachable from an externally referenced node survives.
   // Iterative DFS over the arena; child edges strip the complement bit.
   // Free slots (var == kNil) are never roots, and children of live nodes
-  // are live, so the walk cannot enter one.
+  // are live, so the walk cannot enter one. In a shared phase the loop
+  // covers the resized arena too: virgin slots read var == kNil (their
+  // NSDMI default) and are skipped.
   std::vector<uint8_t> marked(nodes_.size(), 0);
   marked[0] = marked[1] = 1;
   std::vector<uint32_t> stack;
@@ -255,7 +337,8 @@ std::vector<uint8_t> BddManager::markReachable() const {
   return marked;
 }
 
-void BddManager::cacheKeepAlive(const std::vector<uint8_t>& marked) {
+void BddManager::cacheKeepAlive(ThreadCtx& tc,
+                                const std::vector<uint8_t>& marked) {
   // Keep-alive sweep: a cached result stays valid as long as every node it
   // mentions survived the collection — operand edges, the result edge, and
   // for ternary ops the third operand. Entries whose nodes all survived are
@@ -266,7 +349,8 @@ void BddManager::cacheKeepAlive(const std::vector<uint8_t>& marked) {
   // length: entries referencing dead nodes are dropped at the GC that
   // freed them, so no entry outlives the arena coordinates it was keyed on.
   auto alive = [&](uint32_t e) { return marked[eIdx(e)] != 0; };
-  for (CacheEntry& e : cache_) {
+  for (CacheSet& s : tc.cache)
+  for (CacheEntry& e : s.way) {
     if (e.k1 == ~0ull && e.k2 == ~0ull) continue;
     uint32_t a = static_cast<uint32_t>(e.k1 >> 32);
     uint32_t b = static_cast<uint32_t>(e.k1);
@@ -289,6 +373,15 @@ void BddManager::cacheKeepAlive(const std::vector<uint8_t>& marked) {
 }
 
 size_t BddManager::gc() {
+  if (!sharedMode_) return gcImpl();
+  ThreadCtx& tc = ctx();
+  if (tc.stwCoordinator) return gcImpl();  // already quiesced (e.g. sift)
+  size_t freed = 0;
+  stwDeepRun(tc, [&] { freed = gcImpl(); });
+  return freed;
+}
+
+size_t BddManager::gcImpl() {
   std::vector<uint8_t> marked = markReachable();
 
   // Sweep by rebuilding the unique table wholesale: clearing buckets and
@@ -308,35 +401,61 @@ size_t BddManager::gc() {
       ++freed;
     }
   }
+  if (sharedMode_) {
+    // uniqueCount_ was just recounted exactly; the shard deltas it
+    // approximated are folded in, so zero them.
+    for (uint32_t s = 0; s < kNumShards; ++s)
+      shardCounts_[s].n.store(0, std::memory_order_relaxed);
+    if (uniqueCount_ > stats_.peakLiveNodes)
+      stats_.peakLiveNodes = uniqueCount_;
+    obsUniqueSize_.set(static_cast<int64_t>(uniqueCount_));
+    obsUniquePeak_.updateMax(static_cast<int64_t>(stats_.peakLiveNodes));
+  }
   // The computed cache survives collection minus entries touching freed
   // nodes — fixpoint loops that negate/intersect the same live state sets
-  // every iteration keep their hits across GCs.
-  cacheKeepAlive(marked);
+  // every iteration keep their hits across GCs. Every attached thread's
+  // cache gets the same keep-alive sweep (we are quiesced: serial mode, or
+  // under the deep stop-the-world).
+  cacheKeepAlive(mainCtx_, marked);
+  for (auto& c : workerCtxs_) cacheKeepAlive(*c, marked);
   ++stats_.gcRuns;
   stats_.liveNodes = uniqueCount_;
   stats_.allocatedNodes = nodes_.size();
   obsGcRuns_.add();
   obsGcReclaimed_.add(freed);
-  flushObs();
+  flushObs(ctx());
   return freed;
 }
 
 void BddManager::clearCaches() {
-  for (auto& e : cache_) e = CacheEntry{};
+  std::unique_lock<std::mutex> lock(ctxMu_, std::defer_lock);
+  if (sharedMode_) lock.lock();
+  for (auto& s : mainCtx_.cache) s = CacheSet{};
+  for (auto& c : workerCtxs_)
+    for (auto& s : c->cache) s = CacheSet{};
 }
 
 obs::prof::BddCensus BddManager::census() const {
   obs::prof::BddCensus c;
-  c.liveNodes = uniqueCount_;
+  c.liveNodes = sharedMode_ ? approxLive() : uniqueCount_;
   c.allocatedNodes = nodes_.size() - 2;  // terminal + reserved slot excluded
   c.freeNodes = freeList_.size();
   c.uniqueBuckets = uniqueTable_.size();
-  c.cacheEntries = cache_.size();
-  for (const CacheEntry& e : cache_) {
-    if (e.k1 != ~0ull || e.k2 != ~0ull) ++c.cacheUsed;
-  }
-  c.cacheLookups = stats_.cacheLookups;
-  c.cacheHits = stats_.cacheHits;
+  c.threadCaches = 1 + workerCtxs_.size();
+  c.uniqueShards = sharedMode_ ? kNumShards : 1;
+  uint64_t lookups = retiredLookups_, hits = retiredHits_;
+  auto fold = [&](const ThreadCtx& tc) {
+    c.cacheEntries += tc.cache.size() * 2;
+    for (const CacheSet& s : tc.cache)
+      for (const CacheEntry& e : s.way)
+        if (e.k1 != ~0ull || e.k2 != ~0ull) ++c.cacheUsed;
+    lookups += tc.cacheLookups;
+    hits += tc.cacheHits;
+  };
+  fold(mainCtx_);
+  for (const auto& tc : workerCtxs_) fold(*tc);
+  c.cacheLookups = lookups;
+  c.cacheHits = hits;
   c.gcRuns = stats_.gcRuns;
   c.reorderings = stats_.reorderings;
   c.peakLiveNodes = stats_.peakLiveNodes;

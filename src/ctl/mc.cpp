@@ -39,6 +39,22 @@ const Bdd& CtlChecker::reached() {
   return reached_;
 }
 
+void CtlChecker::seedReachability(Bdd reached, std::vector<Bdd> onionRings,
+                                  std::vector<double> frontierStates,
+                                  size_t steps) {
+  if (!reached_.isNull())
+    throw std::logic_error(
+        "CtlChecker::seedReachability: reachability already computed");
+  reached_ = std::move(reached);
+  onionRings_ = std::move(onionRings);
+  frontierStates_ = std::move(frontierStates);
+  stats_.reachabilitySteps = steps;
+  if (opts_.useReachedDontCares) {
+    minimizedTr_ = tr_->minimized(reached_);
+    activeTr_ = &*minimizedTr_;
+  }
+}
+
 Bdd CtlChecker::preimage(const Bdd& s) {
   ++stats_.preimageCalls;
   static obs::Counter& calls = obs::counter("ctl.preimage.calls");

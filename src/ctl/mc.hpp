@@ -69,6 +69,19 @@ class CtlChecker {
   const Bdd& fairStates();
 
   [[nodiscard]] const Bdd& reached();
+  /// Adopt an already-computed reachability result instead of running the
+  /// fixpoint (the parallel batch scheduler computes it once on the primary
+  /// checker and seeds every replica with the transferred copy). Leaves the
+  /// checker in exactly the state a reached() call would: don't-care
+  /// minimization included. Must be called before any check on this
+  /// instance; throws std::logic_error once reachability exists.
+  void seedReachability(Bdd reached, std::vector<Bdd> onionRings,
+                        std::vector<double> frontierStates, size_t steps);
+  /// Onion rings of the reachability fixpoint (empty unless wantTrace kept
+  /// them). Exposed so a batch scheduler can replicate checker state.
+  [[nodiscard]] const std::vector<Bdd>& onionRings() const {
+    return onionRings_;
+  }
   /// New-state count per reachability depth (frontierStates of the reach
   /// fixpoint). Empty before reached() ran, or when frontier recording is
   /// off (HSIS_OBS_DISABLE / HSIS_COV_DISABLE).

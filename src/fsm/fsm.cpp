@@ -333,4 +333,19 @@ Bdd Fsm::stateFromValues(const std::vector<uint32_t>& values) const {
   return s;
 }
 
+Fsm Fsm::transferred(BddTransfer& tx, const Fsm& src) {
+  // Start from a plain copy (handles still on the source manager), then
+  // replace every symbolic member with its structural copy and rebind the
+  // variable space. Variable ids carry over verbatim: BddTransfer mirrors
+  // the source's variable universe and order in the destination.
+  Fsm out(src);
+  out.space_.rebindManager(tx.dst());
+  out.relations_ = tx.copy(src.relations_);
+  out.init_ = tx.copy(src.init_);
+  out.presentCube_ = tx.copy(src.presentCube_);
+  out.nextCube_ = tx.copy(src.nextCube_);
+  out.nonStateCube_ = tx.copy(src.nonStateCube_);
+  return out;
+}
+
 }  // namespace hsis

@@ -31,6 +31,13 @@ class Fsm {
   /// values, latches without reset values, combinational cycles.
   Fsm(BddManager& mgr, const blifmv::Model& flat);
 
+  /// Replicate `src` into the transfer's destination manager: all symbolic
+  /// components are structurally copied and the variable space is rebound.
+  /// The source manager must be quiescent for the duration (see
+  /// BddTransfer); the replica is fully independent afterwards. Used by the
+  /// parallel batch scheduler to give each worker its own engine.
+  static Fsm transferred(BddTransfer& tx, const Fsm& src);
+
   [[nodiscard]] BddManager& mgr() const { return space_.mgr(); }
   [[nodiscard]] MvSpace& space() { return space_; }
   [[nodiscard]] const MvSpace& space() const { return space_; }

@@ -243,4 +243,18 @@ ReachResult reachableStates(const TransitionRelation& tr, const Bdd& init,
   return res;
 }
 
+
+TransitionRelation TransitionRelation::transferred(
+    const Fsm& dstFsm, BddTransfer& tx, const TransitionRelation& src) {
+  // The quantification schedule is a function of the cluster decomposition
+  // and the variable sets, both of which transfer verbatim — so the copies
+  // are taken directly instead of re-running computeStepCubes (which would
+  // recompute the same cubes from the replica's Fsm anyway).
+  TransitionRelation tr(dstFsm);
+  tr.clusters_ = tx.copy(src.clusters_);
+  tr.imgCubes_ = tx.copy(src.imgCubes_);
+  tr.preCubes_ = tx.copy(src.preCubes_);
+  return tr;
+}
+
 }  // namespace hsis

@@ -27,6 +27,12 @@ class TransitionRelation {
   static TransitionRelation partitioned(const Fsm& fsm,
                                         size_t clusterLimit = 5000);
 
+  /// Replicate `src` against an already-transferred Fsm (same transfer, so
+  /// variable ids line up): clusters and quantification schedules are
+  /// structurally copied, preserving the cluster decomposition exactly.
+  static TransitionRelation transferred(const Fsm& dstFsm, BddTransfer& tx,
+                                        const TransitionRelation& src);
+
   /// Successor states: img(S)(x) = (∃x,i. T ∧ S)[y := x].
   [[nodiscard]] Bdd image(const Bdd& statesX) const;
   /// Predecessor states: pre(S)(x) = ∃y,i. T ∧ S[x := y].

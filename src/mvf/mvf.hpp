@@ -63,6 +63,12 @@ class MvSpace {
 
   [[nodiscard]] BddManager& mgr() const { return *mgr_; }
 
+  /// Point this space at a different manager. Sound only when the target
+  /// manager has an identical binary-variable layout (same ids for the same
+  /// roles), which is exactly what BddTransfer guarantees — the space holds
+  /// no BDDs itself, only variable ids.
+  void rebindManager(BddManager& mgr) { mgr_ = &mgr; }
+
  private:
   struct Info {
     std::string name;

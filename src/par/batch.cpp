@@ -1,0 +1,307 @@
+#include "par/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "ctl/mc.hpp"
+#include "fsm/fsm.hpp"
+#include "fsm/image.hpp"
+#include "lc/lc.hpp"
+#include "obs/control.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+#include "pif/sigexpr.hpp"
+
+namespace hsis::par {
+
+namespace {
+
+uint64_t nowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t toMicros(double seconds) {
+  return seconds > 0 ? static_cast<uint64_t>(seconds * 1e6) : 0;
+}
+
+/// One worker's private copy of the design's symbolic machine. Everything
+/// here lives in the replica's own manager; after construction the worker
+/// never touches the source manager again.
+struct Replica {
+  BddManager mgr;
+  std::unique_ptr<Fsm> fsm;                ///< heap: TR/checker hold pointers
+  std::optional<TransitionRelation> tr;
+  std::vector<Bdd> fairSets;
+  // Seed for CtlChecker::seedReachability, transferred from the primary
+  // checker so no worker reruns the reachability fixpoint.
+  Bdd reached;
+  std::vector<Bdd> onionRings;
+  std::vector<double> frontierStates;
+  size_t reachSteps = 0;
+  /// Built on the worker thread (don't-care minimization of the seeded
+  /// reached set runs there, concurrently across replicas).
+  std::unique_ptr<CtlChecker> checker;
+};
+
+/// Build one replica against the (quiescent) source session. Runs on the
+/// calling thread — serial-mode handle refcounts on the source manager are
+/// not synchronized, so transfers must not overlap.
+std::unique_ptr<Replica> buildReplica(Session& session, CtlChecker& primary,
+                                      size_t& transferredNodes) {
+  auto rep = std::make_unique<Replica>();
+  BddTransfer tx(session.manager(), rep->mgr);
+  rep->fsm = std::make_unique<Fsm>(Fsm::transferred(tx, session.fsm()));
+  rep->tr.emplace(
+      TransitionRelation::transferred(*rep->fsm, tx, session.tr()));
+  // Fairness Büchi sets are cheap propositional evaluations — rebuild them
+  // against the replica FSM rather than transferring (same construction as
+  // Session::ctlFairnessSets; the fair-edge approximation note is already
+  // on the session from building the primary checker).
+  const FairnessSpec& fairness = session.fairness();
+  for (const SigExprRef& e : fairness.noStay)
+    rep->fairSets.push_back(!evalSigExpr(e, *rep->fsm));
+  for (const SigExprRef& e : fairness.buchi)
+    rep->fairSets.push_back(evalSigExpr(e, *rep->fsm));
+  for (const auto& [from, to] : fairness.fairEdges) {
+    (void)from;
+    rep->fairSets.push_back(evalSigExpr(to, *rep->fsm));
+  }
+  rep->reached = tx.copy(primary.reached());
+  rep->onionRings = tx.copy(primary.onionRings());
+  rep->frontierStates = primary.frontierNewStates();
+  rep->reachSteps = primary.lastStats().reachabilitySteps;
+  transferredNodes += tx.copiedNodes();
+  return rep;
+}
+
+/// The per-worker half of replica setup: checker construction plus
+/// reachability seeding (which runs the don't-care TR minimization).
+void finishReplica(Replica& rep, const Session::Options& opts) {
+  McOptions mo;
+  mo.earlyFailureDetection = opts.earlyFailureDetection;
+  mo.useReachedDontCares = opts.useReachedDontCares;
+  mo.wantTrace = opts.wantTraces;
+  rep.checker = std::make_unique<CtlChecker>(*rep.fsm, *rep.tr,
+                                             rep.fairSets, mo);
+  rep.checker->seedReachability(
+      std::move(rep.reached), std::move(rep.onionRings),
+      std::move(rep.frontierStates), rep.reachSteps);
+}
+
+/// Session::checkCtl against a replica checker (same report shape, same
+/// metrics — counters are atomic, spans are per-thread).
+BugReport checkCtlOn(CtlChecker& checker, const std::string& name,
+                     const CtlRef& formula) {
+  BugReport report;
+  report.paradigm = BugReport::Paradigm::ModelChecking;
+  report.propertyName = name;
+  report.propertyText = formula->toString();
+  obs::Span span("env.verify.ctl");
+  McResult r = checker.check(formula);
+  report.holds = r.holds;
+  report.trace = r.counterexample;
+  report.seconds = r.stats.seconds;
+  report.usedEarlyFailure = r.stats.usedEarlyFailure;
+  obs::counter("env.mc.micros").add(toMicros(r.stats.seconds));
+  obs::counter("env.props.ctl").add();
+  return report;
+}
+
+/// Session::checkAutomaton, reconstructed from the session's const state.
+/// Needs no replica: the containment check builds its own product manager
+/// from the flattened model, so it is manager-independent by design.
+BugReport checkAutomatonOn(const blifmv::Model& flat,
+                           const FairnessSpec& fairness,
+                           const Session::Options& opts,
+                           const std::string& name, const Automaton& aut) {
+  BugReport report;
+  report.paradigm = BugReport::Paradigm::LanguageContainment;
+  report.propertyName = name;
+  report.propertyText = "automaton " + aut.name() + " (" +
+                        std::to_string(aut.numStates()) + " states)";
+  LcOptions lo;
+  lo.earlyFailureDetection = opts.earlyFailureDetection;
+  lo.wantTrace = opts.wantTraces;
+  lo.partitionedTr = opts.partitionedTr;
+  lo.clusterLimit = opts.clusterLimit;
+  lo.quantMethod = opts.quantMethod;
+  obs::Span span("env.verify.lc");
+  BddManager productMgr;
+  LcChecker lc(productMgr, flat, aut, fairness, lo);
+  LcResult r = lc.check();
+  report.holds = r.contained;
+  report.notes = r.notes;
+  report.seconds = r.stats.seconds;
+  report.usedEarlyFailure = r.stats.usedEarlyFailure;
+  if (r.trace.has_value()) {
+    report.notes.push_back("error trace (design + monitor):\n" +
+                           lc.formatTrace(*r.trace));
+  }
+  obs::counter("env.lc.micros").add(toMicros(r.stats.seconds));
+  obs::counter("env.props.lc").add();
+  return report;
+}
+
+}  // namespace
+
+double BatchReport::theoreticalSpeedup() const {
+  uint64_t total = 0, longest = 0;
+  for (uint64_t b : workerBusyMicros) {
+    total += b;
+    longest = std::max(longest, b);
+  }
+  if (longest == 0) return 1.0;
+  return static_cast<double>(total) / static_cast<double>(longest);
+}
+
+BatchReport checkBatch(Session& session,
+                       std::span<const PifProperty> properties,
+                       const BatchOptions& options) {
+  BatchReport out;
+  out.jobs = std::max(1, options.jobs);
+  out.reports.resize(properties.size());
+  uint64_t wallStart = nowMicros();
+
+  int workers = std::min<int>(out.jobs, static_cast<int>(properties.size()));
+  if (workers <= 1) {
+    // Serial path: exactly Session::check, property by property.
+    out.workerBusyMicros.assign(1, 0);
+    for (size_t i = 0; i < properties.size(); ++i) {
+      uint64_t t0 = nowMicros();
+      out.reports[i] = session.check(properties[i]);
+      out.workerBusyMicros[0] += nowMicros() - t0;
+    }
+    out.wallMicros = nowMicros() - wallStart;
+    return out;
+  }
+
+  bool anyCtl = false;
+  for (const PifProperty& p : properties)
+    anyCtl |= p.kind == PifProperty::Kind::Ctl;
+
+  // Build everything shared up front, on this thread: the design machine,
+  // the primary checker, and — when any CTL property needs it — the
+  // reachability fixpoint that every replica is seeded with.
+  session.build();
+  CtlChecker& primary = session.checker();
+  std::vector<std::unique_ptr<Replica>> replicas;
+  uint64_t transferStart = nowMicros();
+  if (anyCtl) {
+    (void)primary.reached();
+    replicas.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+      replicas.push_back(
+          buildReplica(session, primary, out.transferredNodes));
+  }
+  out.transferMicros = nowMicros() - transferStart;
+  HSIS_LOG_INFO("par.batch", "replicas built",
+                {{"workers", workers},
+                 {"properties", properties.size()},
+                 {"transferred_nodes", out.transferredNodes},
+                 {"transfer_micros", out.transferMicros}});
+
+  out.workerBusyMicros.assign(static_cast<size_t>(workers), 0);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> abortedCount{0};
+  std::exception_ptr fatal;
+  std::mutex fatalMu;
+  const blifmv::Model& flat = session.flatModel();
+  const FairnessSpec& fairness = session.fairness();
+  const Session::Options& opts = session.options();
+
+  auto workerBody = [&](int w) {
+    obs::TaskAbort slot;
+    obs::bindTaskAbort(&slot);
+    Replica* rep = anyCtl ? replicas[static_cast<size_t>(w)].get() : nullptr;
+    try {
+      if (rep != nullptr) finishReplica(*rep, opts);
+      for (;;) {
+        if (options.requestAbort != nullptr &&
+            options.requestAbort->requested()) {
+          auto info = options.requestAbort->info();
+          throw obs::AbortedError(info ? info->reason : "request aborted",
+                                  info ? info->phase : "par.batch");
+        }
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= properties.size()) break;
+        const PifProperty& p = properties[i];
+        std::optional<obs::Watchdog> wd;
+        if (options.propertyTimeoutSeconds > 0) {
+          wd.emplace();
+          // Poll at ~1/4 of the budget (clamped to [1ms, 50ms]) so budgets
+          // below the default 50ms poll can still fire close to on time.
+          uint64_t pollMs = static_cast<uint64_t>(
+              options.propertyTimeoutSeconds * 250.0);
+          pollMs = std::min<uint64_t>(50, std::max<uint64_t>(1, pollMs));
+          wd->start({.wallLimitSeconds = options.propertyTimeoutSeconds,
+                     .pollMs = pollMs,
+                     .target = &slot});
+        }
+        uint64_t t0 = nowMicros();
+        try {
+          if (p.kind == PifProperty::Kind::Ctl) {
+            out.reports[i] = checkCtlOn(*rep->checker, p.name, p.ctl);
+          } else {
+            out.reports[i] =
+                checkAutomatonOn(flat, fairness, opts, p.name, p.aut);
+          }
+        } catch (const obs::AbortedError& e) {
+          if (obs::detail::g_abortRequested.load(std::memory_order_relaxed))
+            throw;  // process-wide: stop the whole batch
+          // Per-property abort (watchdog breach or explicit request on this
+          // worker's slot): report it, re-arm, take the next property.
+          BugReport& r = out.reports[i];
+          r.propertyName = p.name;
+          r.paradigm = p.kind == PifProperty::Kind::Ctl
+                           ? BugReport::Paradigm::ModelChecking
+                           : BugReport::Paradigm::LanguageContainment;
+          r.holds = false;
+          r.notes.push_back("aborted: " + e.reason());
+          abortedCount.fetch_add(1, std::memory_order_relaxed);
+          slot.clear();
+        }
+        out.workerBusyMicros[static_cast<size_t>(w)] += nowMicros() - t0;
+        if (wd.has_value()) wd->stop();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> g(fatalMu);
+      if (!fatal) fatal = std::current_exception();
+      // Pull the remaining properties so the other workers drain quickly;
+      // a process-wide abort reaches them at their own safe points anyway.
+      next.store(properties.size(), std::memory_order_relaxed);
+    }
+    obs::bindTaskAbort(nullptr);
+  };
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(workerBody, w);
+    for (auto& t : pool) t.join();
+  }
+  if (fatal) std::rethrow_exception(fatal);
+
+  out.aborted = abortedCount.load();
+  out.wallMicros = nowMicros() - wallStart;
+  obs::counter("par.batch.properties").add(properties.size());
+  obs::gauge("par.batch.jobs").set(workers);
+  HSIS_LOG_INFO("par.batch", "batch complete",
+                {{"properties", properties.size()},
+                 {"workers", workers},
+                 {"wall_micros", out.wallMicros},
+                 {"aborted", out.aborted}});
+  return out;
+}
+
+}  // namespace hsis::par

@@ -1,0 +1,67 @@
+#include "par/fj.hpp"
+
+#include <algorithm>
+
+namespace hsis::par {
+
+ForkJoin::ForkJoin(int threads) {
+  if (threads < 0) threads = 0;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ForkJoin::~ForkJoin() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // Contract: all tasks were joined by their forkers before destruction;
+  // anything still queued at this point is a usage bug upstream.
+}
+
+void ForkJoin::submit(Task* t) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    dq_.push_back(t);
+  }
+  cv_.notify_one();
+}
+
+bool ForkJoin::runOne() {
+  Task* t = nullptr;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (dq_.empty()) return false;
+    t = dq_.front();
+    dq_.pop_front();
+  }
+  execute(t);
+  return true;
+}
+
+bool ForkJoin::tryUnqueue(Task* t) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = std::find(dq_.begin(), dq_.end(), t);
+  if (it == dq_.end()) return false;
+  dq_.erase(it);
+  return true;
+}
+
+void ForkJoin::workerLoop() {
+  for (;;) {
+    Task* t = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !dq_.empty(); });
+      if (stop_ && dq_.empty()) return;
+      t = dq_.front();
+      dq_.pop_front();
+    }
+    execute(t);
+  }
+}
+
+}  // namespace hsis::par

@@ -1,0 +1,84 @@
+// A small fork-join task pool for the parallel BDD apply (and anything
+// else that forks strict, stack-scoped subproblems).
+//
+// Design constraints, in order:
+//  - Tasks are STACK-ALLOCATED in the forker's frame and joined before the
+//    frame unwinds, so the pool never owns task lifetime. The deque holds
+//    raw pointers; the unqueue-or-wait join protocol below guarantees no
+//    worker can touch a task after its join returned:
+//      * submit() enqueues the task,
+//      * a worker (or a helping joiner) *pops* the task under the lock —
+//        popping IS claiming; a task is never reachable from the deque and
+//        claimed at the same time,
+//      * join first tries tryUnqueue(): if the task is still queued it is
+//        removed and run inline by the joiner (zero handoff when all
+//        workers are busy — the fork degrades to plain recursion),
+//      * otherwise some worker popped it: the joiner helps drain other
+//        tasks (runOne) until the task's done flag is set. The claimer is
+//        inside run() the whole time, so the task outlives every access.
+//  - run() is noexcept: tasks capture failures themselves (the BDD layer
+//    stores an exception_ptr and rethrows at the join).
+//  - A central mutex-guarded deque, not per-thread work-stealing: forks
+//    are coarse by construction (the BDD layer splits only above a
+//    node-count cutoff and below a fixed depth), so the deque sees a few
+//    dozen pushes per operation, not millions — contention is irrelevant
+//    and the simple structure keeps the join protocol auditable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hsis::par {
+
+class ForkJoin {
+ public:
+  struct Task {
+    virtual ~Task() = default;
+    /// Execute the task. Must not throw — capture failures in the task.
+    virtual void run() noexcept = 0;
+    /// Set (release) by whoever ran the task; joiners acquire-poll it.
+    std::atomic<bool> done{false};
+  };
+
+  /// Spawn `threads` workers (0 is valid: every fork is then claimed back
+  /// by its joiner and run inline — useful as a degenerate baseline).
+  explicit ForkJoin(int threads);
+  ~ForkJoin();
+  ForkJoin(const ForkJoin&) = delete;
+  ForkJoin& operator=(const ForkJoin&) = delete;
+
+  [[nodiscard]] int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. The caller must join it (see class comment) before
+  /// the task object's lifetime ends.
+  void submit(Task* t);
+
+  /// Pop one queued task and run it to completion on the calling thread.
+  /// Returns false when the deque was empty. Safe to call from any thread;
+  /// joiners use it to help instead of blocking.
+  bool runOne();
+
+  /// If `t` is still queued, remove it and return true — the caller now
+  /// owns execution. Returns false when some worker already popped it.
+  bool tryUnqueue(Task* t);
+
+ private:
+  void workerLoop();
+  static void execute(Task* t) {
+    t->run();
+    t->done.store(true, std::memory_order_release);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task*> dq_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hsis::par

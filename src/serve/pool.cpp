@@ -10,6 +10,7 @@
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
 #include "obs/tracectx.hpp"
+#include "par/batch.hpp"
 #include "serve/telemetry.hpp"
 
 namespace hsis::serve {
@@ -263,11 +264,33 @@ void SessionPool::runJob(Worker& worker, Job& job) {
       stats.stages.reach = stageTimer.micros();
     }
 
-    for (const PifProperty& p : pif.properties) {
+    // Multi-property requests fan out onto the batch scheduler when the
+    // pool is configured for it: one replica manager per batch worker,
+    // verdict frames emitted afterwards in property order. The request's
+    // abort slot is relayed so a budget breach still unwinds the batch
+    // (at property boundaries) with verdict "aborted".
+    std::vector<BugReport> batchReports;
+    bool usedBatch = false;
+    if (opts_.batchJobs > 1 && pif.properties.size() > 1) {
+      stageTimer.restart();
+      obs::Span batchSpan("serve.stage.batch");
+      par::BatchOptions bo;
+      bo.jobs = opts_.batchJobs;
+      bo.requestAbort = &worker.slot;
+      par::BatchReport batch =
+          par::checkBatch(worker.session, pif.properties, bo);
+      stats.stages.check += stageTimer.micros();
+      batchReports = std::move(batch.reports);
+      usedBatch = true;
+    }
+
+    for (size_t pi = 0; pi < pif.properties.size(); ++pi) {
+      const PifProperty& p = pif.properties[pi];
       obs::checkAbort();  // between properties, not only at engine depth
       stageTimer.restart();
-      BugReport r = worker.session.check(p);
-      stats.stages.check += stageTimer.micros();
+      BugReport r =
+          usedBatch ? std::move(batchReports[pi]) : worker.session.check(p);
+      if (!usedBatch) stats.stages.check += stageTimer.micros();
       ++stats.properties;
       VerdictInfo v;
       v.property = r.propertyName;

@@ -4,6 +4,11 @@
 //              [--default-wall-s S] [--default-rss-mb M]
 //              [--max-wall-s S] [--max-rss-mb M]
 //              [--slow-threshold-s S --artifact-dir DIR]
+//              [--jobs N]
+//
+// --jobs N > 1 fans a multi-property request out onto N batch worker
+// threads (par::checkBatch), each with its own replica manager; verdict
+// frames then arrive after the batch completes, in property order.
 //
 // --slow-threshold-s/--artifact-dir arm slow-request auto-capture: any
 // request whose enqueue->done wall time exceeds S gets its trace/profile/
@@ -52,6 +57,7 @@ int usage() {
                "                  [--default-wall-s S] [--default-rss-mb M]\n"
                "                  [--max-wall-s S] [--max-rss-mb M]\n"
                "                  [--slow-threshold-s S --artifact-dir DIR]\n"
+               "                  [--jobs N]\n"
                "plus the shared obs flags (--ledger, --log-level, ...)\n");
   return 2;
 }
@@ -92,6 +98,9 @@ int main(int argc, char** argv) {
       opts.pool.slowThresholdSeconds = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(a, "--artifact-dir") == 0 && hasValue) {
       opts.pool.artifactDir = argv[++i];
+    } else if (std::strcmp(a, "--jobs") == 0 && hasValue) {
+      opts.pool.batchJobs = std::atoi(argv[++i]);
+      if (opts.pool.batchJobs < 1) opts.pool.batchJobs = 1;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage();
       return 0;
